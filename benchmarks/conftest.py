@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every file in this directory regenerates one table (T*) or figure (F*)
+of the reconstructed evaluation suite (see DESIGN.md) and prints the
+rows the paper-style experiment reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Printed output appears in the captured-output section of failing tests
+or with ``-s``; every experiment also appends its rendered table to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.casestudy import enterprise_web_service
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def web_model():
+    """The enterprise Web service case study (shared across benches)."""
+    return enterprise_web_service()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, experiment: str, text: str) -> None:
+    """Print an experiment's output and persist it under results/."""
+    banner = f"\n=== {experiment} ===\n"
+    print(banner + text)
+    (results_dir / f"{experiment}.txt").write_text(text + "\n")

@@ -1,0 +1,84 @@
+"""F11 — Detector operating curve: threshold vs. detection and latency.
+
+Extension experiment on the operational side: the evidence-accumulation
+detector's threshold trades sensitivity against evidence quality.  At a
+fixed optimal deployment, sweep the threshold and report detection
+rate and mean detection latency, healthy and under 20% monitor outages.
+
+Expected shape: detection rate is non-increasing in the threshold
+(strictly dropping once the threshold exceeds what partial kill chains
+can accumulate); latency *rises* with the threshold (more steps must
+land before the verdict); outages shift the whole curve down.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.metrics.cost import Budget
+from repro.optimize.problem import MaxUtilityProblem
+from repro.simulation.campaign import run_campaign
+
+from conftest import publish
+
+THRESHOLDS = [0.2, 0.35, 0.5, 0.65, 0.8, 0.95]
+BUDGET_FRACTION = 0.25
+REPETITIONS = 10
+SEED = 404
+
+
+def run_curve(model):
+    deployment = MaxUtilityProblem(
+        model, Budget.fraction_of_total(model, BUDGET_FRACTION)
+    ).solve().deployment
+
+    rows = []
+    for threshold in THRESHOLDS:
+        healthy = run_campaign(
+            model, deployment, repetitions=REPETITIONS, seed=SEED, threshold=threshold
+        )
+        degraded = run_campaign(
+            model,
+            deployment,
+            repetitions=REPETITIONS,
+            seed=SEED,
+            threshold=threshold,
+            monitor_failure_rate=0.2,
+        )
+        rows.append(
+            [
+                threshold,
+                healthy.detection_rate,
+                healthy.mean_detection_latency,
+                degraded.detection_rate,
+                degraded.mean_detection_latency,
+            ]
+        )
+    return rows
+
+
+def test_f11_detector_curve(benchmark, web_model, results_dir):
+    rows = benchmark.pedantic(run_curve, args=(web_model,), rounds=1, iterations=1)
+    table = render_table(
+        [
+            "threshold",
+            "detect (healthy)",
+            "latency s (healthy)",
+            "detect (20% outages)",
+            "latency s (outages)",
+        ],
+        rows,
+        title=f"F11 — Detector operating curve at budget {BUDGET_FRACTION}",
+    )
+    publish(results_dir, "f11_detector_curve", table)
+
+    healthy_rates = [r[1] for r in rows]
+    degraded_rates = [r[3] for r in rows]
+    # Sensitivity falls as the threshold rises, and strictly so overall.
+    assert all(b <= a + 1e-9 for a, b in zip(healthy_rates, healthy_rates[1:]))
+    assert healthy_rates[-1] < healthy_rates[0]
+    # Outages never help.
+    assert all(d <= h + 1e-9 for h, d in zip(healthy_rates, degraded_rates))
+    # Latency rises with the threshold over detected runs (ignore NaNs at
+    # thresholds where nothing is detected).
+    latencies = [r[2] for r in rows if not np.isnan(r[2])]
+    assert latencies[-1] > latencies[0]

@@ -1,0 +1,69 @@
+"""F2 — Coverage/redundancy trade-off under the utility weighting.
+
+Reproduces the metric-weighting figure: at a fixed budget, sweep the
+trade-off parameter λ from pure coverage (λ=0) to pure redundancy
+(λ=1) and report how the optimal deployment's components and
+composition shift.  The benchmark times the full λ sweep.
+
+Expected shape: achieved coverage falls and achieved redundancy rises
+as λ grows — optimal deployments move from *breadth* (one monitor per
+step, many steps) to *depth* (multiple corroborating monitors on the
+highest-weight steps); the monitor set changes along the way
+(similarity to the λ=0 optimum decays).
+"""
+
+from repro.analysis.sensitivity import jaccard
+from repro.analysis.tables import render_table
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.problem import MaxUtilityProblem
+
+from conftest import publish
+
+LAMBDAS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+BUDGET_FRACTION = 0.15
+
+
+def run_sweep(model):
+    budget = Budget.fraction_of_total(model, BUDGET_FRACTION)
+    points = []
+    for lam in LAMBDAS:
+        weights = UtilityWeights.tradeoff(lam)
+        result = MaxUtilityProblem(model, budget, weights).solve()
+        breakdown = result.deployment.breakdown(weights)
+        points.append((lam, result, breakdown))
+    return points
+
+
+def build_table(points):
+    baseline_ids = points[0][1].monitor_ids
+    rows = [
+        [
+            lam,
+            len(result.deployment),
+            breakdown["coverage"],
+            breakdown["redundancy"],
+            result.utility,
+            jaccard(result.monitor_ids, baseline_ids),
+        ]
+        for lam, result, breakdown in points
+    ]
+    return render_table(
+        ["lambda", "#monitors", "coverage", "redundancy", "utility", "sim. to λ=0"],
+        rows,
+        title=f"F2 — Coverage/redundancy trade-off at budget {BUDGET_FRACTION:.2f}",
+    )
+
+
+def test_f2_weight_tradeoff(benchmark, web_model, results_dir):
+    points = benchmark.pedantic(run_sweep, args=(web_model,), rounds=1, iterations=1)
+    publish(results_dir, "f2_weight_tradeoff", build_table(points))
+
+    coverages = [b["coverage"] for _, _, b in points]
+    redundancies = [b["redundancy"] for _, _, b in points]
+    # End-to-end shift: the pure-redundancy optimum trades coverage away.
+    assert coverages[0] >= coverages[-1]
+    assert redundancies[-1] >= redundancies[0]
+    # The λ=0 optimum maximizes coverage; λ=1 maximizes redundancy.
+    assert coverages[0] == max(coverages)
+    assert redundancies[-1] == max(redundancies)

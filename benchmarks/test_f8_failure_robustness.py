@@ -1,0 +1,103 @@
+"""F8 — Failure robustness: why the redundancy term earns its weight.
+
+Extension experiment pairing the static robustness analysis with
+campaign failure injection.  Two optimal deployments at the same budget
+— one maximizing the full utility (with redundancy), one coverage-only
+— face monitor outages:
+
+* statically: worst-case utility after an adversary disables k monitors
+  (`repro.analysis.robustness`);
+* operationally: simulated detection rate when each monitor is down per
+  run with probability p (`run_campaign(monitor_failure_rate=...)`).
+
+Expected shape: at failure rate 0 the coverage-only deployment can
+match or beat the redundancy-aware one *on coverage*; as failures rise,
+the redundancy-aware deployment's detection rate degrades more slowly,
+crossing over — corroboration is insurance, and this experiment prices
+it.
+"""
+
+from repro.analysis.robustness import worst_case_utility
+from repro.analysis.tables import render_table
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.problem import MaxUtilityProblem
+from repro.simulation.campaign import run_campaign
+
+from conftest import publish
+
+BUDGET_FRACTION = 0.25
+FAILURE_RATES = [0.0, 0.1, 0.25, 0.5]
+COVERAGE_ONLY = UtilityWeights.coverage_only()
+REDUNDANCY_HEAVY = UtilityWeights(coverage=0.5, redundancy=0.5, richness=0.0)
+REPETITIONS = 10
+SEED = 88
+
+
+def build_deployments(model):
+    budget = Budget.fraction_of_total(model, BUDGET_FRACTION)
+    breadth = MaxUtilityProblem(model, budget, COVERAGE_ONLY).solve().deployment
+    depth = MaxUtilityProblem(model, budget, REDUNDANCY_HEAVY).solve().deployment
+    return breadth, depth
+
+
+def run_experiment(model):
+    breadth, depth = build_deployments(model)
+
+    operational_rows = []
+    for rate in FAILURE_RATES:
+        breadth_campaign = run_campaign(
+            model, breadth, repetitions=REPETITIONS, seed=SEED, monitor_failure_rate=rate
+        )
+        depth_campaign = run_campaign(
+            model, depth, repetitions=REPETITIONS, seed=SEED, monitor_failure_rate=rate
+        )
+        operational_rows.append(
+            [
+                rate,
+                breadth_campaign.detection_rate,
+                depth_campaign.detection_rate,
+                depth_campaign.detection_rate - breadth_campaign.detection_rate,
+            ]
+        )
+
+    static_rows = []
+    for k in (0, 1, 2, 3):
+        breadth_worst, _ = worst_case_utility(model, breadth, k, COVERAGE_ONLY)
+        depth_worst, _ = worst_case_utility(model, depth, k, COVERAGE_ONLY)
+        static_rows.append([k, breadth_worst, depth_worst])
+
+    return breadth, depth, operational_rows, static_rows
+
+
+def test_f8_failure_robustness(benchmark, web_model, results_dir):
+    breadth, depth, operational_rows, static_rows = benchmark.pedantic(
+        run_experiment, args=(web_model,), rounds=1, iterations=1
+    )
+    operational = render_table(
+        ["failure rate", "coverage-only detect", "redundancy-aware detect", "advantage"],
+        operational_rows,
+        title=(
+            f"F8a — Simulated detection under per-run monitor failures "
+            f"(budget {BUDGET_FRACTION}, {len(breadth)} vs {len(depth)} monitors)"
+        ),
+    )
+    static = render_table(
+        ["k disabled", "coverage-only worst-case cov.", "redundancy-aware worst-case cov."],
+        static_rows,
+        title="F8b — Static worst-case coverage after targeted disabling",
+    )
+    publish(results_dir, "f8_failure_robustness", operational + "\n\n" + static)
+
+    # At zero failures the breadth deployment maximizes coverage by
+    # construction; under heavy failures the depth deployment must hold
+    # up at least as well (the insurance pays out).
+    zero_rate = operational_rows[0]
+    heavy_rate = operational_rows[-1]
+    assert zero_rate[1] >= zero_rate[2] - 0.05
+    assert heavy_rate[2] >= heavy_rate[1] - 1e-9
+    # Advantage of redundancy must grow with the failure rate overall.
+    assert operational_rows[-1][3] >= operational_rows[0][3] - 1e-9
+    # Static story: by k=2 the redundancy-aware deployment retains at
+    # least as much coverage.
+    assert static_rows[2][2] >= static_rows[2][1] - 1e-9

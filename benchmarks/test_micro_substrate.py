@@ -1,0 +1,83 @@
+"""Substrate micro-benchmarks: the primitives every experiment leans on.
+
+Not a paper table — these pin the performance envelope of the layers
+under the experiments so regressions show up where they originate
+(model indexing, metric evaluation, formulation building) rather than
+as mysterious slowdowns in F1–F10.
+"""
+
+import pytest
+
+from repro.casestudy import synthetic_model
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.formulation import FormulationBuilder
+from repro.simulation.campaign import run_campaign
+from repro.optimize.deployment import Deployment
+from repro.solver.model import MilpModel, ObjectiveSense
+
+WEIGHTS = UtilityWeights()
+
+
+@pytest.fixture(scope="module")
+def medium_model():
+    return synthetic_model(assets=30, monitors=100, attacks=50, seed=42)
+
+
+@pytest.fixture(scope="module")
+def half_deployment(medium_model):
+    ids = sorted(medium_model.monitors)
+    return frozenset(ids[::2])
+
+
+def test_bench_model_construction(benchmark):
+    model = benchmark(synthetic_model, assets=30, monitors=100, attacks=50, seed=42)
+    assert model.stats()["monitors"] == 100
+
+
+def test_bench_coverage_relation_queries(benchmark, medium_model):
+    def query_all():
+        return sum(
+            len(medium_model.monitors_for_event(e)) for e in medium_model.events
+        )
+
+    total = benchmark(query_all)
+    assert total > 0
+
+
+def test_bench_utility_evaluation(benchmark, medium_model, half_deployment):
+    value = benchmark(utility, medium_model, half_deployment, WEIGHTS)
+    assert 0.0 <= value <= 1.0
+
+
+def test_bench_formulation_build(benchmark, medium_model):
+    def build():
+        milp = MilpModel("bench", ObjectiveSense.MAXIMIZE)
+        builder = FormulationBuilder(milp, medium_model)
+        milp.set_objective(builder.utility_expression(WEIGHTS))
+        builder.add_budget_constraints(Budget.fraction_of_total(medium_model, 0.3))
+        return milp
+
+    milp = benchmark(build)
+    assert milp.num_variables > 100
+
+
+def test_bench_standard_form_compile(benchmark, medium_model):
+    milp = MilpModel("bench", ObjectiveSense.MAXIMIZE)
+    builder = FormulationBuilder(milp, medium_model)
+    milp.set_objective(builder.utility_expression(WEIGHTS))
+    builder.add_budget_constraints(Budget.fraction_of_total(medium_model, 0.3))
+    form = benchmark(milp.compile)
+    assert form.num_variables == milp.num_variables
+
+
+def test_bench_campaign_simulation(benchmark, medium_model, half_deployment):
+    deployment = Deployment.of(medium_model, half_deployment)
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(medium_model, deployment),
+        kwargs={"repetitions": 2, "seed": 0},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result.runs) == 2 * len(medium_model.attacks)

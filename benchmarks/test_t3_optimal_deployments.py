@@ -1,0 +1,64 @@
+"""T3 — Optimal monitor deployments under representative budgets.
+
+Reproduces the paper's central result table: for each budget level, the
+cost-optimal maximum-utility deployment — which monitors are selected,
+the utility achieved, its components, and the spend.  The benchmark
+times one case-study ILP solve (the paper's core operation).
+
+Expected shape: utility grows monotonically with budget and saturates;
+selected monitors shift from a few network sensors with broad
+visibility (tight budget) to host telemetry depth (loose budget).
+"""
+
+from repro.analysis.tables import render_table
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.problem import MaxUtilityProblem
+
+from conftest import publish
+
+FRACTIONS = [0.05, 0.10, 0.20, 0.40, 0.80]
+WEIGHTS = UtilityWeights()
+
+
+def build_table(model):
+    rows = []
+    details = []
+    for fraction in FRACTIONS:
+        budget = Budget.fraction_of_total(model, fraction)
+        result = MaxUtilityProblem(model, budget, WEIGHTS).solve()
+        breakdown = result.deployment.breakdown(WEIGHTS)
+        rows.append(
+            [
+                fraction,
+                len(result.deployment),
+                result.utility,
+                breakdown["coverage"],
+                breakdown["redundancy"],
+                breakdown["richness"],
+                result.deployment.cost().scalarize(),
+                result.solve_seconds * 1e3,
+            ]
+        )
+        by_type = {}
+        for monitor_id in result.monitor_ids:
+            type_id = model.monitor(monitor_id).monitor_type_id
+            by_type[type_id] = by_type.get(type_id, 0) + 1
+        chosen = ", ".join(f"{t}x{n}" if n > 1 else t for t, n in sorted(by_type.items()))
+        details.append(f"  budget {fraction:.2f}: {chosen or '(none)'}")
+
+    table = render_table(
+        ["budget frac", "#monitors", "utility", "cov", "red", "rich", "spend", "ms"],
+        rows,
+        title="T3 — Cost-optimal maximum-utility deployments",
+    )
+    return table + "\n\nSelected monitor types per budget:\n" + "\n".join(details), rows
+
+
+def test_t3_optimal_deployments(benchmark, web_model, results_dir):
+    budget = Budget.fraction_of_total(web_model, 0.20)
+    benchmark(lambda: MaxUtilityProblem(web_model, budget, WEIGHTS).solve())
+    text, rows = build_table(web_model)
+    publish(results_dir, "t3_optimal_deployments", text)
+    utilities = [row[2] for row in rows]
+    assert utilities == sorted(utilities), "utility must be monotone in budget"

@@ -1,0 +1,72 @@
+"""T4 — Minimum-cost deployments meeting utility floors.
+
+Reproduces the planning dual of T3: for each required utility level,
+the cheapest deployment that achieves it.  The benchmark times one
+min-cost ILP solve.
+
+Expected shape: cost grows superlinearly as the floor approaches the
+maximum attainable utility (the last attacks to cover need expensive
+host telemetry on every target).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.errors import InfeasibleError
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.problem import MinCostProblem
+
+from conftest import publish
+
+FLOORS = [0.3, 0.5, 0.7, 0.8, 0.9]
+WEIGHTS = UtilityWeights()
+
+
+def build_table(model):
+    from repro.optimize.greedy_cover import solve_greedy_cover
+
+    max_utility = utility(model, model.monitors, WEIGHTS)
+    rows = []
+    for floor in FLOORS:
+        if floor > max_utility:
+            rows.append([floor, "-", "-", "-", "-", "infeasible"])
+            continue
+        result = MinCostProblem(model, min_utility=floor, weights=WEIGHTS).solve()
+        greedy = solve_greedy_cover(model, floor, WEIGHTS)
+        rows.append(
+            [
+                floor,
+                len(result.deployment),
+                result.utility,
+                result.deployment.cost().scalarize(),
+                greedy.objective,
+                f"{result.solve_seconds * 1e3:.0f} ms",
+            ]
+        )
+    table = render_table(
+        ["utility floor", "#monitors", "achieved", "min cost (ILP)", "greedy cost", "solve"],
+        rows,
+        title=f"T4 — Min-cost deployments (max attainable utility: {max_utility:.3f})",
+    )
+    return table, rows
+
+
+def test_t4_min_cost(benchmark, web_model, results_dir):
+    benchmark(lambda: MinCostProblem(web_model, min_utility=0.7, weights=WEIGHTS).solve())
+    text, rows = build_table(web_model)
+    publish(results_dir, "t4_min_cost", text)
+
+    costs = [row[3] for row in rows if isinstance(row[3], float)]
+    assert costs == sorted(costs), "min cost must be monotone in the floor"
+    achieved = [row[2] for row in rows if isinstance(row[2], float)]
+    for floor, value in zip(FLOORS, achieved):
+        assert value >= floor - 1e-6
+    # The greedy baseline never beats the exact minimum.
+    for row in rows:
+        if isinstance(row[3], float) and isinstance(row[4], float):
+            assert row[4] >= row[3] - 1e-6
+
+
+def test_t4_infeasible_floor_raises(web_model):
+    with pytest.raises(InfeasibleError):
+        MinCostProblem(web_model, min_utility=0.999).solve()

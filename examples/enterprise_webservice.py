@@ -1,0 +1,65 @@
+"""The paper's use case end to end: the enterprise Web service.
+
+Loads the built-in case study (DMZ topology, 12 monitor types placed at
+every compatible asset, 22 CAPEC-style attacks), audits the model, then
+answers the two questions the methodology is for:
+
+1. *Given this budget, what should we deploy?*  (max-utility ILP)
+2. *Given these security requirements, what must we spend?* (min-cost ILP)
+
+Run:  python examples/enterprise_webservice.py
+"""
+
+from repro import Budget, UtilityWeights, audit_model
+from repro.analysis import evaluate_deployment
+from repro.casestudy import enterprise_web_service
+from repro.metrics import budget_utilization
+from repro.optimize import MaxUtilityProblem, MinCostProblem
+
+model = enterprise_web_service()
+print(model)
+print(f"Total cost of deploying everything: {model.total_cost().as_dict()}")
+
+# -- audit: what can this model never achieve? -------------------------
+warnings = [f for f in audit_model(model) if f.severity.value == "warning"]
+print(f"\nAudit: {len(warnings)} warnings (idle-but-deployable monitors are expected):")
+for finding in warnings[:5]:
+    print(f"  {finding}")
+if len(warnings) > 5:
+    print(f"  ... and {len(warnings) - 5} more")
+
+# -- question 1: best deployment for 25% of the full cost ---------------
+weights = UtilityWeights()  # 0.6 coverage + 0.25 redundancy + 0.15 richness
+budget = Budget.fraction_of_total(model, 0.25)
+best = MaxUtilityProblem(model, budget, weights).solve()
+print(f"\n[1] Optimal deployment at 25% budget — {best.summary()}")
+for asset_id, monitors in sorted(best.deployment.by_asset().items()):
+    print(f"  {asset_id:8s}: {', '.join(m.split('@')[0] for m in monitors)}")
+print(f"  budget utilization: "
+      f"{ {d: round(u, 2) for d, u in budget_utilization(model, best.monitor_ids, budget).items()} }")
+
+# -- question 2: cheapest deployment meeting hard requirements -----------
+requirements = MinCostProblem(
+    model,
+    min_utility=0.75,
+    fully_cover=["db-exfiltration", "webshell@web-1", "webshell@web-2"],
+    weights=weights,
+)
+cheapest = requirements.solve()
+print(f"\n[2] Cheapest deployment with utility >= 0.75 and the web-shell and "
+      f"DB-exfiltration kill chains fully covered:")
+print(f"  {len(cheapest.deployment)} monitors, scalar cost "
+      f"{cheapest.deployment.cost().scalarize():.0f}, utility {cheapest.utility:.3f}")
+
+# -- validate operationally ----------------------------------------------
+report = evaluate_deployment(model, best.deployment, weights, simulate=True, seed=7)
+campaign = report.campaign
+print(f"\n[3] Simulated campaign against deployment [1]: "
+      f"detection rate {campaign.detection_rate:.2f}, "
+      f"mean latency {campaign.mean_detection_latency:.0f}s, "
+      f"forensic step completeness {campaign.mean_step_completeness:.2f}")
+
+undetected = sorted(
+    attack_id for attack_id, rate in campaign.per_attack_detection.items() if rate < 0.5
+)
+print(f"  attacks detected in <50% of runs: {undetected or 'none'}")

@@ -1,0 +1,72 @@
+"""Forensic pipeline: export simulated evidence, re-score it offline.
+
+Monitoring exists for two consumers: the real-time detector and the
+after-the-fact analyst.  This example exercises the analyst's path:
+
+1. run an attack campaign and keep the raw observation records;
+2. export them as a JSONL trace (the interchange format a SIEM or
+   notebook would ingest);
+3. reload the trace and reconstruct each incident from evidence alone —
+   no access to the simulator's ground truth beyond run/attack labels;
+4. show how reconstruction quality differs between a cheap and a rich
+   deployment on the *same* incidents.
+
+Run:  python examples/forensic_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Budget
+from repro.analysis import render_table
+from repro.casestudy import enterprise_web_service
+from repro.optimize import MaxUtilityProblem
+from repro.simulation import load_trace, reconstruct, run_campaign, save_trace
+
+model = enterprise_web_service()
+
+cheap = MaxUtilityProblem(model, Budget.fraction_of_total(model, 0.08)).solve()
+rich = MaxUtilityProblem(model, Budget.fraction_of_total(model, 0.40)).solve()
+print(f"cheap deployment: {cheap.summary()}")
+print(f"rich deployment : {rich.summary()}")
+
+workdir = Path(tempfile.mkdtemp(prefix="repro-forensics-"))
+rows = []
+for label, result in (("cheap", cheap), ("rich", rich)):
+    campaign = run_campaign(
+        model, result.deployment, repetitions=5, seed=99, keep_observations=True
+    )
+    trace_path = workdir / f"{label}.jsonl"
+    written = save_trace(campaign, trace_path)
+
+    # The "analyst": reload the trace and rebuild every incident.
+    evidence = load_trace(trace_path)
+    complete = 0
+    step_total = 0.0
+    field_total = 0.0
+    for run in campaign.runs:
+        report = reconstruct(model, run.run_id, run.attack_id, evidence)
+        complete += report.is_complete
+        step_total += report.step_completeness
+        field_total += report.field_completeness
+
+    rows.append(
+        [
+            label,
+            len(result.deployment),
+            written,
+            f"{complete}/{len(campaign.runs)}",
+            step_total / len(campaign.runs),
+            field_total / len(campaign.runs),
+        ]
+    )
+    print(f"\n{label}: wrote {written} evidence records to {trace_path}")
+
+print()
+print(render_table(
+    ["deployment", "#monitors", "records", "fully reconstructed", "step compl.", "field compl."],
+    rows,
+    title="Offline incident reconstruction from exported traces",
+))
+print("\nThe rich deployment does not just detect more — its traces let the "
+      "analyst rebuild nearly every timeline with field-level detail.")

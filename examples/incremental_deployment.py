@@ -1,0 +1,78 @@
+"""Incremental re-optimization when the threat model grows.
+
+Monitoring deployments are not green-field: monitors already running
+stay (sunk admin cost, change control), and the question is what to
+*add* when new attacks enter the threat model.  This example:
+
+1. optimizes for the original attack catalog at a small budget;
+2. extends the model with a new attack class (API abuse against the
+   app tier) whose steps today's deployment barely sees;
+3. re-optimizes with the existing monitors pinned and a budget
+   increment, and compares against a from-scratch redesign.
+
+Run:  python examples/incremental_deployment.py
+"""
+
+from repro import Budget, UtilityWeights
+from repro.casestudy import enterprise_web_service
+from repro.core import model_from_dict, model_to_dict
+from repro.metrics import attack_coverage
+from repro.optimize import MaxUtilityProblem
+
+weights = UtilityWeights()
+
+# -- 1. today's deployment for today's threats ----------------------------
+model = enterprise_web_service()
+budget = Budget.fraction_of_total(model, 0.15)
+today = MaxUtilityProblem(model, budget, weights).solve()
+print(f"Today: {today.summary()}")
+
+# -- 2. the threat model grows ---------------------------------------------
+# Extend via the serialized form: add events at the app tier evidenced by
+# data types existing monitors produce, plus one new attack using them.
+document = model_to_dict(model)
+document["events"] += [
+    {"id": "api-enum@app-1", "name": "API endpoint enumeration", "asset": "app-1"},
+    {"id": "api-abuse@app-1", "name": "Bulk API data harvesting", "asset": "app-1"},
+]
+document["evidence"] += [
+    {"data_type": "app_log", "event": "api-enum@app-1", "weight": 0.9},
+    {"data_type": "net_flow", "event": "api-enum@app-1", "weight": 0.4},
+    {"data_type": "app_log", "event": "api-abuse@app-1", "weight": 0.95},
+    {"data_type": "db_audit", "event": "api-abuse@app-1", "weight": 0.5},
+]
+document["attacks"].append(
+    {
+        "id": "api-abuse",
+        "name": "API abuse / data harvesting (CAPEC-210)",
+        "importance": 0.9,
+        "steps": [
+            {"event": "api-enum@app-1"},
+            {"event": "api-abuse@app-1"},
+        ],
+    }
+)
+grown = model_from_dict(document)
+existing = today.monitor_ids & set(grown.monitors)
+
+print(f"\nNew attack 'api-abuse' coverage under today's deployment: "
+      f"{attack_coverage(grown, existing, 'api-abuse'):.2f}")
+
+# -- 3. incremental vs. green-field -----------------------------------------
+bigger_budget = Budget.fraction_of_total(grown, 0.20)
+
+incremental = MaxUtilityProblem(
+    grown, bigger_budget, weights, forced_monitors=existing
+).solve()
+added = sorted(incremental.monitor_ids - existing)
+print(f"\nIncremental re-optimization (existing {len(existing)} monitors pinned):")
+print(f"  adds {len(added)} monitors: {', '.join(added) or 'none'}")
+print(f"  utility {incremental.utility:.3f}, "
+      f"new-attack coverage {attack_coverage(grown, incremental.monitor_ids, 'api-abuse'):.2f}")
+
+green_field = MaxUtilityProblem(grown, bigger_budget, weights).solve()
+removed = sorted(existing - green_field.monitor_ids)
+print(f"\nGreen-field redesign at the same budget:")
+print(f"  utility {green_field.utility:.3f} "
+      f"(incremental gives up {green_field.utility - incremental.utility:.4f} "
+      f"to keep {len(removed)} already-running monitors: {', '.join(removed) or 'none'})")

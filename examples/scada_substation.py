@@ -1,0 +1,59 @@
+"""The methodology on a SCADA substation (cross-domain case study).
+
+Power-grid control systems invert the Web case study's economics: field
+devices (RTUs, PLCs, relays) cannot host rich telemetry, so the
+optimizer must lean on protocol-level network sensors and the few
+control/relay audit logs.  This example optimizes the substation model,
+shows what a tight budget buys first, and stress-tests the deployment
+against monitor failures — the scenario the redundancy term exists for.
+
+Run:  python examples/scada_substation.py
+"""
+
+from repro import Budget, UtilityWeights
+from repro.analysis import (
+    contribution_report,
+    expected_utility_under_failures,
+    render_table,
+    robustness_curve,
+)
+from repro.casestudy import scada_substation
+from repro.optimize import MaxUtilityProblem
+from repro.simulation import run_campaign
+
+model = scada_substation()
+print(model)
+
+weights = UtilityWeights()
+budget = Budget.fraction_of_total(model, 0.3)
+result = MaxUtilityProblem(model, budget, weights).solve()
+print(f"\nOptimal at 30% budget — {result.summary()}")
+for asset_id, monitors in sorted(result.deployment.by_asset().items()):
+    print(f"  {asset_id:10s}: {', '.join(m.split('@')[0] for m in monitors)}")
+
+# Which monitors carry the deployment? (Shapley decomposition)
+print()
+print(contribution_report(model, result.deployment, weights, shapley_samples=150))
+
+# How does it hold up when monitors fail?
+curve = robustness_curve(model, result.deployment, 3, weights)
+expected = [
+    expected_utility_under_failures(model, result.deployment, rate, weights, seed=1)
+    for rate in (0.0, 0.1, 0.3)
+]
+print()
+print(render_table(
+    ["k monitors disabled (worst case)", "utility"],
+    [[k, u] for k, u in curve],
+    title="Static robustness (targeted failures)",
+))
+print(f"\nExpected utility at random failure rates 0/0.1/0.3: "
+      f"{expected[0]:.3f} / {expected[1]:.3f} / {expected[2]:.3f}")
+
+# Operational check: campaign with 20% of monitors down per run.
+campaign = run_campaign(
+    model, result.deployment, repetitions=10, seed=3, monitor_failure_rate=0.2
+)
+print(f"\nSimulated campaign with 20% per-run monitor outages: "
+      f"detection rate {campaign.detection_rate:.2f}, "
+      f"step completeness {campaign.mean_step_completeness:.2f}")

@@ -1,0 +1,76 @@
+"""repro — reproduction of *A Quantitative Methodology for Security
+Monitor Deployment* (Thakore, Weaver, Sanders; DSN 2016).
+
+The library implements the paper's full pipeline:
+
+1. **Model** a system's assets, deployable monitors, the data they
+   generate, and the intrusions that data evidences
+   (:mod:`repro.core`);
+2. **Quantify** deployments with utility metrics — coverage,
+   redundancy, richness, confidence — and multi-dimensional cost
+   (:mod:`repro.metrics`);
+3. **Optimize** monitor placement: maximum utility under budget, or
+   minimum cost meeting utility floors, via an exact ILP with heuristic
+   baselines (:mod:`repro.optimize`, :mod:`repro.solver`);
+4. **Validate** operationally with a monitoring simulation
+   (:mod:`repro.simulation`) and ship the paper's enterprise Web
+   service case study (:mod:`repro.casestudy`).
+
+Quickstart::
+
+    from repro import casestudy, metrics, optimize
+
+    model = casestudy.enterprise_web_service()
+    budget = metrics.Budget.fraction_of_total(model, 0.4)
+    result = optimize.MaxUtilityProblem(model, budget).solve()
+    print(sorted(result.deployment.monitor_ids), result.utility)
+"""
+
+from repro.core import (
+    Asset,
+    AssetKind,
+    Attack,
+    AttackStep,
+    CostVector,
+    DataField,
+    DataType,
+    Event,
+    Evidence,
+    ModelBuilder,
+    Monitor,
+    MonitorScope,
+    MonitorType,
+    SystemModel,
+    audit_model,
+    load_model,
+    save_model,
+)
+from repro.errors import ReproError
+from repro.metrics import Budget, UtilityWeights, utility
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Asset",
+    "AssetKind",
+    "Attack",
+    "AttackStep",
+    "CostVector",
+    "DataField",
+    "DataType",
+    "Event",
+    "Evidence",
+    "ModelBuilder",
+    "Monitor",
+    "MonitorScope",
+    "MonitorType",
+    "SystemModel",
+    "audit_model",
+    "load_model",
+    "save_model",
+    "ReproError",
+    "Budget",
+    "UtilityWeights",
+    "utility",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Evaluation reports, sensitivity/robustness/contribution analysis,
+and table rendering."""
+
+from repro.analysis.charts import render_chart
+from repro.analysis.comparison import (
+    AttackDelta,
+    DeploymentComparison,
+    compare_deployments,
+)
+from repro.analysis.contribution import (
+    MonitorValue,
+    add_one_in,
+    contribution_report,
+    leave_one_out,
+    shapley_values,
+)
+from repro.analysis.evaluation import AttackAssessment, DeploymentReport, evaluate_deployment
+from repro.analysis.gaps import CandidateFix, Gap, find_gaps, gap_report
+from repro.analysis.robustness import (
+    expected_utility_under_failures,
+    robustness_curve,
+    worst_case_utility,
+)
+from repro.analysis.sensitivity import SensitivityPoint, jaccard, weight_sensitivity
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "render_chart",
+    "AttackDelta",
+    "DeploymentComparison",
+    "compare_deployments",
+    "MonitorValue",
+    "add_one_in",
+    "contribution_report",
+    "leave_one_out",
+    "shapley_values",
+    "AttackAssessment",
+    "DeploymentReport",
+    "evaluate_deployment",
+    "CandidateFix",
+    "Gap",
+    "find_gaps",
+    "gap_report",
+    "expected_utility_under_failures",
+    "robustness_curve",
+    "worst_case_utility",
+    "SensitivityPoint",
+    "jaccard",
+    "weight_sensitivity",
+    "format_value",
+    "render_table",
+]

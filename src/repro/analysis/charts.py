@@ -1,0 +1,92 @@
+"""ASCII charts: figure-shaped output without a plotting dependency.
+
+The paper's evaluation is figures; this environment has no matplotlib.
+:func:`render_chart` plots one or more (x, y) series on a character
+grid with axes, tick labels, and a legend — enough to *see* the curve
+shapes (concavity, crossovers, separation) directly in benchmark output
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_chart"]
+
+#: Per-series glyphs, assigned in series order; later series win cell conflicts.
+_GLYPHS = "*o+x#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter chart.
+
+    Axes are scaled to the union of all series; each series gets a
+    glyph from ``* o + x …`` in iteration order, listed in the legend.
+    Empty input renders an annotated empty frame rather than raising.
+    """
+    if width < 10 or height < 4:
+        raise ValueError(f"chart needs width >= 10 and height >= 4, got {width}x{height}")
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            column = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][column] = glyph
+
+    top_tick = _format_tick(y_max)
+    bottom_tick = _format_tick(y_min)
+    margin = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+
+    lines.append(f"{y_label:>{margin}}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_tick
+        elif row_index == height - 1:
+            label = bottom_tick
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |{''.join(row)}")
+    lines.append(f"{'':>{margin}} +{'-' * width}")
+    left_tick = _format_tick(x_min)
+    right_tick = _format_tick(x_max)
+    gap = width - len(left_tick) - len(right_tick)
+    lines.append(f"{'':>{margin}}  {left_tick}{' ' * max(1, gap)}{right_tick}")
+    lines.append(f"{'':>{margin}}  {x_label}")
+
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{margin}}  legend: {legend}")
+    return "\n".join(lines)

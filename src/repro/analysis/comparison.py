@@ -1,0 +1,143 @@
+"""Side-by-side comparison of two deployments.
+
+Every lifecycle workflow — rebalancing, robust-vs-nominal, before/after
+a budget change — ends with the question "what actually changed, and
+did it matter?".  :func:`compare_deployments` answers it structurally:
+monitor-set diff, per-dimension cost delta, per-metric delta, and the
+per-attack coverage movements that explain them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+from repro.metrics.coverage import attack_coverage
+from repro.metrics.utility import UtilityWeights, utility_breakdown
+from repro.optimize.deployment import Deployment
+
+__all__ = ["AttackDelta", "DeploymentComparison", "compare_deployments"]
+
+
+@dataclass(frozen=True)
+class AttackDelta:
+    """Coverage movement of one attack between two deployments."""
+
+    attack_id: str
+    importance: float
+    coverage_a: float
+    coverage_b: float
+
+    @property
+    def delta(self) -> float:
+        """Coverage change from A to B (positive: B sees more)."""
+        return self.coverage_b - self.coverage_a
+
+
+@dataclass(frozen=True)
+class DeploymentComparison:
+    """Structured diff between deployments A and B on one model."""
+
+    a: Deployment
+    b: Deployment
+    weights: UtilityWeights
+    added: frozenset[str]        # in B, not in A
+    removed: frozenset[str]      # in A, not in B
+    kept: frozenset[str]
+    cost_delta: dict[str, float]  # B spend minus A spend, per dimension
+    metric_a: dict[str, float]
+    metric_b: dict[str, float]
+    attack_deltas: tuple[AttackDelta, ...]
+
+    @property
+    def churn(self) -> int:
+        """Number of monitors changed in either direction."""
+        return len(self.added) + len(self.removed)
+
+    @property
+    def utility_delta(self) -> float:
+        """Utility change from A to B."""
+        return self.metric_b["utility"] - self.metric_a["utility"]
+
+    def regressions(self, tolerance: float = 1e-9) -> list[AttackDelta]:
+        """Attacks B covers strictly worse than A, worst first."""
+        worse = [d for d in self.attack_deltas if d.delta < -tolerance]
+        return sorted(worse, key=lambda d: d.delta)
+
+    def to_text(self) -> str:
+        """Render the comparison as fixed-width tables."""
+        from repro.analysis.tables import render_table
+
+        summary = render_table(
+            ["metric", "A", "B", "delta"],
+            [
+                [name, self.metric_a[name], self.metric_b[name],
+                 self.metric_b[name] - self.metric_a[name]]
+                for name in ("coverage", "redundancy", "richness", "utility")
+            ],
+            title=(
+                f"Deployment comparison — A: {len(self.a)} monitors, "
+                f"B: {len(self.b)} monitors, churn {self.churn}"
+            ),
+        )
+        changes = []
+        for monitor_id in sorted(self.added):
+            changes.append(["+ " + monitor_id])
+        for monitor_id in sorted(self.removed):
+            changes.append(["- " + monitor_id])
+        change_table = render_table(
+            ["monitor changes (B relative to A)"],
+            changes or [["(none)"]],
+        )
+        movers = [d for d in self.attack_deltas if abs(d.delta) > 1e-9]
+        movers.sort(key=lambda d: d.delta)
+        attack_table = render_table(
+            ["attack", "imp", "cov A", "cov B", "delta"],
+            [
+                [d.attack_id, d.importance, d.coverage_a, d.coverage_b, d.delta]
+                for d in movers
+            ]
+            or [["(no coverage changes)", "", "", "", ""]],
+            title="Attack coverage movements",
+        )
+        return "\n\n".join([summary, change_table, attack_table])
+
+
+def compare_deployments(
+    a: Deployment,
+    b: Deployment,
+    weights: UtilityWeights | None = None,
+) -> DeploymentComparison:
+    """Compare two deployments of the **same** model."""
+    if a.model is not b.model:
+        raise OptimizationError("can only compare deployments of the same model")
+    model = a.model
+    weights = weights or UtilityWeights()
+
+    cost_a = a.cost()
+    cost_b = b.cost()
+    dimensions = cost_a.dimensions | cost_b.dimensions
+    cost_delta = {dim: cost_b.get(dim) - cost_a.get(dim) for dim in sorted(dimensions)}
+
+    attack_deltas = tuple(
+        AttackDelta(
+            attack_id=attack.attack_id,
+            importance=attack.importance,
+            coverage_a=attack_coverage(model, a.monitor_ids, attack),
+            coverage_b=attack_coverage(model, b.monitor_ids, attack),
+        )
+        for attack in model.attacks.values()
+    )
+
+    return DeploymentComparison(
+        a=a,
+        b=b,
+        weights=weights,
+        added=b.monitor_ids - a.monitor_ids,
+        removed=a.monitor_ids - b.monitor_ids,
+        kept=a.monitor_ids & b.monitor_ids,
+        cost_delta=cost_delta,
+        metric_a=utility_breakdown(model, a.monitor_ids, weights),
+        metric_b=utility_breakdown(model, b.monitor_ids, weights),
+        attack_deltas=attack_deltas,
+    )

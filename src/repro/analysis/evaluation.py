@@ -1,0 +1,172 @@
+"""Full evaluation reports for a monitor deployment.
+
+:func:`evaluate_deployment` gathers every static metric — per-attack
+and aggregate coverage, redundancy, richness, confidence, the combined
+utility, and multi-dimensional cost — into one structured report, with
+optional operational validation by simulation.  This is the paper's
+"evaluate monitor deployments quantitatively" entry point for users who
+bring their own deployments instead of optimizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import SystemModel
+from repro.metrics.confidence import attack_confidence, overall_confidence
+from repro.metrics.coverage import (
+    attack_coverage,
+    detectable_attacks,
+    fully_covered_attacks,
+    overall_coverage,
+)
+from repro.metrics.redundancy import attack_redundancy, overall_redundancy
+from repro.metrics.richness import attack_richness, overall_richness
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.deployment import Deployment
+from repro.simulation.campaign import CampaignResult, run_campaign
+from repro.analysis.tables import render_table
+
+__all__ = ["AttackAssessment", "DeploymentReport", "evaluate_deployment"]
+
+
+@dataclass(frozen=True)
+class AttackAssessment:
+    """Per-attack metric values under a deployment."""
+
+    attack_id: str
+    name: str
+    importance: float
+    coverage: float
+    redundancy: float
+    richness: float
+    confidence: float
+    fully_covered: bool
+    detectable: bool
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Everything the methodology says about one deployment."""
+
+    deployment: Deployment
+    weights: UtilityWeights
+    utility: float
+    coverage: float
+    redundancy: float
+    richness: float
+    confidence: float
+    cost: dict[str, float]
+    attacks: tuple[AttackAssessment, ...]
+    campaign: CampaignResult | None = None
+
+    @property
+    def fully_covered_count(self) -> int:
+        """Number of attacks with every required step covered."""
+        return sum(1 for a in self.attacks if a.fully_covered)
+
+    @property
+    def detectable_count(self) -> int:
+        """Number of attacks with at least one covered step."""
+        return sum(1 for a in self.attacks if a.detectable)
+
+    def to_text(self) -> str:
+        """Render the report as fixed-width tables."""
+        summary = render_table(
+            ["metric", "value"],
+            [
+                ["monitors deployed", len(self.deployment)],
+                ["utility", self.utility],
+                ["coverage", self.coverage],
+                ["redundancy", self.redundancy],
+                ["richness", self.richness],
+                ["confidence", self.confidence],
+                ["attacks fully covered", f"{self.fully_covered_count}/{len(self.attacks)}"],
+                ["attacks detectable", f"{self.detectable_count}/{len(self.attacks)}"],
+            ],
+            title=f"Deployment report — {self.deployment.model.name}",
+        )
+        cost = render_table(
+            ["dimension", "spend"],
+            sorted(self.cost.items()),
+            title="Cost",
+        )
+        per_attack = render_table(
+            ["attack", "imp", "cov", "red", "rich", "conf", "full", "any"],
+            [
+                [a.attack_id, a.importance, a.coverage, a.redundancy, a.richness,
+                 a.confidence, a.fully_covered, a.detectable]
+                for a in self.attacks
+            ],
+            title="Per-attack assessment",
+        )
+        sections = [summary, cost, per_attack]
+        if self.campaign is not None:
+            sections.append(
+                render_table(
+                    ["campaign metric", "value"],
+                    [
+                        ["runs", len(self.campaign.runs)],
+                        ["detection rate", self.campaign.detection_rate],
+                        ["mean detection latency (s)", self.campaign.mean_detection_latency],
+                        ["step completeness", self.campaign.mean_step_completeness],
+                        ["field completeness", self.campaign.mean_field_completeness],
+                    ],
+                    title="Simulated campaign",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def evaluate_deployment(
+    model: SystemModel,
+    deployment: Deployment,
+    weights: UtilityWeights | None = None,
+    *,
+    simulate: bool = False,
+    repetitions: int = 10,
+    seed: int = 0,
+) -> DeploymentReport:
+    """Compute the full metric report for ``deployment``.
+
+    With ``simulate=True`` an attack campaign additionally validates the
+    deployment operationally (deterministic for a fixed ``seed``).
+    """
+    weights = weights or UtilityWeights()
+    deployed = deployment.monitor_ids
+    fully = fully_covered_attacks(model, deployed)
+    detectable = detectable_attacks(model, deployed)
+
+    assessments = tuple(
+        AttackAssessment(
+            attack_id=attack.attack_id,
+            name=attack.name,
+            importance=attack.importance,
+            coverage=attack_coverage(model, deployed, attack),
+            redundancy=attack_redundancy(model, deployed, attack, weights.redundancy_cap),
+            richness=attack_richness(model, deployed, attack),
+            confidence=attack_confidence(model, deployed, attack),
+            fully_covered=attack.attack_id in fully,
+            detectable=attack.attack_id in detectable,
+        )
+        for attack in model.attacks.values()
+    )
+
+    campaign = (
+        run_campaign(model, deployment, repetitions=repetitions, seed=seed)
+        if simulate
+        else None
+    )
+
+    return DeploymentReport(
+        deployment=deployment,
+        weights=weights,
+        utility=utility(model, deployed, weights),
+        coverage=overall_coverage(model, deployed),
+        redundancy=overall_redundancy(model, deployed, weights.redundancy_cap),
+        richness=overall_richness(model, deployed),
+        confidence=overall_confidence(model, deployed),
+        cost=deployment.cost().as_dict(),
+        attacks=assessments,
+        campaign=campaign,
+    )

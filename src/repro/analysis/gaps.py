@@ -1,0 +1,152 @@
+"""Coverage-gap analysis: where a deployment is blind, and what fixes it.
+
+After optimization (or for a hand-built deployment) the operational
+question is concrete: *which attack steps can we still not see, and
+what is the cheapest monitor that would change that?*  This module
+answers it per event:
+
+* events with **zero** coverage under the deployment (blind spots);
+* events covered only **weakly** (below a threshold);
+* for each gap, the candidate monitors that would close it, ranked by
+  evidence weight per unit of scalarized cost;
+* roll-ups per attack so triage can follow attack importance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import SystemModel
+from repro.metrics.coverage import event_coverage
+from repro.optimize.deployment import Deployment
+
+__all__ = ["Gap", "CandidateFix", "find_gaps", "gap_report"]
+
+
+@dataclass(frozen=True)
+class CandidateFix:
+    """An undeployed monitor that would raise an event's coverage."""
+
+    monitor_id: str
+    new_coverage: float
+    scalar_cost: float
+
+    @property
+    def coverage_per_cost(self) -> float:
+        """Coverage gained per unit cost (inf for free monitors)."""
+        if self.scalar_cost == 0:
+            return float("inf") if self.new_coverage > 0 else 0.0
+        return self.new_coverage / self.scalar_cost
+
+
+@dataclass(frozen=True)
+class Gap:
+    """One under-covered event, with context and ranked fixes."""
+
+    event_id: str
+    asset_id: str
+    current_coverage: float
+    attacks: frozenset[str]
+    max_importance: float
+    fixes: tuple[CandidateFix, ...]
+
+    @property
+    def is_blind_spot(self) -> bool:
+        """Whether the event is entirely unobserved."""
+        return self.current_coverage == 0.0
+
+    @property
+    def fixable(self) -> bool:
+        """Whether any undeployed monitor would improve coverage."""
+        return bool(self.fixes)
+
+
+def find_gaps(
+    model: SystemModel,
+    deployment: Deployment,
+    *,
+    threshold: float = 0.5,
+) -> list[Gap]:
+    """Events whose coverage under ``deployment`` is below ``threshold``.
+
+    Only events that belong to at least one attack are considered
+    (covering an event no attack uses buys nothing).  Gaps are sorted
+    worst-first: blind spots before weak coverage, higher-importance
+    attacks first.
+    """
+    deployed = deployment.monitor_ids
+    gaps: list[Gap] = []
+    for event_id, event in model.events.items():
+        attacks = model.attacks_using_event(event_id)
+        if not attacks:
+            continue
+        current = event_coverage(model, deployed, event_id)
+        if current >= threshold:
+            continue
+
+        fixes = []
+        for monitor_id, weight in model.monitors_for_event(event_id).items():
+            if monitor_id in deployed or weight <= current:
+                continue
+            fixes.append(
+                CandidateFix(
+                    monitor_id=monitor_id,
+                    new_coverage=weight,
+                    scalar_cost=model.monitor_cost(monitor_id).scalarize(),
+                )
+            )
+        fixes.sort(key=lambda f: (-f.coverage_per_cost, f.monitor_id))
+
+        gaps.append(
+            Gap(
+                event_id=event_id,
+                asset_id=event.asset_id,
+                current_coverage=current,
+                attacks=attacks,
+                max_importance=max(model.attack(a).importance for a in attacks),
+                fixes=tuple(fixes),
+            )
+        )
+
+    gaps.sort(key=lambda g: (g.current_coverage, -g.max_importance, g.event_id))
+    return gaps
+
+
+def gap_report(
+    model: SystemModel,
+    deployment: Deployment,
+    *,
+    threshold: float = 0.5,
+    max_fixes: int = 2,
+) -> str:
+    """Text report of the coverage gaps, worst first."""
+    from repro.analysis.tables import render_table
+
+    gaps = find_gaps(model, deployment, threshold=threshold)
+    if not gaps:
+        return f"No events below coverage {threshold} — no gaps to report."
+
+    rows = []
+    for gap in gaps:
+        best_fixes = ", ".join(
+            f"{fix.monitor_id} (->{fix.new_coverage:.2f} @ {fix.scalar_cost:.0f})"
+            for fix in gap.fixes[:max_fixes]
+        )
+        rows.append(
+            [
+                gap.event_id,
+                gap.asset_id,
+                gap.current_coverage,
+                gap.max_importance,
+                len(gap.attacks),
+                best_fixes or "(none available)",
+            ]
+        )
+    return render_table(
+        ["event", "asset", "coverage", "worst imp.", "#attacks", "best fixes"],
+        rows,
+        title=(
+            f"Coverage gaps below {threshold} — {len(gaps)} events, "
+            f"{sum(1 for g in gaps if g.is_blind_spot)} blind spots"
+        ),
+    )

@@ -1,0 +1,77 @@
+"""Sensitivity analysis of optimal deployments to utility weights.
+
+The utility weights encode an organization's priorities; a deployment
+that flips completely when a weight moves a few points is fragile
+advice.  :func:`weight_sensitivity` re-optimizes across a grid of
+weightings and reports how the optimal deployment changes —
+monitor-set stability (Jaccard similarity to the baseline optimum) and
+the achieved component values.  Experiment F2 is a one-dimensional
+slice of this analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import SystemModel
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.problem import MaxUtilityProblem
+
+__all__ = ["SensitivityPoint", "weight_sensitivity", "jaccard"]
+
+
+def jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    """Jaccard similarity of two monitor sets (1.0 when both empty)."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One weighting and the optimal deployment it induces."""
+
+    weights: UtilityWeights
+    monitor_ids: frozenset[str]
+    utility: float
+    coverage: float
+    redundancy: float
+    richness: float
+    similarity_to_baseline: float
+
+
+def weight_sensitivity(
+    model: SystemModel,
+    budget: Budget,
+    weightings: list[UtilityWeights],
+    *,
+    baseline: UtilityWeights | None = None,
+    backend: str = "scipy",
+) -> list[SensitivityPoint]:
+    """Optimal deployments across ``weightings``, compared to a baseline.
+
+    The baseline (default: library default weights) is solved first;
+    every point reports the Jaccard similarity of its optimal monitor
+    set to the baseline's.
+    """
+    baseline = baseline or UtilityWeights()
+    baseline_result = MaxUtilityProblem(model, budget, baseline).solve(backend)
+    baseline_ids = baseline_result.monitor_ids
+
+    points: list[SensitivityPoint] = []
+    for weights in weightings:
+        result = MaxUtilityProblem(model, budget, weights).solve(backend)
+        breakdown = result.deployment.breakdown(weights)
+        points.append(
+            SensitivityPoint(
+                weights=weights,
+                monitor_ids=result.monitor_ids,
+                utility=result.utility,
+                coverage=breakdown["coverage"],
+                redundancy=breakdown["redundancy"],
+                richness=breakdown["richness"],
+                similarity_to_baseline=jaccard(result.monitor_ids, baseline_ids),
+            )
+        )
+    return points

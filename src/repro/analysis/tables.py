@@ -1,0 +1,68 @@
+"""Fixed-width text tables for experiment output.
+
+The benchmark harnesses print the same rows the paper's tables report;
+this module renders them consistently without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human-friendly cell formatting: floats rounded, others ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Numeric columns (every body cell int/float) are right-aligned,
+    text columns left-aligned.
+    """
+    formatted = [[format_value(cell, precision) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in formatted:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}: {row!r}")
+
+    numeric = [
+        all(isinstance(row[i], (int, float)) and not isinstance(row[i], bool) for row in rows)
+        if rows
+        else False
+        for i in range(columns)
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in formatted)) if formatted else len(headers[i])
+        for i in range(columns)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Case-study models: the paper's use case and synthetic scaling models.
+
+* :func:`~repro.casestudy.webservice.enterprise_web_service` — the
+  enterprise Web service from the paper's evaluation: DMZ topology,
+  full monitor catalog, CAPEC-style Web attack catalog;
+* :func:`~repro.casestudy.scaling.synthetic_model` — seeded random but
+  structurally realistic models at parameterized size, used by the
+  scalability experiments (F3/F4).
+"""
+
+from repro.casestudy.attack_catalog import ATTACK_CLASSES, add_attacks
+from repro.casestudy.data_catalog import add_data_types
+from repro.casestudy.monitor_catalog import add_monitor_types, place_monitors
+from repro.casestudy.scada import scada_substation
+from repro.casestudy.scaling import ScalingConfig, synthetic_model
+from repro.casestudy.webservice import enterprise_web_service
+
+__all__ = [
+    "ATTACK_CLASSES",
+    "add_attacks",
+    "add_data_types",
+    "add_monitor_types",
+    "place_monitors",
+    "ScalingConfig",
+    "scada_substation",
+    "synthetic_model",
+    "enterprise_web_service",
+]

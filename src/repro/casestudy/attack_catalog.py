@@ -1,0 +1,427 @@
+"""Attack catalog for the enterprise Web service case study.
+
+Fourteen attack classes covering the common attacks on Web servers the
+paper's use case studies, drawn from the CAPEC attack-pattern catalog
+(the public source this line of work builds its intrusion models from).
+Attacks that directly target a web server are instantiated once per web
+server in the topology; infrastructure-wide attacks (flood, lateral
+movement, database exfiltration) appear once.
+
+Each attack is an ordered sequence of *events* located at the asset
+where they manifest, and each event carries *evidence* entries: which
+data types indicate it, and how strongly.  Reconnaissance events are
+deliberately shared between attacks — covering the perimeter scan helps
+detect several attack classes at once, which is what makes joint
+optimization outperform per-attack reasoning.
+"""
+
+from __future__ import annotations
+
+from repro.core.attacks import AttackStep
+from repro.core.builder import ModelBuilder
+
+__all__ = ["add_attacks", "ATTACK_CLASSES"]
+
+#: Event specifications: slug -> (display name, [(data type, weight), ...]).
+#: The asset is bound when the event is instantiated.
+_EVENT_SPECS: dict[str, tuple[str, list[tuple[str, float]]]] = {
+    "port-scan": (
+        "External port scan",
+        [("firewall_log", 0.8), ("net_flow", 0.7), ("ids_alert", 0.9)],
+    ),
+    "web-probe": (
+        "Aggressive URL probing",
+        [("http_access_log", 0.8), ("waf_log", 0.9), ("ids_alert", 0.6)],
+    ),
+    "sqli-request": (
+        "SQL injection request",
+        [("waf_log", 1.0), ("http_access_log", 0.85), ("ids_alert", 0.8)],
+    ),
+    "db-query-anomaly": (
+        "Anomalous database query",
+        [("db_audit", 1.0), ("db_slow_query", 0.6), ("net_flow", 0.25)],
+    ),
+    "data-exfil": (
+        "Data exfiltration over HTTP",
+        [("net_flow", 0.9), ("firewall_log", 0.7), ("ids_alert", 0.6)],
+    ),
+    "xss-payload-upload": (
+        "Stored XSS payload submission",
+        [("waf_log", 0.9), ("http_access_log", 0.7)],
+    ),
+    "stored-xss-served": (
+        "Stored XSS served to victims",
+        [("http_access_log", 0.6), ("waf_log", 0.5)],
+    ),
+    "traversal-request": (
+        "Path traversal request",
+        [("waf_log", 0.95), ("http_access_log", 0.9), ("http_error_log", 0.5), ("ids_alert", 0.7)],
+    ),
+    "sensitive-file-read": (
+        "Sensitive file read outside web root",
+        [("os_audit", 0.95), ("syslog", 0.3)],
+    ),
+    "webshell-upload": (
+        "Web shell upload",
+        [("waf_log", 0.9), ("http_access_log", 0.7), ("file_integrity", 0.95)],
+    ),
+    "webshell-exec": (
+        "Web shell command execution",
+        [("os_audit", 0.95), ("process_accounting", 0.8), ("syslog", 0.4)],
+    ),
+    "c2-beacon": (
+        "Command-and-control beaconing",
+        [("net_flow", 0.85), ("firewall_log", 0.7), ("ids_alert", 0.75)],
+    ),
+    "login-bruteforce": (
+        "Login brute forcing",
+        [("auth_log", 0.95), ("http_access_log", 0.7), ("waf_log", 0.6)],
+    ),
+    "account-compromise": (
+        "Successful anomalous login",
+        [("auth_log", 0.9), ("syslog", 0.4)],
+    ),
+    "ldap-spray": (
+        "Password spraying against directory",
+        [("ldap_log", 0.95), ("auth_log", 0.8), ("net_flow", 0.3)],
+    ),
+    "http-flood": (
+        "HTTP request flood",
+        [("net_flow", 0.9), ("waf_log", 0.8), ("ids_alert", 0.7), ("firewall_log", 0.6)],
+    ),
+    "resource-exhaustion": (
+        "Service resource exhaustion",
+        [("syslog", 0.8), ("http_error_log", 0.7), ("process_accounting", 0.5)],
+    ),
+    "defacement-write": (
+        "Web content defacement",
+        [("file_integrity", 1.0), ("os_audit", 0.8), ("http_access_log", 0.4)],
+    ),
+    "local-priv-exploit": (
+        "Local privilege-escalation exploit",
+        [("os_audit", 0.9), ("process_accounting", 0.7), ("syslog", 0.5)],
+    ),
+    "rogue-admin-account": (
+        "Rogue administrator account creation",
+        [("os_audit", 0.85), ("auth_log", 0.8), ("syslog", 0.6)],
+    ),
+    "internal-scan": (
+        "Internal network scan",
+        [("net_flow", 0.85), ("ids_alert", 0.8)],
+    ),
+    "lateral-login": (
+        "Lateral-movement login",
+        [("auth_log", 0.9), ("os_audit", 0.6), ("syslog", 0.5)],
+    ),
+    "unusual-db-access": (
+        "Database access from unusual source",
+        [("db_audit", 0.95), ("auth_log", 0.5), ("net_flow", 0.4)],
+    ),
+    "bulk-db-read": (
+        "Bulk database read",
+        [("db_audit", 1.0), ("db_slow_query", 0.8)],
+    ),
+    "large-outbound-transfer": (
+        "Large outbound data transfer",
+        [("net_flow", 0.95), ("firewall_log", 0.8), ("ids_alert", 0.5)],
+    ),
+    "cmd-injection-request": (
+        "OS command injection request",
+        [("waf_log", 0.95), ("http_access_log", 0.8), ("ids_alert", 0.75)],
+    ),
+    "spawned-shell": (
+        "Unexpected shell spawned by web process",
+        [("os_audit", 0.95), ("process_accounting", 0.85), ("syslog", 0.5)],
+    ),
+    "session-token-theft": (
+        "Session token theft pattern",
+        [("http_access_log", 0.5), ("waf_log", 0.6), ("ids_alert", 0.4)],
+    ),
+    "concurrent-session-anomaly": (
+        "Concurrent session anomaly",
+        [("app_log", 0.9), ("auth_log", 0.5)],
+    ),
+    "csrf-request": (
+        "Cross-site request forgery pattern",
+        [("http_access_log", 0.6), ("waf_log", 0.7)],
+    ),
+    "state-change-anomaly": (
+        "Unexpected state-changing request",
+        [("app_log", 0.85)],
+    ),
+    "xxe-request": (
+        "XML external entity payload",
+        [("waf_log", 0.9), ("http_access_log", 0.7), ("ids_alert", 0.65)],
+    ),
+    "xxe-file-disclosure": (
+        "Server file disclosed via entity expansion",
+        [("os_audit", 0.85), ("http_error_log", 0.6), ("syslog", 0.3)],
+    ),
+    "ssrf-request": (
+        "Server-side request forgery payload",
+        [("waf_log", 0.85), ("http_access_log", 0.7), ("ids_alert", 0.6)],
+    ),
+    "ssrf-internal-fetch": (
+        "Server-initiated fetch of internal resource",
+        [("net_flow", 0.8), ("firewall_log", 0.6), ("ids_alert", 0.5)],
+    ),
+}
+
+#: Attack classes instantiated **per web server** (CAPEC ids noted).
+#: Step tuples are (event slug, asset placeholder, weight, required);
+#: ``WEB`` binds to the target web server at instantiation.
+_PER_WEB_ATTACKS: list[dict] = [
+    {
+        "slug": "sql-injection",
+        "name": "SQL injection (CAPEC-66)",
+        "importance": 0.9,
+        "steps": [
+            ("port-scan", "EDGE", 0.5, False),
+            ("web-probe", "WEB", 1.0, True),
+            ("sqli-request", "WEB", 1.0, True),
+            ("db-query-anomaly", "DB", 1.0, True),
+            ("data-exfil", "EDGE", 0.5, False),
+        ],
+    },
+    {
+        "slug": "stored-xss",
+        "name": "Stored cross-site scripting (CAPEC-592)",
+        "importance": 0.6,
+        "steps": [
+            ("web-probe", "WEB", 1.0, True),
+            ("xss-payload-upload", "WEB", 1.0, True),
+            ("stored-xss-served", "WEB", 0.5, False),
+        ],
+    },
+    {
+        "slug": "dir-traversal",
+        "name": "Path traversal (CAPEC-126)",
+        "importance": 0.7,
+        "steps": [
+            ("web-probe", "WEB", 0.5, False),
+            ("traversal-request", "WEB", 1.0, True),
+            ("sensitive-file-read", "WEB", 1.0, True),
+        ],
+    },
+    {
+        "slug": "webshell",
+        "name": "Web shell installation (CAPEC-650)",
+        "importance": 0.95,
+        "steps": [
+            ("web-probe", "WEB", 0.5, False),
+            ("webshell-upload", "WEB", 1.0, True),
+            ("webshell-exec", "WEB", 1.0, True),
+            ("c2-beacon", "EDGE", 0.7, False),
+        ],
+    },
+    {
+        "slug": "brute-force",
+        "name": "Login brute force (CAPEC-49)",
+        "importance": 0.65,
+        "steps": [
+            ("login-bruteforce", "WEB", 1.0, True),
+            ("account-compromise", "WEB", 1.0, True),
+        ],
+    },
+    {
+        "slug": "defacement",
+        "name": "Website defacement (CAPEC-148)",
+        "importance": 0.5,
+        "steps": [
+            ("web-probe", "WEB", 0.5, False),
+            ("defacement-write", "WEB", 1.0, True),
+        ],
+    },
+    {
+        "slug": "priv-escalation",
+        "name": "Privilege escalation (CAPEC-233)",
+        "importance": 0.75,
+        "steps": [
+            ("local-priv-exploit", "WEB", 1.0, True),
+            ("rogue-admin-account", "WEB", 1.0, True),
+        ],
+    },
+    {
+        "slug": "cmd-injection",
+        "name": "OS command injection (CAPEC-88)",
+        "importance": 0.8,
+        "steps": [
+            ("web-probe", "WEB", 0.5, False),
+            ("cmd-injection-request", "WEB", 1.0, True),
+            ("spawned-shell", "WEB", 1.0, True),
+        ],
+    },
+    {
+        "slug": "xxe",
+        "name": "XML external entity injection (CAPEC-221)",
+        "importance": 0.7,
+        "steps": [
+            ("web-probe", "WEB", 0.5, False),
+            ("xxe-request", "WEB", 1.0, True),
+            ("xxe-file-disclosure", "WEB", 1.0, True),
+        ],
+    },
+    {
+        "slug": "ssrf",
+        "name": "Server-side request forgery (CAPEC-664)",
+        "importance": 0.75,
+        "steps": [
+            ("ssrf-request", "WEB", 1.0, True),
+            ("ssrf-internal-fetch", "FWINT", 1.0, True),
+        ],
+    },
+]
+
+#: Infrastructure-wide attack classes, instantiated once.  Placeholders:
+#: ``EDGE`` edge firewall, ``LB`` load balancer, ``CORE`` core switch,
+#: ``DB`` database, ``AUTH`` directory server, ``APP`` first app server,
+#: ``WEB_ALL`` expands to one step per web server.
+_GLOBAL_ATTACKS: list[dict] = [
+    {
+        "slug": "http-flood",
+        "name": "HTTP flood denial of service (CAPEC-469)",
+        "importance": 0.8,
+        "steps": [
+            ("http-flood", "LB", 1.0, True),
+            ("resource-exhaustion", "WEB_ALL", 0.5, False),
+        ],
+    },
+    {
+        "slug": "password-spray",
+        "name": "Password spraying (CAPEC-565)",
+        "importance": 0.6,
+        "steps": [
+            ("ldap-spray", "AUTH", 1.0, True),
+            ("lateral-login", "APP", 0.7, False),
+        ],
+    },
+    {
+        "slug": "lateral-movement",
+        "name": "Lateral movement to data tier (CAPEC-555)",
+        "importance": 0.85,
+        "steps": [
+            ("internal-scan", "CORE", 1.0, True),
+            ("lateral-login", "APP", 1.0, True),
+            ("unusual-db-access", "DB", 1.0, True),
+        ],
+    },
+    {
+        "slug": "db-exfiltration",
+        "name": "Database exfiltration (CAPEC-118)",
+        "importance": 1.0,
+        "steps": [
+            ("bulk-db-read", "DB", 1.0, True),
+            ("large-outbound-transfer", "EDGE", 1.0, True),
+        ],
+    },
+    {
+        "slug": "session-hijack",
+        "name": "Session hijacking (CAPEC-593)",
+        "importance": 0.55,
+        "steps": [
+            ("session-token-theft", "WEB_FIRST", 1.0, True),
+            ("concurrent-session-anomaly", "APP", 1.0, True),
+        ],
+    },
+    {
+        "slug": "csrf",
+        "name": "Cross-site request forgery (CAPEC-62)",
+        "importance": 0.45,
+        "steps": [
+            ("csrf-request", "WEB_FIRST", 1.0, True),
+            ("state-change-anomaly", "APP", 1.0, True),
+        ],
+    },
+]
+
+#: Public view of the catalog: (slug, name, per-web?) rows for reports.
+ATTACK_CLASSES: list[tuple[str, str, bool]] = [
+    (a["slug"], a["name"], True) for a in _PER_WEB_ATTACKS
+] + [(a["slug"], a["name"], False) for a in _GLOBAL_ATTACKS]
+
+
+class _EventFactory:
+    """Instantiates shared events (with their evidence) exactly once."""
+
+    def __init__(self, builder: ModelBuilder):
+        self.builder = builder
+        self._created: set[str] = set()
+
+    def event_id(self, slug: str, asset_id: str) -> str:
+        event_id = f"{slug}@{asset_id}"
+        if event_id not in self._created:
+            name, evidence = _EVENT_SPECS[slug]
+            self.builder.event(event_id, name, asset=asset_id)
+            for data_type_id, weight in evidence:
+                self.builder.evidence(data_type_id, event_id, weight)
+            self._created.add(event_id)
+        return event_id
+
+
+def add_attacks(
+    builder: ModelBuilder,
+    *,
+    web_servers: list[str],
+    app_server: str,
+    db_server: str,
+    auth_server: str,
+    edge_firewall: str,
+    internal_firewall: str,
+    load_balancer: str,
+    core_switch: str,
+) -> ModelBuilder:
+    """Instantiate the attack catalog against the given topology roles."""
+    factory = _EventFactory(builder)
+    placeholders = {
+        "EDGE": edge_firewall,
+        "FWINT": internal_firewall,
+        "LB": load_balancer,
+        "CORE": core_switch,
+        "DB": db_server,
+        "AUTH": auth_server,
+        "APP": app_server,
+        "WEB_FIRST": web_servers[0],
+    }
+
+    for spec in _PER_WEB_ATTACKS:
+        for web in web_servers:
+            bindings = dict(placeholders)
+            bindings["WEB"] = web
+            steps = [
+                AttackStep(
+                    event_id=factory.event_id(slug, bindings[place]),
+                    weight=weight,
+                    required=required,
+                )
+                for slug, place, weight, required in spec["steps"]
+            ]
+            builder.attack(
+                f"{spec['slug']}@{web}",
+                f"{spec['name']} against {web}",
+                steps=steps,
+                importance=spec["importance"],
+            )
+
+    for spec in _GLOBAL_ATTACKS:
+        steps: list[AttackStep] = []
+        for slug, place, weight, required in spec["steps"]:
+            if place == "WEB_ALL":
+                steps.extend(
+                    AttackStep(
+                        event_id=factory.event_id(slug, web), weight=weight, required=required
+                    )
+                    for web in web_servers
+                )
+            else:
+                steps.append(
+                    AttackStep(
+                        event_id=factory.event_id(slug, placeholders[place]),
+                        weight=weight,
+                        required=required,
+                    )
+                )
+        builder.attack(
+            spec["slug"], spec["name"], steps=steps, importance=spec["importance"]
+        )
+
+    return builder

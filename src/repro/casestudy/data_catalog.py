@@ -1,0 +1,124 @@
+"""Data-type catalog for the enterprise Web service case study.
+
+Fifteen data types covering the monitoring stack of a mid-2010s
+enterprise Web deployment — the period the paper evaluates.  Field sets
+matter: they drive the richness metric, and deliberately overlap
+(``src_ip`` appears in flows, IDS alerts, access logs and firewall logs)
+so redundancy and richness pull deployments in different directions.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import ModelBuilder
+
+__all__ = ["add_data_types"]
+
+
+def add_data_types(builder: ModelBuilder) -> ModelBuilder:
+    """Register the full case-study data-type catalog on ``builder``."""
+    builder.data_type(
+        "net_flow",
+        "Network flow record",
+        fields=["src_ip", "dst_ip", "src_port", "dst_port", "protocol", "bytes", "packets", "duration"],
+        description="NetFlow/IPFIX per-connection summary",
+        volume_hint=50_000,
+    )
+    builder.data_type(
+        "ids_alert",
+        "Network IDS alert",
+        fields=["signature_id", "src_ip", "dst_ip", "payload_excerpt", "severity", "classification"],
+        description="Signature match from a network intrusion detection system",
+        volume_hint=200,
+    )
+    builder.data_type(
+        "http_access_log",
+        "Web server access log",
+        fields=["src_ip", "url", "method", "status", "user_agent", "referer", "response_bytes"],
+        description="Per-request access log (Apache/nginx combined format)",
+        volume_hint=30_000,
+    )
+    builder.data_type(
+        "http_error_log",
+        "Web server error log",
+        fields=["src_ip", "url", "error_message", "module"],
+        description="Server-side errors and module diagnostics",
+        volume_hint=500,
+    )
+    builder.data_type(
+        "waf_log",
+        "Web application firewall log",
+        fields=["src_ip", "url", "rule_id", "action", "payload_excerpt", "anomaly_score"],
+        description="ModSecurity-style request inspection verdicts",
+        volume_hint=1_000,
+    )
+    builder.data_type(
+        "firewall_log",
+        "Firewall connection log",
+        fields=["src_ip", "dst_ip", "dst_port", "action", "rule_id", "bytes"],
+        description="Allow/deny decisions at a packet filter",
+        volume_hint=40_000,
+    )
+    builder.data_type(
+        "auth_log",
+        "Authentication log",
+        fields=["user", "source_ip", "outcome", "auth_method", "service"],
+        description="Login attempts and their outcomes (sshd, PAM, web auth)",
+        volume_hint=2_000,
+    )
+    builder.data_type(
+        "syslog",
+        "System log",
+        fields=["facility", "severity", "process", "message"],
+        description="General-purpose host syslog stream",
+        volume_hint=10_000,
+    )
+    builder.data_type(
+        "os_audit",
+        "OS audit trail",
+        fields=["syscall", "process", "uid", "path", "arguments", "exit_code"],
+        description="Kernel audit records (auditd): syscalls, execs, file access",
+        volume_hint=100_000,
+    )
+    builder.data_type(
+        "file_integrity",
+        "File integrity event",
+        fields=["path", "change_type", "hash_before", "hash_after", "actor_uid"],
+        description="Tripwire/OSSEC-style change detection on watched paths",
+        volume_hint=50,
+    )
+    builder.data_type(
+        "process_accounting",
+        "Process accounting record",
+        fields=["process", "parent_process", "uid", "cpu_seconds", "start_time"],
+        description="Per-process lifecycle accounting",
+        volume_hint=20_000,
+    )
+    builder.data_type(
+        "db_audit",
+        "Database audit log",
+        fields=["db_user", "query_text", "table", "rows_affected", "source_host"],
+        description="Statement-level database audit trail",
+        volume_hint=15_000,
+    )
+    builder.data_type(
+        "db_slow_query",
+        "Database slow-query log",
+        fields=["query_text", "duration", "rows_examined", "db_user"],
+        description="Queries exceeding the latency threshold",
+        volume_hint=100,
+    )
+    builder.data_type(
+        "app_log",
+        "Application log",
+        fields=["request_id", "endpoint", "session_id", "user", "outcome", "latency"],
+        description="Structured application-tier request log",
+        volume_hint=25_000,
+    )
+    builder.data_type(
+        "ldap_log",
+        "Directory service log",
+        fields=["bind_dn", "operation", "result", "source_ip"],
+        description="LDAP bind/search/modify operations",
+        volume_hint=3_000,
+    )
+    return builder

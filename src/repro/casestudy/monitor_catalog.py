@@ -1,0 +1,194 @@
+"""Monitor-type catalog for the enterprise Web service case study.
+
+Twelve monitor types spanning the standard mid-2010s enterprise stack:
+network sensors (NIDS, flow collection, firewall logging), perimeter
+application inspection (WAF), and host-side telemetry (web/app/DB logs,
+auth logs, syslog, audit daemon, file integrity).
+
+Cost vectors use the five default dimensions with interpretable units:
+
+* ``cpu`` — % of a host core consumed by the monitor,
+* ``memory`` — resident MB,
+* ``storage`` — GB/day of generated data retained,
+* ``network`` — Mbps shipped to the log aggregation tier,
+* ``admin`` — analyst/operator hours per month (tuning, triage).
+
+Absolute values are synthetic but ordered realistically: deep packet
+inspection and kernel auditing are expensive, passive log collection is
+cheap; network-scoped sensors trade high unit cost for multi-asset
+visibility, which is exactly the trade-off the optimizer explores.
+"""
+
+from __future__ import annotations
+
+from repro.core.assets import AssetKind
+from repro.core.builder import ModelBuilder
+from repro.core.monitors import MonitorScope
+
+__all__ = ["add_monitor_types", "place_monitors"]
+
+_HOST_KINDS = frozenset(
+    {AssetKind.SERVER, AssetKind.WORKSTATION, AssetKind.DATABASE}
+)
+
+
+def add_monitor_types(builder: ModelBuilder) -> ModelBuilder:
+    """Register the full case-study monitor-type catalog on ``builder``."""
+    builder.monitor_type(
+        "nids",
+        "Network IDS (Snort/Bro)",
+        data_types=["ids_alert", "net_flow"],
+        cost={"cpu": 25, "memory": 2048, "storage": 8, "network": 20, "admin": 12},
+        scope=MonitorScope.NETWORK,
+        deployable_kinds=[
+            AssetKind.FIREWALL,
+            AssetKind.LOAD_BALANCER,
+            AssetKind.NETWORK_DEVICE,
+        ],
+        quality=0.9,
+        description="Deep packet inspection on all links adjacent to the deployment point",
+    )
+    builder.monitor_type(
+        "flow_collector",
+        "NetFlow collector",
+        data_types=["net_flow"],
+        cost={"cpu": 5, "memory": 256, "storage": 3, "network": 5, "admin": 2},
+        scope=MonitorScope.NETWORK,
+        deployable_kinds=[
+            AssetKind.FIREWALL,
+            AssetKind.LOAD_BALANCER,
+            AssetKind.NETWORK_DEVICE,
+        ],
+        quality=0.98,
+        description="Flow export from the network device; no payload visibility",
+    )
+    builder.monitor_type(
+        "firewall_logger",
+        "Firewall logging",
+        data_types=["firewall_log"],
+        cost={"cpu": 3, "memory": 128, "storage": 2, "network": 3, "admin": 2},
+        scope=MonitorScope.NETWORK,
+        deployable_kinds=[AssetKind.FIREWALL],
+        quality=0.97,
+        description="Allow/deny logging on the packet filter itself",
+    )
+    builder.monitor_type(
+        "waf",
+        "Web application firewall",
+        data_types=["waf_log"],
+        cost={"cpu": 15, "memory": 1024, "storage": 2, "network": 8, "admin": 10},
+        scope=MonitorScope.NETWORK,
+        deployable_kinds=[AssetKind.LOAD_BALANCER],
+        quality=0.92,
+        description="Inline HTTP inspection in front of the web tier",
+    )
+    builder.monitor_type(
+        "web_logger",
+        "Web server logging",
+        data_types=["http_access_log", "http_error_log"],
+        cost={"cpu": 2, "memory": 64, "storage": 4, "network": 4, "admin": 1},
+        scope=MonitorScope.HOST,
+        deployable_kinds=[AssetKind.SERVER],
+        quality=0.99,
+        description="Access and error logs of the HTTP daemon",
+    )
+    builder.monitor_type(
+        "app_logger",
+        "Application logging",
+        data_types=["app_log"],
+        cost={"cpu": 2, "memory": 128, "storage": 3, "network": 3, "admin": 2},
+        scope=MonitorScope.HOST,
+        deployable_kinds=[AssetKind.SERVER],
+        quality=0.97,
+        description="Structured request logging in the application tier",
+    )
+    builder.monitor_type(
+        "db_audit",
+        "Database audit logging",
+        data_types=["db_audit", "db_slow_query"],
+        cost={"cpu": 10, "memory": 512, "storage": 6, "network": 4, "admin": 6},
+        scope=MonitorScope.HOST,
+        deployable_kinds=[AssetKind.DATABASE],
+        quality=0.96,
+        description="Statement-level auditing plus slow-query capture",
+    )
+    builder.monitor_type(
+        "auth_logger",
+        "Authentication logging",
+        data_types=["auth_log"],
+        cost={"cpu": 1, "memory": 32, "storage": 1, "network": 1, "admin": 1},
+        scope=MonitorScope.HOST,
+        deployable_kinds=list(_HOST_KINDS),
+        quality=0.99,
+        description="PAM/sshd/web-auth attempt logging",
+    )
+    builder.monitor_type(
+        "syslog_agent",
+        "Syslog forwarding",
+        data_types=["syslog"],
+        cost={"cpu": 1, "memory": 32, "storage": 2, "network": 2, "admin": 1},
+        scope=MonitorScope.HOST,
+        deployable_kinds=list(_HOST_KINDS),
+        quality=0.95,
+        description="Host syslog stream shipped to the aggregation tier",
+    )
+    builder.monitor_type(
+        "audit_daemon",
+        "OS audit daemon (auditd)",
+        data_types=["os_audit", "process_accounting"],
+        cost={"cpu": 12, "memory": 256, "storage": 10, "network": 6, "admin": 8},
+        scope=MonitorScope.HOST,
+        deployable_kinds=list(_HOST_KINDS),
+        quality=0.93,
+        description="Kernel-level syscall and process auditing",
+    )
+    builder.monitor_type(
+        "fim",
+        "File integrity monitoring",
+        data_types=["file_integrity"],
+        cost={"cpu": 4, "memory": 128, "storage": 1, "network": 1, "admin": 3},
+        scope=MonitorScope.HOST,
+        deployable_kinds=list(_HOST_KINDS),
+        quality=0.97,
+        description="Hash-based change detection on watched paths",
+    )
+    builder.monitor_type(
+        "ldap_logger",
+        "Directory service logging",
+        data_types=["ldap_log"],
+        cost={"cpu": 2, "memory": 64, "storage": 1, "network": 1, "admin": 2},
+        scope=MonitorScope.HOST,
+        deployable_kinds=[AssetKind.SERVER],
+        quality=0.98,
+        description="LDAP operation logging on the directory server",
+    )
+    return builder
+
+
+def place_monitors(builder: ModelBuilder, *, auth_asset: str = "auth-1") -> ModelBuilder:
+    """Place every monitor type at each compatible asset.
+
+    Network sensors go everywhere their kind constraint allows (each
+    firewall, the load balancer, the core switch); host telemetry goes
+    on every server/database/workstation.  The LDAP logger is special-
+    cased to the directory server — it is meaningless elsewhere.
+
+    The result is the full *deployable* monitor set; the optimizer
+    selects the subset to actually run.
+    """
+    for monitor_type_id in (
+        "nids",
+        "flow_collector",
+        "firewall_logger",
+        "waf",
+        "web_logger",
+        "app_logger",
+        "db_audit",
+        "auth_logger",
+        "syslog_agent",
+        "audit_daemon",
+        "fim",
+    ):
+        builder.monitor_everywhere(monitor_type_id)
+    builder.monitor("ldap_logger", auth_asset)
+    return builder

@@ -1,0 +1,346 @@
+"""A second case study: SCADA monitoring for an electrical substation.
+
+The paper's research group applies the same methodology to power-grid
+control systems (PERFORM/smart-grid line of work), and monitor
+placement is if anything harder there: field devices cannot host rich
+telemetry, so network-level and historian-level monitors carry more of
+the burden.  This model exercises exactly that asymmetry:
+
+* an IT/OT-segmented topology — corporate workstation, control-center
+  servers (SCADA front end, EMS, historian, HMI), and field devices
+  (RTUs, PLC, protective relay) behind a WAN gateway;
+* OT-specific data types (protocol function-code logs, control-command
+  audit, RTU/relay event logs, firmware hashes, badge access);
+* seven multi-step attacks from the ICS literature: false data
+  injection, unauthorized control, IT-to-OT lateral movement, firmware
+  tampering, telemetry denial of service, historian exfiltration, and
+  insider misuse.
+
+Everything is built with the same `repro.core` machinery as the Web
+case study — the methodology itself is domain-agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.core.assets import AssetKind
+from repro.core.builder import ModelBuilder
+from repro.core.model import SystemModel
+from repro.core.monitors import MonitorScope
+
+__all__ = ["scada_substation"]
+
+
+def _add_topology(builder: ModelBuilder) -> None:
+    builder.asset("corp-ws", "Corporate workstation", AssetKind.WORKSTATION,
+                  zone="corporate", criticality=0.4)
+    builder.asset("corp-fw", "IT/OT firewall", AssetKind.FIREWALL,
+                  zone="perimeter", criticality=0.9)
+    builder.asset("ctrl-sw", "Control-center switch", AssetKind.NETWORK_DEVICE,
+                  zone="control", criticality=0.8)
+    builder.asset("scada-fe", "SCADA front end", AssetKind.SERVER,
+                  zone="control", criticality=1.0, tags=["role:scada"])
+    builder.asset("ems-1", "Energy management system", AssetKind.SERVER,
+                  zone="control", criticality=0.95, tags=["role:ems"])
+    builder.asset("hist-1", "Historian", AssetKind.DATABASE,
+                  zone="control", criticality=0.85, tags=["role:historian"])
+    builder.asset("hmi-1", "Operator HMI", AssetKind.WORKSTATION,
+                  zone="control", criticality=0.9, tags=["role:hmi"])
+    builder.asset("wan-gw", "Field WAN gateway", AssetKind.NETWORK_DEVICE,
+                  zone="field", criticality=0.85)
+    builder.asset("rtu-1", "Remote terminal unit 1", AssetKind.HOST,
+                  zone="field", criticality=0.9, tags=["role:rtu"])
+    builder.asset("rtu-2", "Remote terminal unit 2", AssetKind.HOST,
+                  zone="field", criticality=0.9, tags=["role:rtu"])
+    builder.asset("plc-1", "Programmable logic controller", AssetKind.HOST,
+                  zone="field", criticality=0.95, tags=["role:plc"])
+    builder.asset("relay-1", "Protective relay", AssetKind.HOST,
+                  zone="field", criticality=1.0, tags=["role:relay"])
+
+    builder.link("corp-ws", "corp-fw")
+    builder.link("corp-fw", "ctrl-sw")
+    for control_asset in ("scada-fe", "ems-1", "hist-1", "hmi-1", "wan-gw"):
+        builder.link("ctrl-sw", control_asset)
+    builder.link("wan-gw", "rtu-1", medium="wan")
+    builder.link("wan-gw", "rtu-2", medium="wan")
+    builder.link("wan-gw", "plc-1", medium="wan")
+    builder.link("rtu-1", "relay-1")
+
+
+def _add_data_types(builder: ModelBuilder) -> None:
+    builder.data_type(
+        "proto_log", "SCADA protocol log",
+        fields=["src", "dst", "protocol", "function_code", "point_id", "value"],
+        description="DNP3/Modbus function-code level capture", volume_hint=20_000,
+    )
+    builder.data_type(
+        "ics_alert", "ICS IDS alert",
+        fields=["signature", "src", "dst", "protocol", "severity"],
+        description="ICS-aware NIDS signature match", volume_hint=100,
+    )
+    builder.data_type(
+        "flow", "Network flow record",
+        fields=["src", "dst", "bytes", "packets", "duration"],
+        volume_hint=15_000,
+    )
+    builder.data_type(
+        "control_audit", "Control command audit",
+        fields=["operator", "command", "target_point", "origin", "sequence"],
+        description="Every supervisory control action at the master", volume_hint=500,
+    )
+    builder.data_type(
+        "hmi_log", "HMI session log",
+        fields=["operator", "screen", "action", "session_start"],
+        volume_hint=2_000,
+    )
+    builder.data_type(
+        "historian_audit", "Historian query audit",
+        fields=["user", "query", "tag_count", "origin"],
+        volume_hint=5_000,
+    )
+    builder.data_type(
+        "rtu_events", "RTU event log",
+        fields=["event_code", "point_id", "quality_flag", "config_hash"],
+        volume_hint=1_000,
+    )
+    builder.data_type(
+        "relay_events", "Relay event log",
+        fields=["element", "action", "setting_group", "trigger"],
+        volume_hint=200,
+    )
+    builder.data_type(
+        "firmware_hash", "Firmware integrity record",
+        fields=["device", "image_hash", "version", "change_type"],
+        volume_hint=5,
+    )
+    builder.data_type(
+        "badge_log", "Physical access log",
+        fields=["badge_id", "door", "direction", "granted"],
+        volume_hint=300,
+    )
+    builder.data_type(
+        "host_syslog", "Host syslog",
+        fields=["process", "severity", "message"],
+        volume_hint=8_000,
+    )
+
+
+def _add_monitor_types(builder: ModelBuilder) -> None:
+    fabric = [AssetKind.FIREWALL, AssetKind.NETWORK_DEVICE]
+    hosts = [AssetKind.SERVER, AssetKind.WORKSTATION, AssetKind.DATABASE, AssetKind.HOST]
+
+    builder.monitor_type(
+        "ics_nids", "ICS-aware network IDS",
+        data_types=["ics_alert", "proto_log"],
+        cost={"cpu": 20, "memory": 1024, "storage": 5, "network": 10, "admin": 14},
+        scope=MonitorScope.NETWORK, deployable_kinds=fabric, quality=0.9,
+    )
+    builder.monitor_type(
+        "flow_sensor", "Flow sensor",
+        data_types=["flow"],
+        cost={"cpu": 4, "memory": 128, "storage": 2, "network": 3, "admin": 2},
+        scope=MonitorScope.NETWORK, deployable_kinds=fabric, quality=0.97,
+    )
+    builder.monitor_type(
+        "control_logger", "Control command auditing",
+        data_types=["control_audit"],
+        cost={"cpu": 3, "memory": 128, "storage": 2, "network": 1, "admin": 4},
+        deployable_kinds=[AssetKind.SERVER], quality=0.98,
+    )
+    builder.monitor_type(
+        "hmi_monitor", "HMI session recording",
+        data_types=["hmi_log"],
+        cost={"cpu": 4, "memory": 256, "storage": 3, "network": 2, "admin": 3},
+        deployable_kinds=[AssetKind.WORKSTATION], quality=0.95,
+    )
+    builder.monitor_type(
+        "historian_audit_logger", "Historian query auditing",
+        data_types=["historian_audit"],
+        cost={"cpu": 5, "memory": 256, "storage": 4, "network": 2, "admin": 3},
+        deployable_kinds=[AssetKind.DATABASE], quality=0.97,
+    )
+    builder.monitor_type(
+        "rtu_logger", "RTU event collection",
+        data_types=["rtu_events"],
+        cost={"cpu": 2, "memory": 32, "storage": 1, "network": 2, "admin": 5},
+        deployable_kinds=[AssetKind.HOST], quality=0.92,
+        description="Event upload over the constrained field link",
+    )
+    builder.monitor_type(
+        "relay_logger", "Relay event collection",
+        data_types=["relay_events"],
+        cost={"cpu": 1, "memory": 16, "storage": 1, "network": 1, "admin": 5},
+        deployable_kinds=[AssetKind.HOST], quality=0.93,
+    )
+    builder.monitor_type(
+        "firmware_attestation", "Firmware integrity attestation",
+        data_types=["firmware_hash"],
+        cost={"cpu": 2, "memory": 32, "storage": 1, "network": 1, "admin": 8},
+        deployable_kinds=[AssetKind.HOST], quality=0.99,
+        description="Periodic hash attestation of device firmware",
+    )
+    builder.monitor_type(
+        "badge_system", "Physical access logging",
+        data_types=["badge_log"],
+        cost={"cpu": 1, "memory": 16, "storage": 1, "network": 1, "admin": 2},
+        deployable_kinds=[AssetKind.WORKSTATION], quality=0.99,
+    )
+    builder.monitor_type(
+        "host_agent", "Host log agent",
+        data_types=["host_syslog"],
+        cost={"cpu": 2, "memory": 64, "storage": 2, "network": 2, "admin": 2},
+        deployable_kinds=[AssetKind.SERVER, AssetKind.WORKSTATION, AssetKind.DATABASE],
+        quality=0.95,
+    )
+
+
+def _place_monitors(builder: ModelBuilder) -> None:
+    for monitor_type_id in (
+        "ics_nids",
+        "flow_sensor",
+        "hmi_monitor",
+        "historian_audit_logger",
+        "badge_system",
+        "host_agent",
+    ):
+        builder.monitor_everywhere(monitor_type_id)
+    # Control auditing belongs on the two supervisory servers only.
+    builder.monitor("control_logger", "scada-fe")
+    builder.monitor("control_logger", "ems-1")
+    # Field telemetry: RTUs, PLC, relay — costly admin, limited hosts.
+    for field_asset in ("rtu-1", "rtu-2", "plc-1"):
+        builder.monitor("rtu_logger", field_asset)
+        builder.monitor("firmware_attestation", field_asset)
+    builder.monitor("relay_logger", "relay-1")
+    builder.monitor("firmware_attestation", "relay-1")
+
+
+def _event(builder, created, event_id, name, asset, evidence):
+    if event_id in created:
+        return event_id
+    builder.event(event_id, name, asset=asset)
+    for data_type_id, weight in evidence:
+        builder.evidence(data_type_id, event_id, weight)
+    created.add(event_id)
+    return event_id
+
+
+def _add_attacks(builder: ModelBuilder) -> None:
+    created: set[str] = set()
+
+    def e(event_id, name, asset, evidence):
+        return _event(builder, created, event_id, name, asset, evidence)
+
+    # Shared events
+    rtu_compromise = e(
+        "rtu-compromise@rtu-1", "RTU compromise", "rtu-1",
+        [("rtu_events", 0.7), ("firmware_hash", 0.5), ("proto_log", 0.4)],
+    )
+    rogue_cmd = e(
+        "rogue-control-cmd@scada-fe", "Unauthorized control command", "scada-fe",
+        [("control_audit", 0.95), ("proto_log", 0.6), ("ics_alert", 0.5)],
+    )
+
+    builder.attack(
+        "false-data-injection",
+        "False data injection against state estimation",
+        steps=[
+            (rtu_compromise, 1.0),
+            (e("falsified-telemetry@wan-gw", "Falsified telemetry stream", "wan-gw",
+               [("proto_log", 0.8), ("ics_alert", 0.6), ("flow", 0.2)]), 1.0),
+            (e("estimation-anomaly@ems-1", "State estimation residual anomaly", "ems-1",
+               [("host_syslog", 0.5), ("historian_audit", 0.3)]), 0.6),
+        ],
+        importance=1.0,
+    )
+
+    builder.attack(
+        "unauthorized-control",
+        "Unauthorized breaker operation",
+        steps=[
+            (e("hmi-hijack@hmi-1", "HMI session hijack", "hmi-1",
+               [("hmi_log", 0.9), ("host_syslog", 0.4)]), 1.0),
+            (rogue_cmd, 1.0),
+            (e("breaker-trip@relay-1", "Unexpected breaker trip", "relay-1",
+               [("relay_events", 1.0), ("rtu_events", 0.4)]), 1.0),
+        ],
+        importance=1.0,
+    )
+
+    from repro.core.attacks import AttackStep
+
+    builder.attack(
+        "it-ot-lateral",
+        "IT-to-OT lateral movement",
+        steps=[
+            AttackStep(e("corp-phish@corp-ws", "Corporate workstation compromise", "corp-ws",
+                         [("host_syslog", 0.5), ("flow", 0.3)]), weight=0.5, required=False),
+            AttackStep(e("fw-traversal@corp-fw", "IT/OT boundary traversal", "corp-fw",
+                         [("flow", 0.7), ("ics_alert", 0.8)]), weight=1.0),
+            AttackStep(e("ot-scan@ctrl-sw", "OT network scan", "ctrl-sw",
+                         [("flow", 0.8), ("ics_alert", 0.85), ("proto_log", 0.5)]), weight=1.0),
+            AttackStep(rtu_compromise, weight=1.0),
+        ],
+        importance=0.9,
+    )
+
+    builder.attack(
+        "firmware-tamper",
+        "PLC firmware tampering",
+        steps=[
+            (e("firmware-upload@plc-1", "Unauthorized firmware upload", "plc-1",
+               [("firmware_hash", 1.0), ("proto_log", 0.6), ("rtu_events", 0.3)]), 1.0),
+            (e("logic-change@plc-1", "Control logic change", "plc-1",
+               [("firmware_hash", 0.9), ("rtu_events", 0.5)]), 1.0),
+            (e("process-anomaly@relay-1", "Protection behavior anomaly", "relay-1",
+               [("relay_events", 0.8)]), 0.5),
+        ],
+        importance=0.95,
+    )
+
+    builder.attack(
+        "telemetry-dos",
+        "Telemetry denial of service",
+        steps=[
+            (e("field-flood@wan-gw", "Field link flood", "wan-gw",
+               [("flow", 0.9), ("ics_alert", 0.6)]), 1.0),
+            (e("telemetry-loss@scada-fe", "Telemetry blackout at master", "scada-fe",
+               [("host_syslog", 0.8), ("control_audit", 0.4)]), 1.0),
+        ],
+        importance=0.8,
+    )
+
+    builder.attack(
+        "historian-exfil",
+        "Historian data exfiltration",
+        steps=[
+            (e("hist-bulk-query@hist-1", "Bulk historian query", "hist-1",
+               [("historian_audit", 1.0), ("host_syslog", 0.3)]), 1.0),
+            (e("ot-exfil@corp-fw", "Exfiltration across IT/OT boundary", "corp-fw",
+               [("flow", 0.9), ("ics_alert", 0.5)]), 1.0),
+        ],
+        importance=0.7,
+    )
+
+    builder.attack(
+        "insider-misuse",
+        "Insider control misuse",
+        steps=[
+            AttackStep(e("badge-after-hours@hmi-1", "After-hours control-room access", "hmi-1",
+                         [("badge_log", 0.9)]), weight=0.5, required=False),
+            AttackStep(e("hmi-misuse@hmi-1", "Unusual HMI operation pattern", "hmi-1",
+                         [("hmi_log", 0.95)]), weight=1.0),
+            AttackStep(rogue_cmd, weight=1.0),
+        ],
+        importance=0.75,
+    )
+
+
+def scada_substation() -> SystemModel:
+    """Build the SCADA substation case-study model."""
+    builder = ModelBuilder("scada-substation")
+    _add_topology(builder)
+    _add_data_types(builder)
+    _add_monitor_types(builder)
+    _place_monitors(builder)
+    _add_attacks(builder)
+    return builder.build()

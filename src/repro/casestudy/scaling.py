@@ -1,0 +1,173 @@
+"""Seeded synthetic model generator for the scalability experiments.
+
+The paper's headline scalability claim — optimal deployments for
+systems with *hundreds of monitors and attacks* computed within minutes
+— needs models whose size is a free parameter.  :func:`synthetic_model`
+generates random but structurally realistic models: a connected asset
+graph, monitor types with scope/cost diversity, an evidence relation
+with realistic sharing, and multi-step attacks drawing from a common
+event pool (so attacks overlap, as real kill chains do).
+
+Generation is fully deterministic for a given :class:`ScalingConfig`,
+including its ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assets import AssetKind
+from repro.core.builder import ModelBuilder
+from repro.core.model import SystemModel
+from repro.core.monitors import DEFAULT_COST_DIMENSIONS, MonitorScope
+from repro.errors import ModelError
+
+__all__ = ["ScalingConfig", "synthetic_model"]
+
+#: Pool of field names shared across generated data types; overlap
+#: between types is what gives the richness metric structure.
+_FIELD_POOL = [
+    "src_ip", "dst_ip", "src_port", "dst_port", "protocol", "bytes", "user",
+    "url", "status", "query", "path", "process", "uid", "session", "outcome",
+    "duration", "payload", "signature", "severity", "action", "rule", "table",
+    "method", "host", "latency", "hash", "timestamp_skew", "size", "count",
+]
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Size and randomness knobs for :func:`synthetic_model`.
+
+    The defaults produce a model comparable to the case study; the
+    scalability benches sweep ``monitors`` and ``attacks``.
+    """
+
+    assets: int = 30
+    data_types: int = 12
+    monitor_types: int = 10
+    monitors: int = 100
+    events: int | None = None  # default: 2 * attacks
+    attacks: int = 50
+    min_steps: int = 2
+    max_steps: int = 5
+    min_evidence: int = 1
+    max_evidence: int = 4
+    network_monitor_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.assets < 2:
+            raise ModelError("synthetic model needs at least 2 assets")
+        if self.data_types < 1 or self.monitor_types < 1:
+            raise ModelError("synthetic model needs data types and monitor types")
+        if self.monitors < 1 or self.attacks < 1:
+            raise ModelError("synthetic model needs monitors and attacks")
+        if not 1 <= self.min_steps <= self.max_steps:
+            raise ModelError("step bounds must satisfy 1 <= min_steps <= max_steps")
+        if not 1 <= self.min_evidence <= self.max_evidence:
+            raise ModelError("evidence bounds must satisfy 1 <= min <= max")
+        if not 0.0 <= self.network_monitor_fraction <= 1.0:
+            raise ModelError("network_monitor_fraction must lie in [0, 1]")
+
+
+def synthetic_model(config: ScalingConfig | None = None, **overrides) -> SystemModel:
+    """Generate a synthetic model; keyword overrides patch the config."""
+    if config is None:
+        config = ScalingConfig(**overrides)
+    elif overrides:
+        raise ModelError("pass either a ScalingConfig or keyword overrides, not both")
+    rng = np.random.default_rng(config.seed)
+    builder = ModelBuilder(f"synthetic-{config.monitors}m-{config.attacks}a-s{config.seed}")
+
+    # -- assets: random tree, guaranteed connected ----------------------
+    asset_kinds = [AssetKind.SERVER, AssetKind.HOST, AssetKind.DATABASE, AssetKind.NETWORK_DEVICE]
+    kind_probabilities = [0.45, 0.3, 0.1, 0.15]
+    asset_ids = [f"asset-{i}" for i in range(config.assets)]
+    for i, asset_id in enumerate(asset_ids):
+        kind = asset_kinds[int(rng.choice(len(asset_kinds), p=kind_probabilities))]
+        builder.asset(asset_id, kind=kind, criticality=float(rng.uniform(0.2, 1.0)))
+        if i > 0:
+            builder.link(asset_ids[int(rng.integers(i))], asset_id)
+    # A few cross links so network monitors see more than a chain.
+    extra_links = max(2, config.assets // 5)
+    for _ in range(extra_links):
+        a, b = rng.choice(config.assets, size=2, replace=False)
+        try:
+            builder.link(asset_ids[int(a)], asset_ids[int(b)])
+        except ValueError:
+            continue  # duplicate links are allowed; self-links are not
+
+    # -- data types ------------------------------------------------------
+    data_type_ids = [f"dt-{i}" for i in range(config.data_types)]
+    for data_type_id in data_type_ids:
+        field_count = int(rng.integers(3, 9))
+        fields = list(rng.choice(_FIELD_POOL, size=field_count, replace=False))
+        builder.data_type(data_type_id, fields=fields)
+
+    # -- monitor types ------------------------------------------------------
+    monitor_type_ids = [f"mt-{i}" for i in range(config.monitor_types)]
+    for monitor_type_id in monitor_type_ids:
+        generated = list(
+            rng.choice(data_type_ids, size=int(rng.integers(1, min(4, config.data_types + 1))), replace=False)
+        )
+        network = bool(rng.random() < config.network_monitor_fraction)
+        magnitude = 3.0 if network else 1.0
+        cost = {
+            dim: float(np.round(rng.uniform(1, 10) * magnitude, 2))
+            for dim in DEFAULT_COST_DIMENSIONS
+        }
+        builder.monitor_type(
+            monitor_type_id,
+            data_types=generated,
+            cost=cost,
+            scope=MonitorScope.NETWORK if network else MonitorScope.HOST,
+            quality=float(rng.uniform(0.85, 0.99)),
+        )
+
+    # -- monitors: distinct (type, asset) placements ------------------------
+    max_placements = config.monitor_types * config.assets
+    if config.monitors > max_placements:
+        raise ModelError(
+            f"cannot place {config.monitors} monitors: only {max_placements} "
+            f"distinct (type, asset) pairs exist"
+        )
+    placement_indices = rng.choice(max_placements, size=config.monitors, replace=False)
+    for index in sorted(int(i) for i in placement_indices):
+        type_index, asset_index = divmod(index, config.assets)
+        builder.monitor(
+            monitor_type_ids[type_index],
+            asset_ids[asset_index],
+            cost_multiplier=float(np.round(rng.uniform(0.8, 1.5), 2)),
+        )
+
+    # -- events with evidence -------------------------------------------------
+    event_count = config.events if config.events is not None else 2 * config.attacks
+    event_ids = [f"event-{i}" for i in range(event_count)]
+    for event_id in event_ids:
+        asset_id = asset_ids[int(rng.integers(config.assets))]
+        builder.event(event_id, asset=asset_id)
+        evidence_count = int(
+            rng.integers(config.min_evidence, min(config.max_evidence, config.data_types) + 1)
+        )
+        for data_type_id in rng.choice(data_type_ids, size=evidence_count, replace=False):
+            builder.evidence(
+                str(data_type_id), event_id, weight=float(np.round(rng.uniform(0.3, 1.0), 3))
+            )
+
+    # -- attacks drawing from the shared event pool ------------------------------
+    for i in range(config.attacks):
+        # A tiny event pool caps how many distinct steps an attack can have.
+        low = min(config.min_steps, event_count)
+        high = min(config.max_steps, event_count)
+        step_count = int(rng.integers(low, high + 1))
+        chosen = rng.choice(event_count, size=step_count, replace=False)
+        steps = [
+            (event_ids[int(e)], float(np.round(rng.uniform(0.5, 1.0), 3))) for e in chosen
+        ]
+        builder.attack(
+            f"attack-{i}", steps=steps, importance=float(np.round(rng.uniform(0.3, 1.0), 3))
+        )
+
+    return builder.build()

@@ -1,0 +1,100 @@
+"""The paper's enterprise Web service use case, assembled.
+
+A three-tier enterprise Web deployment behind a DMZ:
+
+.. code-block:: text
+
+    internet -- fw-edge -- lb-1 -- web-1..web-N  (DMZ)
+                              \\        |
+                               \\    fw-int -- sw-core -- app-1..app-M
+                                                    |      db-1
+                                                    |      auth-1
+                                                    |      admin-ws
+
+All monitor types from :mod:`repro.casestudy.monitor_catalog` are placed
+at every compatible asset (the *deployable* set the optimizer selects
+from), and the attack catalog from
+:mod:`repro.casestudy.attack_catalog` is instantiated against the
+topology.  The default configuration — two web servers, two app servers
+— yields roughly 45 deployable monitors, 50 events, and 26 attacks.
+"""
+
+from __future__ import annotations
+
+from repro.core.assets import AssetKind
+from repro.core.builder import ModelBuilder
+from repro.core.model import SystemModel
+from repro.casestudy.attack_catalog import add_attacks
+from repro.casestudy.data_catalog import add_data_types
+from repro.casestudy.monitor_catalog import add_monitor_types, place_monitors
+from repro.errors import ModelError
+
+__all__ = ["enterprise_web_service"]
+
+
+def enterprise_web_service(web_servers: int = 2, app_servers: int = 2) -> SystemModel:
+    """Build the enterprise Web service case-study model.
+
+    Parameters
+    ----------
+    web_servers:
+        Number of DMZ web servers (>= 1).
+    app_servers:
+        Number of internal application servers (>= 1).
+    """
+    if web_servers < 1:
+        raise ModelError(f"need at least one web server, got {web_servers}")
+    if app_servers < 1:
+        raise ModelError(f"need at least one app server, got {app_servers}")
+
+    builder = ModelBuilder("enterprise-web-service")
+
+    # -- topology -----------------------------------------------------
+    builder.asset("internet", "Internet", AssetKind.EXTERNAL, zone="external", criticality=0.1)
+    builder.asset("fw-edge", "Edge firewall", AssetKind.FIREWALL, zone="perimeter", criticality=0.9)
+    builder.asset("lb-1", "Load balancer", AssetKind.LOAD_BALANCER, zone="dmz", criticality=0.8)
+    web_ids = [f"web-{i + 1}" for i in range(web_servers)]
+    for web in web_ids:
+        builder.asset(web, f"Web server {web}", AssetKind.SERVER, zone="dmz", criticality=0.8,
+                      tags=["role:web", "os:linux"])
+    builder.asset("fw-int", "Internal firewall", AssetKind.FIREWALL, zone="perimeter", criticality=0.9)
+    builder.asset("sw-core", "Core switch", AssetKind.NETWORK_DEVICE, zone="internal", criticality=0.7)
+    app_ids = [f"app-{i + 1}" for i in range(app_servers)]
+    for app in app_ids:
+        builder.asset(app, f"Application server {app}", AssetKind.SERVER, zone="internal",
+                      criticality=0.85, tags=["role:app", "os:linux"])
+    builder.asset("db-1", "Database server", AssetKind.DATABASE, zone="internal", criticality=1.0,
+                  tags=["role:db", "os:linux", "pci"])
+    builder.asset("auth-1", "Directory server", AssetKind.SERVER, zone="internal", criticality=0.95,
+                  tags=["role:auth", "os:linux"])
+    builder.asset("admin-ws", "Admin workstation", AssetKind.WORKSTATION, zone="internal",
+                  criticality=0.6, tags=["role:admin"])
+
+    builder.link("internet", "fw-edge", medium="wan")
+    builder.link("fw-edge", "lb-1")
+    for web in web_ids:
+        builder.link("lb-1", web)
+        builder.link(web, "fw-int")
+    builder.link("fw-int", "sw-core")
+    for app in app_ids:
+        builder.link("sw-core", app)
+    builder.link("sw-core", "db-1")
+    builder.link("sw-core", "auth-1")
+    builder.link("sw-core", "admin-ws")
+
+    # -- data, monitors, attacks --------------------------------------
+    add_data_types(builder)
+    add_monitor_types(builder)
+    place_monitors(builder, auth_asset="auth-1")
+    add_attacks(
+        builder,
+        web_servers=web_ids,
+        app_server=app_ids[0],
+        db_server="db-1",
+        auth_server="auth-1",
+        edge_firewall="fw-edge",
+        internal_firewall="fw-int",
+        load_balancer="lb-1",
+        core_switch="sw-core",
+    )
+    return builder.build()

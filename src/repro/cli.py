@@ -1,0 +1,444 @@
+"""Command-line interface: the methodology without writing Python.
+
+``python -m repro <command>`` drives the full pipeline on model JSON
+files (or the built-in case study):
+
+* ``info`` — model statistics and audit summary;
+* ``audit`` — every semantic finding;
+* ``optimize`` — max-utility deployment under a budget;
+* ``mincost`` — cheapest deployment meeting requirements;
+* ``sweep`` — utility vs. budget curve (optionally CSV);
+* ``simulate`` — attack campaign against a deployment;
+* ``export-casestudy`` — write the built-in case study to JSON.
+
+Every command accepts either ``--model path/to/model.json`` or
+``--casestudy`` (the enterprise Web service).  Deployments are
+exchanged as JSON lists of monitor ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.evaluation import evaluate_deployment
+from repro.analysis.tables import render_table
+from repro.casestudy import enterprise_web_service
+from repro.core.model import SystemModel
+from repro.core.serialization import load_model, save_model
+from repro.core.validation import audit_model
+from repro.errors import ReproError
+from repro.export.csv_export import sweep_to_csv
+from repro.export.dot import deployment_to_dot
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.deployment import Deployment
+from repro.optimize.pareto import budget_sweep
+from repro.optimize.problem import MaxUtilityProblem, MinCostProblem
+from repro.simulation.campaign import run_campaign
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--model", type=Path, help="model JSON file")
+    source.add_argument(
+        "--casestudy",
+        action="store_true",
+        help="use the built-in enterprise Web service case study",
+    )
+
+
+def _add_weight_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--weights",
+        default=None,
+        metavar="COV,RED,RICH",
+        help="utility weights, three comma-separated numbers summing to 1 "
+        "(default 0.6,0.25,0.15)",
+    )
+
+
+def _load_model(args: argparse.Namespace) -> SystemModel:
+    if args.casestudy:
+        return enterprise_web_service()
+    return load_model(args.model)
+
+
+def _parse_weights(args: argparse.Namespace) -> UtilityWeights:
+    if getattr(args, "weights", None) is None:
+        return UtilityWeights()
+    parts = [float(x) for x in args.weights.split(",")]
+    if len(parts) != 3:
+        raise ReproError(f"--weights needs exactly three numbers, got {args.weights!r}")
+    return UtilityWeights(coverage=parts[0], redundancy=parts[1], richness=parts[2])
+
+
+def _parse_budget(model: SystemModel, args: argparse.Namespace) -> Budget:
+    if args.budget_fraction is not None:
+        return Budget.fraction_of_total(model, args.budget_fraction)
+    if args.budget:
+        limits = {}
+        for item in args.budget.split(","):
+            dimension, _, value = item.partition("=")
+            if not value:
+                raise ReproError(f"budget entries look like dim=limit, got {item!r}")
+            limits[dimension.strip()] = float(value)
+        return Budget(limits)
+    raise ReproError("specify --budget-fraction or --budget")
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=None,
+        help="budget as a fraction of the all-monitors cost",
+    )
+    parser.add_argument(
+        "--budget",
+        default=None,
+        metavar="DIM=LIMIT,...",
+        help='explicit per-dimension limits, e.g. "cpu=40,storage=20"',
+    )
+
+
+def _write_deployment(deployment: Deployment, path: Path) -> None:
+    path.write_text(json.dumps(sorted(deployment.monitor_ids), indent=2) + "\n")
+
+
+def _read_deployment(model: SystemModel, path: Path) -> Deployment:
+    monitor_ids = json.loads(path.read_text())
+    if not isinstance(monitor_ids, list):
+        raise ReproError(f"{path} must contain a JSON list of monitor ids")
+    return Deployment.of(model, monitor_ids)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    print(model)
+    print(render_table(["entity", "count"], sorted(model.stats().items()), title="Entities"))
+    print()
+    total = model.total_cost()
+    print(render_table(["dimension", "total cost"], sorted(total.as_dict().items()),
+                       title="Cost of deploying everything"))
+    findings = audit_model(model)
+    warnings = sum(1 for f in findings if f.severity.value == "warning")
+    print(f"\nAudit: {len(findings)} findings ({warnings} warnings); run `audit` for details")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    findings = audit_model(model)
+    if not findings:
+        print("no findings — model is semantically clean")
+        return 0
+    for finding in findings:
+        print(finding)
+    warnings = sum(1 for f in findings if f.severity.value == "warning")
+    return 1 if warnings and args.strict else 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    weights = _parse_weights(args)
+    budget = _parse_budget(model, args)
+    result = MaxUtilityProblem(model, budget, weights).solve(args.backend)
+    print(result.summary())
+    report = evaluate_deployment(model, result.deployment, weights)
+    print()
+    print(report.to_text())
+    if args.out:
+        _write_deployment(result.deployment, args.out)
+        print(f"\ndeployment written to {args.out}")
+    if args.dot:
+        args.dot.write_text(deployment_to_dot(result.deployment))
+        print(f"DOT graph written to {args.dot}")
+    if args.html:
+        from repro.export.html import report_to_html
+
+        args.html.write_text(report_to_html(report))
+        print(f"HTML report written to {args.html}")
+    return 0
+
+
+def _cmd_mincost(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    weights = _parse_weights(args)
+    problem = MinCostProblem(
+        model,
+        min_utility=args.min_utility,
+        fully_cover=args.fully_cover.split(",") if args.fully_cover else (),
+        weights=weights,
+    )
+    result = problem.solve(args.backend)
+    print(result.summary())
+    print(f"scalar cost: {result.objective:.2f}")
+    print(f"spend: {result.deployment.cost().as_dict()}")
+    for monitor_id in sorted(result.monitor_ids):
+        print(f"  {monitor_id}")
+    if args.out:
+        _write_deployment(result.deployment, args.out)
+        print(f"deployment written to {args.out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    weights = _parse_weights(args)
+    fractions = [float(x) for x in args.fractions.split(",")]
+    points = budget_sweep(model, fractions, weights, backend=args.backend)
+    rows = [
+        [p.fraction, len(p.result.deployment), p.result.utility, p.scalar_cost]
+        for p in points
+    ]
+    print(render_table(
+        ["budget fraction", "#monitors", "utility", "scalar cost"],
+        rows,
+        title="Utility vs. budget",
+    ))
+    if args.csv:
+        args.csv.write_text(sweep_to_csv(points))
+        print(f"\nCSV written to {args.csv}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    deployment = _read_deployment(model, args.deployment)
+    campaign = run_campaign(
+        model,
+        deployment,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        monitor_failure_rate=args.failure_rate,
+    )
+    print(render_table(
+        ["campaign metric", "value"],
+        [
+            ["runs", len(campaign.runs)],
+            ["detection rate", campaign.detection_rate],
+            ["mean detection latency (s)", campaign.mean_detection_latency],
+            ["step completeness", campaign.mean_step_completeness],
+            ["field completeness", campaign.mean_field_completeness],
+            ["observations", campaign.observations],
+        ],
+        title=f"Campaign ({args.repetitions} runs/attack, seed {args.seed}, "
+        f"failure rate {args.failure_rate})",
+    ))
+    missed = sorted(
+        attack_id for attack_id, rate in campaign.per_attack_detection.items() if rate < 0.5
+    )
+    if missed:
+        print("\nattacks detected in <50% of runs:")
+        for attack_id in missed:
+            print(f"  {attack_id} ({campaign.per_attack_detection[attack_id]:.0%})")
+    return 0
+
+
+def _cmd_contrib(args: argparse.Namespace) -> int:
+    from repro.analysis.contribution import contribution_report
+
+    model = _load_model(args)
+    deployment = _read_deployment(model, args.deployment)
+    weights = _parse_weights(args)
+    print(
+        contribution_report(
+            model, deployment, weights, shapley_samples=args.samples, seed=args.seed
+        )
+    )
+    return 0
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.optimize.frontier import exact_frontier
+
+    model = _load_model(args)
+    weights = _parse_weights(args)
+    points = exact_frontier(model, weights, max_points=args.max_points)
+    print(render_table(
+        ["scalar cost", "utility", "#monitors"],
+        [[p.scalar_cost, p.utility, len(p.deployment)] for p in points],
+        title=f"Exact cost-utility Pareto frontier ({len(points)} points)",
+    ))
+    if args.csv:
+        import csv as _csv
+        import io as _io
+
+        buffer = _io.StringIO()
+        writer = _csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["scalar_cost", "utility", "monitors"])
+        for p in points:
+            writer.writerow([p.scalar_cost, p.utility, len(p.deployment)])
+        args.csv.write_text(buffer.getvalue())
+        print(f"\nCSV written to {args.csv}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import compare_deployments
+
+    model = _load_model(args)
+    a = _read_deployment(model, args.a)
+    b = _read_deployment(model, args.b)
+    print(compare_deployments(a, b, _parse_weights(args)).to_text())
+    return 0
+
+
+def _cmd_gaps(args: argparse.Namespace) -> int:
+    from repro.analysis.gaps import gap_report
+
+    model = _load_model(args)
+    deployment = _read_deployment(model, args.deployment)
+    print(gap_report(model, deployment, threshold=args.threshold))
+    return 0
+
+
+def _cmd_export_casestudy(args: argparse.Namespace) -> int:
+    save_model(enterprise_web_service(), args.path)
+    print(f"case study written to {args.path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantitative security monitor deployment (DSN 2016 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="model statistics and audit summary")
+    _add_model_arguments(info)
+    info.set_defaults(handler=_cmd_info)
+
+    audit = commands.add_parser("audit", help="semantic model audit")
+    _add_model_arguments(audit)
+    audit.add_argument("--strict", action="store_true",
+                       help="exit nonzero when warnings are present")
+    audit.set_defaults(handler=_cmd_audit)
+
+    optimize = commands.add_parser("optimize", help="max-utility deployment under budget")
+    _add_model_arguments(optimize)
+    _add_weight_arguments(optimize)
+    _add_budget_arguments(optimize)
+    optimize.add_argument("--backend", default="scipy",
+                          choices=["scipy", "branch-and-bound"])
+    optimize.add_argument("--out", type=Path, help="write deployment JSON here")
+    optimize.add_argument("--dot", type=Path, help="write Graphviz DOT here")
+    optimize.add_argument("--html", type=Path, help="write a self-contained HTML report here")
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    mincost = commands.add_parser("mincost", help="cheapest deployment meeting requirements")
+    _add_model_arguments(mincost)
+    _add_weight_arguments(mincost)
+    mincost.add_argument("--min-utility", type=float, default=None)
+    mincost.add_argument("--fully-cover", default=None,
+                         metavar="ATTACK,...", help="attacks whose required steps must be covered")
+    mincost.add_argument("--backend", default="scipy",
+                         choices=["scipy", "branch-and-bound"])
+    mincost.add_argument("--out", type=Path, help="write deployment JSON here")
+    mincost.set_defaults(handler=_cmd_mincost)
+
+    sweep = commands.add_parser("sweep", help="utility vs. budget curve")
+    _add_model_arguments(sweep)
+    _add_weight_arguments(sweep)
+    sweep.add_argument("--fractions", default="0.05,0.1,0.2,0.4,0.8")
+    sweep.add_argument("--backend", default="scipy",
+                       choices=["scipy", "branch-and-bound"])
+    sweep.add_argument("--csv", type=Path, help="write sweep CSV here")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    simulate = commands.add_parser("simulate", help="attack campaign against a deployment")
+    _add_model_arguments(simulate)
+    simulate.add_argument("--deployment", type=Path, required=True,
+                          help="deployment JSON (list of monitor ids)")
+    simulate.add_argument("--repetitions", type=int, default=10)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--failure-rate", type=float, default=0.0)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    contrib = commands.add_parser(
+        "contrib", help="per-monitor contribution report (Shapley + leave-one-out)"
+    )
+    _add_model_arguments(contrib)
+    _add_weight_arguments(contrib)
+    contrib.add_argument("--deployment", type=Path, required=True,
+                         help="deployment JSON (list of monitor ids)")
+    contrib.add_argument("--samples", type=int, default=200)
+    contrib.add_argument("--seed", type=int, default=0)
+    contrib.set_defaults(handler=_cmd_contrib)
+
+    frontier = commands.add_parser(
+        "frontier", help="exact cost-utility Pareto frontier (epsilon-constraint)"
+    )
+    _add_model_arguments(frontier)
+    _add_weight_arguments(frontier)
+    frontier.add_argument("--max-points", type=int, default=1000)
+    frontier.add_argument("--csv", type=Path, help="write the frontier CSV here")
+    frontier.set_defaults(handler=_cmd_frontier)
+
+    compare = commands.add_parser(
+        "compare", help="diff two deployments: monitors, cost, per-attack coverage"
+    )
+    _add_model_arguments(compare)
+    _add_weight_arguments(compare)
+    compare.add_argument("--a", type=Path, required=True, help="baseline deployment JSON")
+    compare.add_argument("--b", type=Path, required=True, help="candidate deployment JSON")
+    compare.set_defaults(handler=_cmd_compare)
+
+    gaps = commands.add_parser(
+        "gaps", help="coverage gaps of a deployment and the cheapest fixes"
+    )
+    _add_model_arguments(gaps)
+    gaps.add_argument("--deployment", type=Path, required=True,
+                      help="deployment JSON (list of monitor ids)")
+    gaps.add_argument("--threshold", type=float, default=0.5,
+                      help="report events covered below this level")
+    gaps.set_defaults(handler=_cmd_gaps)
+
+    export = commands.add_parser("export-casestudy",
+                                 help="write the built-in case study to JSON")
+    export.add_argument("path", type=Path)
+    export.set_defaults(handler=_cmd_export_casestudy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a consumer that stopped reading (head,
+        # less); that is not an error worth a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Core system model: assets, monitors, data, events, and attacks.
+
+This package implements the paper's three-layer model:
+
+1. **Assets & topology** (:mod:`repro.core.assets`) — what the system is
+   made of and how it is connected;
+2. **Monitors & data** (:mod:`repro.core.monitors`,
+   :mod:`repro.core.data`) — what can be observed, where, at what cost;
+3. **Events & attacks** (:mod:`repro.core.attacks`) — what must be
+   detected, expressed as multi-step intrusions over events.
+
+:class:`~repro.core.model.SystemModel` assembles the layers and exposes
+the precomputed coverage relation consumed by the metrics
+(:mod:`repro.metrics`) and the optimizer (:mod:`repro.optimize`).
+"""
+
+from repro.core.assets import Asset, AssetKind, Link, Topology
+from repro.core.attacks import Attack, AttackStep, Event
+from repro.core.builder import ModelBuilder
+from repro.core.data import DataField, DataType, Evidence
+from repro.core.model import SystemModel
+from repro.core.monitors import (
+    DEFAULT_COST_DIMENSIONS,
+    CostVector,
+    Monitor,
+    MonitorScope,
+    MonitorType,
+)
+from repro.core.serialization import load_model, model_from_dict, model_to_dict, save_model
+from repro.core.validation import Finding, Severity, audit_model
+
+__all__ = [
+    "Asset",
+    "AssetKind",
+    "Link",
+    "Topology",
+    "Attack",
+    "AttackStep",
+    "Event",
+    "ModelBuilder",
+    "DataField",
+    "DataType",
+    "Evidence",
+    "SystemModel",
+    "DEFAULT_COST_DIMENSIONS",
+    "CostVector",
+    "Monitor",
+    "MonitorScope",
+    "MonitorType",
+    "load_model",
+    "model_from_dict",
+    "model_to_dict",
+    "save_model",
+    "Finding",
+    "Severity",
+    "audit_model",
+]

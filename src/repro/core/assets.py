@@ -1,0 +1,237 @@
+"""Assets and the asset topology.
+
+The bottom layer of the paper's system model is the set of *assets*:
+hosts, network devices, and services that make up the monitored system,
+together with the communication topology connecting them.  Monitors are
+deployed *at* assets, and intrusion events *occur at* assets, so the
+asset layer anchors both the cost side (where can a monitor go) and the
+utility side (which events can a monitor observe) of the methodology.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateIdError, UnknownIdError
+
+__all__ = ["AssetKind", "Asset", "Link", "Topology"]
+
+
+class AssetKind(str, enum.Enum):
+    """Coarse classification of an asset, used to scope monitor deployability.
+
+    The enumeration mirrors the asset classes in the paper's enterprise
+    Web service use case: perimeter devices, network fabric, server
+    hosts, and the services running on them.
+    """
+
+    HOST = "host"
+    SERVER = "server"
+    WORKSTATION = "workstation"
+    NETWORK_DEVICE = "network_device"
+    FIREWALL = "firewall"
+    LOAD_BALANCER = "load_balancer"
+    SERVICE = "service"
+    DATABASE = "database"
+    STORAGE = "storage"
+    EXTERNAL = "external"
+
+    def is_network_fabric(self) -> bool:
+        """Whether assets of this kind forward traffic for other assets."""
+        return self in _NETWORK_FABRIC_KINDS
+
+
+_NETWORK_FABRIC_KINDS = frozenset(
+    {AssetKind.NETWORK_DEVICE, AssetKind.FIREWALL, AssetKind.LOAD_BALANCER}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Asset:
+    """A monitorable system component.
+
+    Parameters
+    ----------
+    asset_id:
+        Unique identifier within a :class:`~repro.core.model.SystemModel`.
+    name:
+        Human-readable label used in reports.
+    kind:
+        Coarse classification, see :class:`AssetKind`.
+    zone:
+        Optional network zone (e.g. ``"dmz"``, ``"internal"``); purely
+        descriptive but used by the case study and by report grouping.
+    criticality:
+        Relative importance of the asset in ``[0, 1]``; feeds asset-
+        weighted coverage metrics.
+    tags:
+        Free-form labels (e.g. ``{"os:linux", "pci"}``).
+    """
+
+    asset_id: str
+    name: str
+    kind: AssetKind
+    zone: str = ""
+    criticality: float = 0.5
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.asset_id:
+            raise ValueError("asset_id must be a non-empty string")
+        if not 0.0 <= self.criticality <= 1.0:
+            raise ValueError(
+                f"criticality must lie in [0, 1], got {self.criticality!r} "
+                f"for asset {self.asset_id!r}"
+            )
+
+    def has_tag(self, tag: str) -> bool:
+        """Whether the asset carries ``tag``."""
+        return tag in self.tags
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """An undirected communication link between two assets.
+
+    Links determine which assets a network-scoped monitor can observe:
+    a NIDS deployed on a firewall sees the traffic of every asset the
+    firewall is linked to.
+    """
+
+    a: str
+    b: str
+    medium: str = "lan"
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"self-link on asset {self.a!r} is not allowed")
+
+    @property
+    def endpoints(self) -> frozenset[str]:
+        """The unordered pair of linked asset ids."""
+        return frozenset((self.a, self.b))
+
+    def other(self, asset_id: str) -> str:
+        """The endpoint opposite ``asset_id``.
+
+        Raises
+        ------
+        ValueError
+            If ``asset_id`` is not an endpoint of this link.
+        """
+        if asset_id == self.a:
+            return self.b
+        if asset_id == self.b:
+            return self.a
+        raise ValueError(f"{asset_id!r} is not an endpoint of link {self.a!r}--{self.b!r}")
+
+
+class Topology:
+    """The asset graph: assets as nodes, communication links as edges.
+
+    The topology is a mutable registry used while building a model; once
+    embedded in a :class:`~repro.core.model.SystemModel` it should be
+    treated as read-only.
+    """
+
+    def __init__(self) -> None:
+        self._assets: dict[str, Asset] = {}
+        self._links: list[Link] = []
+        self._adjacency: dict[str, set[str]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_asset(self, asset: Asset) -> Asset:
+        """Register ``asset``; raises :class:`DuplicateIdError` on reuse."""
+        if asset.asset_id in self._assets:
+            raise DuplicateIdError("asset", asset.asset_id)
+        self._assets[asset.asset_id] = asset
+        self._adjacency[asset.asset_id] = set()
+        return asset
+
+    def add_link(self, a: str, b: str, medium: str = "lan") -> Link:
+        """Connect assets ``a`` and ``b``; both must already exist."""
+        for endpoint in (a, b):
+            if endpoint not in self._assets:
+                raise UnknownIdError("asset", endpoint, context=f"link {a!r}--{b!r}")
+        link = Link(a, b, medium)
+        self._links.append(link)
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        return link
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, asset_id: str) -> bool:
+        return asset_id in self._assets
+
+    def __len__(self) -> int:
+        return len(self._assets)
+
+    @property
+    def assets(self) -> dict[str, Asset]:
+        """Mapping of asset id to :class:`Asset` (insertion-ordered)."""
+        return dict(self._assets)
+
+    @property
+    def links(self) -> list[Link]:
+        """All registered links, in insertion order."""
+        return list(self._links)
+
+    def asset(self, asset_id: str) -> Asset:
+        """Look up an asset; raises :class:`UnknownIdError` if absent."""
+        try:
+            return self._assets[asset_id]
+        except KeyError:
+            raise UnknownIdError("asset", asset_id) from None
+
+    def asset_ids(self) -> list[str]:
+        """All asset ids, in insertion order."""
+        return list(self._assets)
+
+    def neighbors(self, asset_id: str) -> frozenset[str]:
+        """Ids of assets directly linked to ``asset_id``."""
+        if asset_id not in self._adjacency:
+            raise UnknownIdError("asset", asset_id)
+        return frozenset(self._adjacency[asset_id])
+
+    def assets_of_kind(self, kind: AssetKind) -> list[Asset]:
+        """All assets of the given kind, in insertion order."""
+        return [a for a in self._assets.values() if a.kind == kind]
+
+    def assets_in_zone(self, zone: str) -> list[Asset]:
+        """All assets whose ``zone`` equals ``zone``."""
+        return [a for a in self._assets.values() if a.zone == zone]
+
+    def observation_domain(self, asset_id: str, network_scope: bool) -> frozenset[str]:
+        """Assets observable by a monitor deployed at ``asset_id``.
+
+        Host-scoped monitors observe only their own asset.  Network-scoped
+        monitors additionally observe every directly linked asset, which
+        models a packet tap on the links terminating at the deployment
+        point (the semantics used throughout the case study).
+        """
+        if asset_id not in self._assets:
+            raise UnknownIdError("asset", asset_id)
+        if not network_scope:
+            return frozenset((asset_id,))
+        return frozenset((asset_id,)) | self.neighbors(asset_id)
+
+    def connected_components(self) -> list[frozenset[str]]:
+        """Connected components of the asset graph (for validation)."""
+        unvisited = set(self._assets)
+        components: list[frozenset[str]] = []
+        while unvisited:
+            root = next(iter(unvisited))
+            stack = [root]
+            component: set[str] = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self._adjacency[node] - component)
+            unvisited -= component
+            components.append(frozenset(component))
+        return components

@@ -1,0 +1,255 @@
+"""Fluent construction of :class:`~repro.core.model.SystemModel`.
+
+The builder accumulates entities with early, local error checking
+(duplicate ids are rejected immediately; cross-references are validated
+at :meth:`ModelBuilder.build` time by the model itself) and offers small
+conveniences — auto-generated monitor ids, bulk placement of a monitor
+type across all compatible assets — that keep case-study and generator
+code declarative.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.assets import Asset, AssetKind, Topology
+from repro.core.attacks import Attack, AttackStep, Event
+from repro.core.data import DataField, DataType, Evidence
+from repro.core.monitors import CostVector, Monitor, MonitorScope, MonitorType
+from repro.core.model import SystemModel
+from repro.errors import DuplicateIdError, UnknownIdError
+
+__all__ = ["ModelBuilder"]
+
+
+class ModelBuilder:
+    """Accumulates model entities and assembles a validated SystemModel."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._topology = Topology()
+        self._data_types: dict[str, DataType] = {}
+        self._monitor_types: dict[str, MonitorType] = {}
+        self._monitors: dict[str, Monitor] = {}
+        self._events: dict[str, Event] = {}
+        self._evidence: list[Evidence] = []
+        self._evidence_keys: set[tuple[str, str]] = set()
+        self._attacks: dict[str, Attack] = {}
+
+    # -- assets ------------------------------------------------------------
+
+    def asset(
+        self,
+        asset_id: str,
+        name: str | None = None,
+        kind: AssetKind = AssetKind.HOST,
+        *,
+        zone: str = "",
+        criticality: float = 0.5,
+        tags: Iterable[str] = (),
+    ) -> "ModelBuilder":
+        """Add an asset; ``name`` defaults to the id."""
+        self._topology.add_asset(
+            Asset(
+                asset_id=asset_id,
+                name=name if name is not None else asset_id,
+                kind=kind,
+                zone=zone,
+                criticality=criticality,
+                tags=frozenset(tags),
+            )
+        )
+        return self
+
+    def link(self, a: str, b: str, medium: str = "lan") -> "ModelBuilder":
+        """Connect two existing assets."""
+        self._topology.add_link(a, b, medium)
+        return self
+
+    # -- data --------------------------------------------------------------
+
+    def data_type(
+        self,
+        data_type_id: str,
+        name: str | None = None,
+        *,
+        fields: Iterable[str | DataField] = (),
+        description: str = "",
+        volume_hint: float = 100.0,
+    ) -> "ModelBuilder":
+        """Add a data type; string fields are wrapped into DataField."""
+        if data_type_id in self._data_types:
+            raise DuplicateIdError("data type", data_type_id)
+        wrapped = tuple(f if isinstance(f, DataField) else DataField(f) for f in fields)
+        self._data_types[data_type_id] = DataType(
+            data_type_id=data_type_id,
+            name=name if name is not None else data_type_id,
+            fields=wrapped,
+            description=description,
+            volume_hint=volume_hint,
+        )
+        return self
+
+    # -- monitors ------------------------------------------------------------
+
+    def monitor_type(
+        self,
+        monitor_type_id: str,
+        name: str | None = None,
+        *,
+        data_types: Iterable[str],
+        cost: CostVector | dict[str, float] | None = None,
+        scope: MonitorScope = MonitorScope.HOST,
+        deployable_kinds: Iterable[AssetKind] | None = None,
+        quality: float = 0.95,
+        description: str = "",
+    ) -> "ModelBuilder":
+        """Add a monitor type; ``cost`` accepts a plain dict for brevity."""
+        if monitor_type_id in self._monitor_types:
+            raise DuplicateIdError("monitor type", monitor_type_id)
+        if cost is None:
+            cost_vector = CostVector.zero()
+        elif isinstance(cost, CostVector):
+            cost_vector = cost
+        else:
+            cost_vector = CostVector(cost)
+        self._monitor_types[monitor_type_id] = MonitorType(
+            monitor_type_id=monitor_type_id,
+            name=name if name is not None else monitor_type_id,
+            data_type_ids=tuple(data_types),
+            cost=cost_vector,
+            scope=scope,
+            deployable_kinds=None if deployable_kinds is None else frozenset(deployable_kinds),
+            quality=quality,
+            description=description,
+        )
+        return self
+
+    def monitor(
+        self,
+        monitor_type_id: str,
+        asset_id: str,
+        *,
+        monitor_id: str | None = None,
+        cost_multiplier: float = 1.0,
+    ) -> "ModelBuilder":
+        """Place a monitor type at an asset.
+
+        The monitor id defaults to ``"<type>@<asset>"``, which is unique
+        as long as a type is placed at most once per asset.
+        """
+        if monitor_id is None:
+            monitor_id = f"{monitor_type_id}@{asset_id}"
+        if monitor_id in self._monitors:
+            raise DuplicateIdError("monitor", monitor_id)
+        self._monitors[monitor_id] = Monitor(
+            monitor_id=monitor_id,
+            monitor_type_id=monitor_type_id,
+            asset_id=asset_id,
+            cost_multiplier=cost_multiplier,
+        )
+        return self
+
+    def monitor_everywhere(
+        self, monitor_type_id: str, *, cost_multiplier: float = 1.0
+    ) -> "ModelBuilder":
+        """Place a monitor type at every asset its kind constraint allows."""
+        mtype = self._monitor_types.get(monitor_type_id)
+        if mtype is None:
+            raise UnknownIdError("monitor type", monitor_type_id, context="monitor_everywhere")
+        for asset in self._topology.assets.values():
+            if mtype.can_deploy_at_kind(asset.kind):
+                self.monitor(monitor_type_id, asset.asset_id, cost_multiplier=cost_multiplier)
+        return self
+
+    # -- events, evidence, attacks -------------------------------------------
+
+    def event(
+        self, event_id: str, name: str | None = None, *, asset: str, description: str = ""
+    ) -> "ModelBuilder":
+        """Add an intrusion event occurring at ``asset``."""
+        if event_id in self._events:
+            raise DuplicateIdError("event", event_id)
+        self._events[event_id] = Event(
+            event_id=event_id,
+            name=name if name is not None else event_id,
+            asset_id=asset,
+            description=description,
+        )
+        return self
+
+    def evidence(
+        self,
+        data_type_id: str,
+        event_id: str,
+        weight: float = 1.0,
+        *,
+        fields_used: Iterable[str] = (),
+    ) -> "ModelBuilder":
+        """Declare that a data type evidences an event with ``weight``."""
+        entry = Evidence(
+            data_type_id=data_type_id,
+            event_id=event_id,
+            weight=weight,
+            fields_used=frozenset(fields_used),
+        )
+        if entry.key in self._evidence_keys:
+            raise DuplicateIdError("evidence", f"{data_type_id}->{event_id}")
+        self._evidence_keys.add(entry.key)
+        self._evidence.append(entry)
+        return self
+
+    def attack(
+        self,
+        attack_id: str,
+        name: str | None = None,
+        *,
+        steps: Iterable[AttackStep | str | tuple[str, float]],
+        importance: float = 1.0,
+        description: str = "",
+    ) -> "ModelBuilder":
+        """Add an attack.
+
+        ``steps`` entries may be :class:`AttackStep` objects, bare event
+        ids (weight 1, required), or ``(event_id, weight)`` pairs.
+        """
+        if attack_id in self._attacks:
+            raise DuplicateIdError("attack", attack_id)
+        normalized: list[AttackStep] = []
+        for step in steps:
+            if isinstance(step, AttackStep):
+                normalized.append(step)
+            elif isinstance(step, str):
+                normalized.append(AttackStep(event_id=step))
+            else:
+                event_id, weight = step
+                normalized.append(AttackStep(event_id=event_id, weight=weight))
+        self._attacks[attack_id] = Attack(
+            attack_id=attack_id,
+            name=name if name is not None else attack_id,
+            steps=tuple(normalized),
+            importance=importance,
+            description=description,
+        )
+        return self
+
+    # -- assembly ----------------------------------------------------------
+
+    def build(self) -> SystemModel:
+        """Assemble and validate the model.
+
+        Raises
+        ------
+        repro.errors.ValidationError
+            Listing every cross-reference problem found.
+        """
+        return SystemModel(
+            name=self.name,
+            topology=self._topology,
+            data_types=self._data_types.values(),
+            monitor_types=self._monitor_types.values(),
+            monitors=self._monitors.values(),
+            events=self._events.values(),
+            evidence=self._evidence,
+            attacks=self._attacks.values(),
+        )

@@ -1,0 +1,112 @@
+"""Data types, fields, and the evidence relation.
+
+The middle layer of the paper's model describes *what monitors produce*
+and *how that data relates to intrusions*.  A :class:`DataType` is a
+class of records a monitor can emit (an Apache access-log line, a
+NetFlow record, a syscall audit event) with named :class:`DataField`\\ s.
+An :class:`Evidence` entry states that records of a given data type,
+observed at the asset where an intrusion event occurs, constitute
+evidence for that event with a given weight.
+
+Separating data types from monitors is what makes the richness and
+redundancy metrics meaningful: two different monitors may produce the
+same data type (redundant evidence), and one monitor may produce several
+data types with distinct fields (richer forensic record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DataField", "DataType", "Evidence"]
+
+
+@dataclass(frozen=True, slots=True)
+class DataField:
+    """A named field within a data type (e.g. ``src_ip`` in a flow record)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("data field name must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class DataType:
+    """A class of records that monitors can generate.
+
+    Parameters
+    ----------
+    data_type_id:
+        Unique identifier within a model.
+    name:
+        Human-readable label.
+    fields:
+        The named fields each record of this type carries.  Field sets
+        drive the *richness* metric: a deployment that captures more
+        distinct fields supports deeper forensic analysis.
+    volume_hint:
+        Rough records-per-hour magnitude under normal load; used by the
+        simulation substrate to scale benign noise, not by the metrics.
+    """
+
+    data_type_id: str
+    name: str
+    fields: tuple[DataField, ...] = ()
+    description: str = ""
+    volume_hint: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.data_type_id:
+            raise ValueError("data_type_id must be a non-empty string")
+        if self.volume_hint < 0:
+            raise ValueError(
+                f"volume_hint must be non-negative, got {self.volume_hint!r} "
+                f"for data type {self.data_type_id!r}"
+            )
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate field names in data type {self.data_type_id!r}")
+
+    @property
+    def field_names(self) -> frozenset[str]:
+        """The set of field names carried by this data type."""
+        return frozenset(f.name for f in self.fields)
+
+
+@dataclass(frozen=True, slots=True)
+class Evidence:
+    """A weighted link from a data type to an intrusion event.
+
+    ``weight`` in ``(0, 1]`` expresses how strongly records of
+    ``data_type_id`` indicate the occurrence of ``event_id`` when
+    observed at the event's asset: ``1.0`` is a definitive indicator
+    (e.g. a database audit record for a malicious query), lower values
+    are circumstantial (e.g. a flow record for the same query).
+
+    ``fields_used`` optionally restricts which fields of the data type
+    actually contribute to the evidence; when empty, all fields count.
+    """
+
+    data_type_id: str
+    event_id: str
+    weight: float = 1.0
+    fields_used: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.data_type_id:
+            raise ValueError("evidence data_type_id must be non-empty")
+        if not self.event_id:
+            raise ValueError("evidence event_id must be non-empty")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(
+                f"evidence weight must lie in (0, 1], got {self.weight!r} "
+                f"({self.data_type_id!r} -> {self.event_id!r})"
+            )
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The (data type, event) pair identifying this evidence entry."""
+        return (self.data_type_id, self.event_id)

@@ -1,0 +1,247 @@
+"""JSON serialization for system models.
+
+Models round-trip through a versioned, human-editable JSON document so
+case studies can be stored in files, diffed, and exchanged.  The format
+is deliberately flat — one array per entity layer — mirroring how the
+paper's methodology presents its model tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.assets import AssetKind, Topology, Asset
+from repro.core.attacks import Attack, AttackStep, Event
+from repro.core.data import DataField, DataType, Evidence
+from repro.core.monitors import CostVector, Monitor, MonitorScope, MonitorType
+from repro.core.model import SystemModel
+from repro.errors import SerializationError
+
+__all__ = ["model_to_dict", "model_from_dict", "save_model", "load_model", "FORMAT_VERSION"]
+
+#: Version stamp written into every document; bumped on breaking changes.
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: SystemModel) -> dict[str, Any]:
+    """Serialize ``model`` into a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": model.name,
+        "assets": [
+            {
+                "id": a.asset_id,
+                "name": a.name,
+                "kind": a.kind.value,
+                "zone": a.zone,
+                "criticality": a.criticality,
+                "tags": sorted(a.tags),
+            }
+            for a in model.assets.values()
+        ],
+        "links": [
+            {"a": link.a, "b": link.b, "medium": link.medium} for link in model.topology.links
+        ],
+        "data_types": [
+            {
+                "id": d.data_type_id,
+                "name": d.name,
+                "fields": [{"name": f.name, "description": f.description} for f in d.fields],
+                "description": d.description,
+                "volume_hint": d.volume_hint,
+            }
+            for d in model.data_types.values()
+        ],
+        "monitor_types": [
+            {
+                "id": t.monitor_type_id,
+                "name": t.name,
+                "data_types": list(t.data_type_ids),
+                "cost": t.cost.as_dict(),
+                "scope": t.scope.value,
+                "deployable_kinds": (
+                    None if t.deployable_kinds is None else sorted(k.value for k in t.deployable_kinds)
+                ),
+                "quality": t.quality,
+                "description": t.description,
+            }
+            for t in model.monitor_types.values()
+        ],
+        "monitors": [
+            {
+                "id": m.monitor_id,
+                "type": m.monitor_type_id,
+                "asset": m.asset_id,
+                "cost_multiplier": m.cost_multiplier,
+            }
+            for m in model.monitors.values()
+        ],
+        "events": [
+            {"id": e.event_id, "name": e.name, "asset": e.asset_id, "description": e.description}
+            for e in model.events.values()
+        ],
+        "evidence": [
+            {
+                "data_type": ev.data_type_id,
+                "event": ev.event_id,
+                "weight": ev.weight,
+                "fields_used": sorted(ev.fields_used),
+            }
+            for ev in model.evidence
+        ],
+        "attacks": [
+            {
+                "id": a.attack_id,
+                "name": a.name,
+                "importance": a.importance,
+                "description": a.description,
+                "steps": [
+                    {"event": s.event_id, "weight": s.weight, "required": s.required}
+                    for s in a.steps
+                ],
+            }
+            for a in model.attacks.values()
+        ],
+    }
+
+
+def model_from_dict(document: dict[str, Any]) -> SystemModel:
+    """Deserialize a document produced by :func:`model_to_dict`.
+
+    Raises
+    ------
+    repro.errors.SerializationError
+        On malformed documents or unsupported format versions.
+    """
+    try:
+        version = document.get("format_version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported model format version {version!r} (expected {FORMAT_VERSION})"
+            )
+
+        topology = Topology()
+        for entry in document.get("assets", []):
+            topology.add_asset(
+                Asset(
+                    asset_id=entry["id"],
+                    name=entry.get("name", entry["id"]),
+                    kind=AssetKind(entry.get("kind", "host")),
+                    zone=entry.get("zone", ""),
+                    criticality=entry.get("criticality", 0.5),
+                    tags=frozenset(entry.get("tags", ())),
+                )
+            )
+        for entry in document.get("links", []):
+            topology.add_link(entry["a"], entry["b"], entry.get("medium", "lan"))
+
+        data_types = [
+            DataType(
+                data_type_id=entry["id"],
+                name=entry.get("name", entry["id"]),
+                fields=tuple(
+                    DataField(f["name"], f.get("description", ""))
+                    for f in entry.get("fields", ())
+                ),
+                description=entry.get("description", ""),
+                volume_hint=entry.get("volume_hint", 100.0),
+            )
+            for entry in document.get("data_types", [])
+        ]
+
+        monitor_types = [
+            MonitorType(
+                monitor_type_id=entry["id"],
+                name=entry.get("name", entry["id"]),
+                data_type_ids=tuple(entry["data_types"]),
+                cost=CostVector(entry.get("cost", {})),
+                scope=MonitorScope(entry.get("scope", "host")),
+                deployable_kinds=(
+                    None
+                    if entry.get("deployable_kinds") is None
+                    else frozenset(AssetKind(k) for k in entry["deployable_kinds"])
+                ),
+                quality=entry.get("quality", 0.95),
+                description=entry.get("description", ""),
+            )
+            for entry in document.get("monitor_types", [])
+        ]
+
+        monitors = [
+            Monitor(
+                monitor_id=entry["id"],
+                monitor_type_id=entry["type"],
+                asset_id=entry["asset"],
+                cost_multiplier=entry.get("cost_multiplier", 1.0),
+            )
+            for entry in document.get("monitors", [])
+        ]
+
+        events = [
+            Event(
+                event_id=entry["id"],
+                name=entry.get("name", entry["id"]),
+                asset_id=entry["asset"],
+                description=entry.get("description", ""),
+            )
+            for entry in document.get("events", [])
+        ]
+
+        evidence = [
+            Evidence(
+                data_type_id=entry["data_type"],
+                event_id=entry["event"],
+                weight=entry.get("weight", 1.0),
+                fields_used=frozenset(entry.get("fields_used", ())),
+            )
+            for entry in document.get("evidence", [])
+        ]
+
+        attacks = [
+            Attack(
+                attack_id=entry["id"],
+                name=entry.get("name", entry["id"]),
+                steps=tuple(
+                    AttackStep(
+                        event_id=s["event"],
+                        weight=s.get("weight", 1.0),
+                        required=s.get("required", True),
+                    )
+                    for s in entry["steps"]
+                ),
+                importance=entry.get("importance", 1.0),
+                description=entry.get("description", ""),
+            )
+            for entry in document.get("attacks", [])
+        ]
+
+        return SystemModel(
+            name=document.get("name", "model"),
+            topology=topology,
+            data_types=data_types,
+            monitor_types=monitor_types,
+            monitors=monitors,
+            events=events,
+            evidence=evidence,
+            attacks=attacks,
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed model document: {exc}") from exc
+
+
+def save_model(model: SystemModel, path: str | Path) -> None:
+    """Write ``model`` to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(model_to_dict(model), indent=2, sort_keys=False))
+
+
+def load_model(path: str | Path) -> SystemModel:
+    """Read a model previously written by :func:`save_model`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return model_from_dict(document)

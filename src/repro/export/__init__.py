@@ -1,0 +1,14 @@
+"""Exports: Graphviz DOT rendering, CSV dumps, and HTML reports."""
+
+from repro.export.csv_export import report_to_csv, sweep_to_csv, write_csv
+from repro.export.dot import deployment_to_dot, topology_to_dot
+from repro.export.html import report_to_html
+
+__all__ = [
+    "report_to_html",
+    "report_to_csv",
+    "sweep_to_csv",
+    "write_csv",
+    "deployment_to_dot",
+    "topology_to_dot",
+]

@@ -1,0 +1,84 @@
+"""CSV export of evaluation results.
+
+Experiment pipelines end in spreadsheets more often than anyone admits;
+these helpers emit the per-attack assessment and sweep results as CSV
+text (stdlib ``csv``, written to a string or a path).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.evaluation import DeploymentReport
+from repro.optimize.pareto import SweepPoint
+
+__all__ = ["report_to_csv", "sweep_to_csv", "write_csv"]
+
+
+def _render(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def report_to_csv(report: DeploymentReport) -> str:
+    """The per-attack assessment of a deployment report as CSV text."""
+    rows = [
+        [
+            a.attack_id,
+            a.name,
+            a.importance,
+            a.coverage,
+            a.redundancy,
+            a.richness,
+            a.confidence,
+            int(a.fully_covered),
+            int(a.detectable),
+        ]
+        for a in report.attacks
+    ]
+    return _render(
+        [
+            "attack_id",
+            "name",
+            "importance",
+            "coverage",
+            "redundancy",
+            "richness",
+            "confidence",
+            "fully_covered",
+            "detectable",
+        ],
+        rows,
+    )
+
+
+def sweep_to_csv(points: Iterable[SweepPoint]) -> str:
+    """A budget sweep as CSV text (one row per budget fraction)."""
+    rows = [
+        [
+            p.fraction,
+            len(p.result.deployment),
+            p.result.utility,
+            p.scalar_cost,
+            p.result.solve_seconds,
+            p.result.method,
+            int(p.result.optimal),
+        ]
+        for p in points
+    ]
+    return _render(
+        ["budget_fraction", "monitors", "utility", "scalar_cost", "solve_seconds",
+         "method", "optimal"],
+        rows,
+    )
+
+
+def write_csv(text: str, path: str | Path) -> None:
+    """Write CSV text produced by the exporters to ``path``."""
+    Path(path).write_text(text)

@@ -1,0 +1,90 @@
+"""Graphviz DOT export of models and deployments.
+
+Renders the asset topology (and optionally a deployment over it) as DOT
+text for ``dot -Tsvg``-style tooling — no graphviz dependency, just the
+text format.  Deployed monitors appear as a label block under their
+asset; network-scoped monitors additionally color the links they tap.
+"""
+
+from __future__ import annotations
+
+from repro.core.assets import AssetKind
+from repro.core.model import SystemModel
+from repro.core.monitors import MonitorScope
+from repro.optimize.deployment import Deployment
+
+__all__ = ["topology_to_dot", "deployment_to_dot"]
+
+_KIND_SHAPES: dict[AssetKind, str] = {
+    AssetKind.FIREWALL: "diamond",
+    AssetKind.LOAD_BALANCER: "trapezium",
+    AssetKind.NETWORK_DEVICE: "hexagon",
+    AssetKind.DATABASE: "cylinder",
+    AssetKind.EXTERNAL: "cloud",
+    AssetKind.SERVER: "box",
+    AssetKind.WORKSTATION: "box",
+    AssetKind.HOST: "box",
+    AssetKind.SERVICE: "ellipse",
+    AssetKind.STORAGE: "folder",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def topology_to_dot(model: SystemModel, *, name: str = "topology") -> str:
+    """The asset graph as a DOT ``graph`` document."""
+    lines = [f'graph "{_escape(name)}" {{', "  node [fontsize=10];"]
+    for asset in model.assets.values():
+        shape = _KIND_SHAPES.get(asset.kind, "box")
+        label = f"{_escape(asset.name)}\\n({asset.kind.value})"
+        lines.append(f'  "{_escape(asset.asset_id)}" [label="{label}", shape={shape}];')
+    for link in model.topology.links:
+        style = ' [style=dashed]' if link.medium == "wan" else ""
+        lines.append(f'  "{_escape(link.a)}" -- "{_escape(link.b)}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def deployment_to_dot(deployment: Deployment, *, name: str = "deployment") -> str:
+    """Topology plus the deployment: monitors listed under their assets.
+
+    Assets carrying at least one selected monitor are filled; the set of
+    monitor type names is appended to the asset label.
+    """
+    model = deployment.model
+    by_asset: dict[str, list[str]] = {}
+    tapped_links: set[frozenset[str]] = set()
+    for monitor_id in sorted(deployment.monitor_ids):
+        monitor = model.monitor(monitor_id)
+        mtype = model.monitor_type(monitor.monitor_type_id)
+        by_asset.setdefault(monitor.asset_id, []).append(mtype.monitor_type_id)
+        if mtype.scope is MonitorScope.NETWORK:
+            for neighbor in model.topology.neighbors(monitor.asset_id):
+                tapped_links.add(frozenset((monitor.asset_id, neighbor)))
+
+    lines = [f'graph "{_escape(name)}" {{', "  node [fontsize=10];"]
+    for asset in model.assets.values():
+        shape = _KIND_SHAPES.get(asset.kind, "box")
+        monitors = by_asset.get(asset.asset_id)
+        if monitors:
+            label = f"{asset.name}\\n[{', '.join(monitors)}]"
+            style = ', style=filled, fillcolor="lightblue"'
+        else:
+            label = asset.name
+            style = ""
+        lines.append(
+            f'  "{_escape(asset.asset_id)}" [label="{_escape(label)}", shape={shape}{style}];'
+        )
+    for link in model.topology.links:
+        attributes = []
+        if link.medium == "wan":
+            attributes.append("style=dashed")
+        if link.endpoints in tapped_links:
+            attributes.append("color=blue")
+            attributes.append("penwidth=2")
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f'  "{_escape(link.a)}" -- "{_escape(link.b)}"{suffix};')
+    lines.append("}")
+    return "\n".join(lines)

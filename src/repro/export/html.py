@@ -1,0 +1,141 @@
+"""Self-contained HTML rendering of deployment reports.
+
+Security reviews circulate as documents; :func:`report_to_html` turns a
+:class:`~repro.analysis.evaluation.DeploymentReport` into a single HTML
+file — no external assets, inline CSS, metric bars rendered as styled
+divs — suitable for attaching to a change ticket or review thread.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from repro.analysis.evaluation import DeploymentReport
+
+__all__ = ["report_to_html"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.9rem; }
+th, td { text-align: left; padding: 0.35rem 0.6rem;
+         border-bottom: 1px solid #e0e0e8; }
+th { background: #f4f4f8; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { background: #e8e8f0; border-radius: 3px; height: 0.75rem;
+       width: 8rem; display: inline-block; vertical-align: middle; }
+.bar > span { display: block; height: 100%; border-radius: 3px;
+              background: #4361ee; }
+.bar.warn > span { background: #e07a5f; }
+.tag { font-size: 0.75rem; padding: 0.1rem 0.4rem; border-radius: 3px; }
+.tag.ok { background: #d8f3dc; color: #1b4332; }
+.tag.bad { background: #ffe5e5; color: #9d0208; }
+.muted { color: #6c757d; font-size: 0.85rem; }
+"""
+
+
+def _esc(value: object) -> str:
+    return _html.escape(str(value))
+
+
+def _bar(fraction: float, warn_below: float = 0.0) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    warn = " warn" if fraction < warn_below else ""
+    width = f"{fraction * 100:.1f}%"
+    return (
+        f'<span class="bar{warn}"><span style="width:{width}"></span></span> '
+        f'<span class="muted">{fraction:.3f}</span>'
+    )
+
+
+def report_to_html(report: DeploymentReport, *, title: str | None = None) -> str:
+    """Render ``report`` as a complete, self-contained HTML document."""
+    model = report.deployment.model
+    title = title or f"Monitor deployment report — {model.name}"
+
+    summary_rows = "\n".join(
+        f"<tr><th>{_esc(name)}</th><td>{_bar(value)}</td></tr>"
+        for name, value in (
+            ("Utility", report.utility),
+            ("Coverage", report.coverage),
+            ("Redundancy", report.redundancy),
+            ("Richness", report.richness),
+            ("Confidence", report.confidence),
+        )
+    )
+
+    cost_rows = "\n".join(
+        f"<tr><td>{_esc(dim)}</td><td class='num'>{value:g}</td></tr>"
+        for dim, value in sorted(report.cost.items())
+    )
+
+    monitor_rows = "\n".join(
+        f"<tr><td>{_esc(monitor_id)}</td>"
+        f"<td>{_esc(model.monitor(monitor_id).asset_id)}</td>"
+        f"<td>{_esc(model.monitor_type(model.monitor(monitor_id).monitor_type_id).name)}</td></tr>"
+        for monitor_id in sorted(report.deployment.monitor_ids)
+    )
+
+    attack_rows = []
+    for a in sorted(report.attacks, key=lambda x: x.coverage):
+        full_tag = (
+            '<span class="tag ok">full</span>'
+            if a.fully_covered
+            else '<span class="tag bad">partial</span>'
+        )
+        attack_rows.append(
+            f"<tr><td>{_esc(a.attack_id)}</td>"
+            f"<td class='num'>{a.importance:.2f}</td>"
+            f"<td>{_bar(a.coverage, warn_below=0.5)}</td>"
+            f"<td>{_bar(a.redundancy)}</td>"
+            f"<td>{_bar(a.richness)}</td>"
+            f"<td>{full_tag}</td></tr>"
+        )
+
+    campaign_section = ""
+    if report.campaign is not None:
+        c = report.campaign
+        campaign_section = f"""
+<h2>Simulated campaign</h2>
+<table>
+<tr><th>Runs</th><td class="num">{len(c.runs)}</td></tr>
+<tr><th>Detection rate</th><td>{_bar(c.detection_rate, warn_below=0.5)}</td></tr>
+<tr><th>Mean detection latency</th><td class="num">{c.mean_detection_latency:.1f} s</td></tr>
+<tr><th>Forensic step completeness</th><td>{_bar(c.mean_step_completeness)}</td></tr>
+<tr><th>Forensic field completeness</th><td>{_bar(c.mean_field_completeness)}</td></tr>
+</table>
+"""
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_esc(title)}</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>{_esc(title)}</h1>
+<p class="muted">{len(report.deployment)} monitors deployed ·
+{report.fully_covered_count}/{len(report.attacks)} attacks fully covered ·
+{report.detectable_count}/{len(report.attacks)} detectable</p>
+
+<h2>Metrics</h2>
+<table>{summary_rows}</table>
+
+<h2>Cost</h2>
+<table><tr><th>Dimension</th><th>Spend</th></tr>{cost_rows}</table>
+
+<h2>Deployed monitors</h2>
+<table><tr><th>Monitor</th><th>Asset</th><th>Type</th></tr>{monitor_rows}</table>
+
+<h2>Per-attack assessment <span class="muted">(weakest coverage first)</span></h2>
+<table>
+<tr><th>Attack</th><th>Imp.</th><th>Coverage</th><th>Redundancy</th>
+<th>Richness</th><th>Status</th></tr>
+{"".join(attack_rows)}
+</table>
+{campaign_section}
+</body>
+</html>
+"""

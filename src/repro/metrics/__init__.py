@@ -1,0 +1,79 @@
+"""Quantitative metrics over monitor deployments.
+
+This package implements the paper's metric suite:
+
+* **cost** (:mod:`repro.metrics.cost`) — multi-dimensional deployment
+  cost and budgets;
+* **coverage** (:mod:`repro.metrics.coverage`) — breadth: which attack
+  steps leave any trace;
+* **redundancy** (:mod:`repro.metrics.redundancy`) — depth: independent
+  corroboration per step;
+* **richness** (:mod:`repro.metrics.richness`) — forensic detail: data
+  fields captured per step;
+* **confidence** (:mod:`repro.metrics.confidence`) — operational:
+  probability evidence is actually recorded given monitor quality;
+* **utility** (:mod:`repro.metrics.utility`) — the convex combination
+  the optimizer maximizes.
+
+Every metric takes ``(model, deployed_monitor_ids, ...)`` and returns a
+value in ``[0, 1]`` (costs excepted), so deployments are comparable
+across models and experiments.
+"""
+
+from repro.metrics.confidence import attack_confidence, event_confidence, overall_confidence
+from repro.metrics.cost import Budget, budget_utilization, deployment_cost, residual_budget
+from repro.metrics.coverage import (
+    asset_weighted_coverage,
+    zone_coverage,
+    attack_coverage,
+    covered_events,
+    detectable_attacks,
+    event_coverage,
+    fully_covered_attacks,
+    overall_coverage,
+)
+from repro.metrics.redundancy import (
+    DEFAULT_REDUNDANCY_CAP,
+    attack_redundancy,
+    event_evidence_count,
+    event_redundancy,
+    overall_redundancy,
+)
+from repro.metrics.richness import (
+    attack_richness,
+    deployment_field_census,
+    event_richness,
+    overall_richness,
+)
+from repro.metrics.utility import UtilityWeights, attack_utility, utility, utility_breakdown
+
+__all__ = [
+    "attack_confidence",
+    "event_confidence",
+    "overall_confidence",
+    "Budget",
+    "budget_utilization",
+    "deployment_cost",
+    "residual_budget",
+    "asset_weighted_coverage",
+    "zone_coverage",
+    "attack_coverage",
+    "covered_events",
+    "detectable_attacks",
+    "event_coverage",
+    "fully_covered_attacks",
+    "overall_coverage",
+    "DEFAULT_REDUNDANCY_CAP",
+    "attack_redundancy",
+    "event_evidence_count",
+    "event_redundancy",
+    "overall_redundancy",
+    "attack_richness",
+    "deployment_field_census",
+    "event_richness",
+    "overall_richness",
+    "UtilityWeights",
+    "attack_utility",
+    "utility",
+    "utility_breakdown",
+]

@@ -1,0 +1,64 @@
+"""Confidence metrics: probability that evidence is actually recorded.
+
+The static coverage metrics treat monitors as ideal observers.  In
+operation monitors miss events — log rotation races, packet drops under
+load, sampling.  Each :class:`~repro.core.monitors.MonitorType` carries
+a ``quality`` (probability of recording an observable event); treating
+monitors as independent, the confidence that a covered event actually
+leaves usable evidence is::
+
+    conf(e) = 1 - prod_over_deployed_evidencing_m (1 - weight(m, e) * quality(m))
+
+Confidence is a *reporting* metric: it is nonlinear in the selection
+variables, so the ILP objective uses coverage/redundancy/richness and
+confidence is evaluated on the resulting deployments (and validated
+operationally by the simulation substrate).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.attacks import Attack
+from repro.core.model import SystemModel
+
+__all__ = ["event_confidence", "attack_confidence", "overall_confidence"]
+
+
+def event_confidence(model: SystemModel, deployed: Iterable[str], event_id: str) -> float:
+    """Probability at least one deployed monitor records ``event_id``."""
+    providers = model.monitors_for_event(event_id)
+    deployed_set = set(deployed)
+    miss_probability = 1.0
+    for monitor_id, weight in providers.items():
+        if monitor_id not in deployed_set:
+            continue
+        monitor = model.monitor(monitor_id)
+        quality = model.monitor_type(monitor.monitor_type_id).quality
+        miss_probability *= 1.0 - weight * quality
+    return 1.0 - miss_probability
+
+
+def attack_confidence(model: SystemModel, deployed: Iterable[str], attack: Attack | str) -> float:
+    """Step-weighted average event confidence for one attack."""
+    if isinstance(attack, str):
+        attack = model.attack(attack)
+    deployed_set = set(deployed)
+    weighted = sum(
+        step.weight * event_confidence(model, deployed_set, step.event_id)
+        for step in attack.steps
+    )
+    return weighted / attack.total_step_weight
+
+
+def overall_confidence(model: SystemModel, deployed: Iterable[str]) -> float:
+    """Importance-weighted average attack confidence, in ``[0, 1]``."""
+    attacks = model.attacks
+    if not attacks:
+        return 0.0
+    deployed_set = set(deployed)
+    total_importance = sum(a.importance for a in attacks.values())
+    weighted = sum(
+        a.importance * attack_confidence(model, deployed_set, a) for a in attacks.values()
+    )
+    return weighted / total_importance

@@ -1,0 +1,128 @@
+"""Deployment cost metrics and budgets.
+
+Costs in this methodology are *multi-dimensional* (CPU, memory, storage,
+network, administrative effort), and a deployment is feasible only if it
+fits the budget in **every** dimension.  This module provides the
+:class:`Budget` wrapper used across the optimizer, plus reporting
+helpers (utilization, residual capacity).
+
+Unlike :class:`~repro.core.monitors.CostVector` (where a zero entry is
+the same as no entry), a budget distinguishes *unconstrained* dimensions
+(absent) from *zero* limits (present, forbidding any spend) — the budget
+sweeps rely on fraction 0 actually forbidding everything.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.model import SystemModel
+from repro.core.monitors import CostVector
+from repro.errors import MetricError
+
+__all__ = ["Budget", "deployment_cost", "budget_utilization", "residual_budget"]
+
+
+@dataclass(frozen=True, slots=True)
+class Budget:
+    """A multi-dimensional spending limit for monitor deployment.
+
+    Parameters
+    ----------
+    limits:
+        Per-dimension limits.  Dimensions absent from ``limits`` are
+        **unconstrained**; an explicit zero forbids any spend in that
+        dimension.
+    """
+
+    limits: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        frozen: dict[str, float] = {}
+        for dim, value in dict(self.limits).items():
+            value = float(value)
+            if not math.isfinite(value) or value < 0:
+                raise MetricError(
+                    f"budget limit for {dim!r} must be finite and >= 0, got {value!r}"
+                )
+            frozen[dim] = value
+        object.__setattr__(self, "limits", frozen)
+
+    @classmethod
+    def of(cls, **limits: float) -> "Budget":
+        """Convenience constructor: ``Budget.of(cpu=10, storage=40)``."""
+        return cls(limits)
+
+    @classmethod
+    def fraction_of_total(cls, model: SystemModel, fraction: float) -> "Budget":
+        """A budget equal to ``fraction`` of the model's all-monitors cost.
+
+        This is the knob the budget-sweep experiments turn: fraction 0
+        constrains every cost dimension to zero (forbidding every monitor
+        with any cost), fraction 1 affords the full deployment.
+        """
+        if not 0.0 <= fraction:
+            raise MetricError(f"budget fraction must be >= 0, got {fraction!r}")
+        total = model.total_cost()
+        if not total.dimensions:
+            raise MetricError(
+                "model has no cost dimensions; fraction_of_total cannot build a budget"
+            )
+        return cls({dim: total.get(dim) * fraction for dim in sorted(total.dimensions)})
+
+    @property
+    def dimensions(self) -> frozenset[str]:
+        """Dimensions this budget explicitly limits."""
+        return frozenset(self.limits)
+
+    def limit(self, dimension: str) -> float | None:
+        """The limit for ``dimension``; ``None`` when unconstrained."""
+        return self.limits.get(dimension)
+
+    def allows(self, cost: CostVector) -> bool:
+        """Whether ``cost`` fits in every constrained dimension.
+
+        Dimensions the budget does not mention are unconstrained.
+        """
+        return all(cost.get(dim) <= limit for dim, limit in self.limits.items())
+
+    def scaled(self, factor: float) -> "Budget":
+        """A budget with every limit multiplied by ``factor``."""
+        if factor < 0:
+            raise MetricError(f"budget scale factor must be >= 0, got {factor!r}")
+        return Budget({dim: limit * factor for dim, limit in self.limits.items()})
+
+
+def deployment_cost(model: SystemModel, monitor_ids: Iterable[str]) -> CostVector:
+    """Total cost of deploying ``monitor_ids`` in ``model``."""
+    return model.deployment_cost(monitor_ids)
+
+
+def budget_utilization(
+    model: SystemModel, monitor_ids: Iterable[str], budget: Budget
+) -> dict[str, float]:
+    """Per-dimension spend as a fraction of the budget limit.
+
+    Only constrained dimensions appear in the result.  A zero limit with
+    zero spend reports utilization 0; zero limit with positive spend is
+    reported as ``inf`` (the deployment is infeasible).
+    """
+    spend = deployment_cost(model, monitor_ids)
+    utilization: dict[str, float] = {}
+    for dim, limit in budget.limits.items():
+        used = spend.get(dim)
+        if limit > 0:
+            utilization[dim] = used / limit
+        else:
+            utilization[dim] = 0.0 if used == 0 else float("inf")
+    return utilization
+
+
+def residual_budget(
+    model: SystemModel, monitor_ids: Iterable[str], budget: Budget
+) -> Mapping[str, float]:
+    """Remaining capacity per constrained dimension (may be negative)."""
+    spend = deployment_cost(model, monitor_ids)
+    return {dim: limit - spend.get(dim) for dim, limit in budget.limits.items()}

@@ -1,0 +1,62 @@
+"""Optimal and heuristic monitor-deployment selection.
+
+The paper's optimization method, plus the baselines it is evaluated
+against:
+
+* :class:`~repro.optimize.problem.MaxUtilityProblem` — exact ILP:
+  maximum utility under a multi-dimensional budget;
+* :class:`~repro.optimize.problem.MinCostProblem` — exact ILP: minimum
+  cost meeting utility/coverage requirements;
+* :func:`~repro.optimize.greedy.solve_greedy` — lazy cost-effectiveness
+  greedy;
+* :func:`~repro.optimize.random_search.solve_random` — best-of-N random
+  feasible deployments;
+* :func:`~repro.optimize.annealing.solve_annealing` — simulated
+  annealing with feasibility repair;
+* :mod:`~repro.optimize.pareto` — budget sweeps and Pareto frontiers.
+"""
+
+from repro.optimize.annealing import solve_annealing
+from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.optimize.formulation import FormulationBuilder
+from repro.optimize.frontier import FrontierPoint, exact_frontier
+from repro.optimize.greedy import solve_greedy
+from repro.optimize.greedy_cover import solve_greedy_cover
+from repro.optimize.pareto import (
+    SweepPoint,
+    budget_sweep,
+    heuristic_sweep,
+    pareto_frontier,
+    solve_time_profile,
+)
+from repro.optimize.problem import MaxUtilityProblem, MinCostProblem
+from repro.optimize.random_search import solve_random
+from repro.optimize.rebalance import RebalanceProblem
+from repro.optimize.robust import (
+    ImportanceScenario,
+    RobustMaxUtilityProblem,
+    scenario_utility,
+)
+
+__all__ = [
+    "solve_annealing",
+    "Deployment",
+    "OptimizationResult",
+    "FormulationBuilder",
+    "FrontierPoint",
+    "exact_frontier",
+    "ImportanceScenario",
+    "RebalanceProblem",
+    "RobustMaxUtilityProblem",
+    "scenario_utility",
+    "solve_greedy",
+    "solve_greedy_cover",
+    "SweepPoint",
+    "budget_sweep",
+    "heuristic_sweep",
+    "pareto_frontier",
+    "solve_time_profile",
+    "MaxUtilityProblem",
+    "MinCostProblem",
+    "solve_random",
+]

@@ -1,0 +1,112 @@
+"""Budget sweeps and Pareto frontiers over cost/utility space.
+
+The paper's central picture — utility as a function of the deployment
+budget — is produced here: :func:`budget_sweep` solves a sequence of
+:class:`~repro.optimize.problem.MaxUtilityProblem` instances at scaled
+budgets, and :func:`pareto_frontier` extracts the non-dominated
+(cost, utility) points from any collection of evaluated deployments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.model import SystemModel
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.optimize.problem import MaxUtilityProblem
+
+__all__ = ["SweepPoint", "budget_sweep", "heuristic_sweep", "pareto_frontier", "solve_time_profile"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a budget sweep: the budget knob and its outcome."""
+
+    fraction: float
+    budget: Budget
+    result: OptimizationResult
+
+    @property
+    def utility(self) -> float:
+        return self.result.utility
+
+    @property
+    def scalar_cost(self) -> float:
+        """Scalarized cost actually spent (not the budget limit)."""
+        return self.result.deployment.cost().scalarize()
+
+
+def budget_sweep(
+    model: SystemModel,
+    fractions: Sequence[float],
+    weights: UtilityWeights | None = None,
+    *,
+    backend: str = "scipy",
+    time_limit: float | None = None,
+) -> list[SweepPoint]:
+    """Optimal utility at each budget fraction of the total monitor cost.
+
+    ``fractions`` are relative to the cost of deploying *every* monitor,
+    so 0.0 affords nothing (beyond zero-cost monitors) and 1.0 affords
+    the full deployment.
+    """
+    weights = weights or UtilityWeights()
+    points: list[SweepPoint] = []
+    for fraction in fractions:
+        budget = Budget.fraction_of_total(model, fraction)
+        problem = MaxUtilityProblem(model, budget, weights)
+        result = problem.solve(backend, time_limit=time_limit)
+        points.append(SweepPoint(fraction=fraction, budget=budget, result=result))
+    return points
+
+
+def heuristic_sweep(
+    model: SystemModel,
+    fractions: Sequence[float],
+    solver: Callable[[SystemModel, Budget, UtilityWeights], OptimizationResult],
+    weights: UtilityWeights | None = None,
+) -> list[SweepPoint]:
+    """Run any ``(model, budget, weights) -> OptimizationResult`` solver
+    over the same budget fractions as :func:`budget_sweep`, for
+    optimal-vs-heuristic comparisons on identical budgets."""
+    weights = weights or UtilityWeights()
+    points: list[SweepPoint] = []
+    for fraction in fractions:
+        budget = Budget.fraction_of_total(model, fraction)
+        result = solver(model, budget, weights)
+        points.append(SweepPoint(fraction=fraction, budget=budget, result=result))
+    return points
+
+
+def pareto_frontier(
+    deployments: Iterable[Deployment], weights: UtilityWeights | None = None
+) -> list[tuple[float, float, Deployment]]:
+    """Non-dominated ``(scalar cost, utility, deployment)`` triples.
+
+    A deployment is dominated if another costs no more and yields at
+    least as much utility (with one inequality strict).  The result is
+    sorted by cost ascending; utilities are then strictly increasing.
+    """
+    weights = weights or UtilityWeights()
+    evaluated = [
+        (d.cost().scalarize(), d.utility(weights), d) for d in deployments
+    ]
+    evaluated.sort(key=lambda item: (item[0], -item[1]))
+    frontier: list[tuple[float, float, Deployment]] = []
+    best_utility = float("-inf")
+    for cost, util, deployment in evaluated:
+        if util > best_utility:
+            frontier.append((cost, util, deployment))
+            best_utility = util
+    return frontier
+
+
+def solve_time_profile(points: Iterable[SweepPoint]) -> dict[str, float]:
+    """Aggregate solve-time statistics over a sweep (for scalability tables)."""
+    times = [p.result.solve_seconds for p in points]
+    if not times:
+        return {"total": 0.0, "mean": 0.0, "max": 0.0}
+    return {"total": sum(times), "mean": sum(times) / len(times), "max": max(times)}

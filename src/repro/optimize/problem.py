@@ -1,0 +1,274 @@
+"""The two deployment optimization problems from the paper.
+
+* :class:`MaxUtilityProblem` — given a budget, select the monitor set of
+  maximum utility whose cost fits every budget dimension (the paper's
+  headline "cost-optimal, maximum-utility placement").
+* :class:`MinCostProblem` — given utility/coverage requirements, select
+  the cheapest monitor set that meets them (the planning dual: "what
+  does this security goal cost?").
+
+Both compile to 0/1 integer programs through
+:class:`~repro.optimize.formulation.FormulationBuilder` and solve with
+any registered backend, returning an
+:class:`~repro.optimize.deployment.OptimizationResult` whose utility is
+re-evaluated with the reference metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping
+
+from repro.core.model import SystemModel
+from repro.errors import InfeasibleError, OptimizationError
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.optimize.formulation import FormulationBuilder
+from repro.solver import solve
+from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
+
+__all__ = ["MaxUtilityProblem", "MinCostProblem"]
+
+
+class MaxUtilityProblem:
+    """Maximize deployment utility subject to a multi-dimensional budget.
+
+    Parameters
+    ----------
+    model:
+        The system model to place monitors in.
+    budget:
+        Per-dimension spending limits; must constrain at least one
+        dimension (an unconstrained problem would always select every
+        useful monitor).
+    weights:
+        Utility weights; library defaults if omitted.
+    forced_monitors:
+        Monitors treated as already deployed — they are pinned selected
+        and their cost counts against the budget.  This supports the
+        incremental re-optimization workflow (extend an existing
+        deployment after the attack catalog grows).
+    max_monitors:
+        Optional cap on the number of selected monitors, independent of
+        cost (operational headcount: each monitor needs care and
+        feeding regardless of its resource footprint).
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        budget: Budget,
+        weights: UtilityWeights | None = None,
+        *,
+        forced_monitors: Iterable[str] = (),
+        max_monitors: int | None = None,
+    ):
+        self.model = model
+        self.budget = budget
+        self.weights = weights or UtilityWeights()
+        self.forced_monitors = frozenset(forced_monitors)
+        if max_monitors is not None and max_monitors < 0:
+            raise OptimizationError(f"max_monitors must be >= 0, got {max_monitors!r}")
+        self.max_monitors = max_monitors
+
+    def build(self) -> tuple[MilpModel, FormulationBuilder]:
+        """Construct the ILP without solving (exposed for inspection/tests)."""
+        milp = MilpModel(f"max-utility[{self.model.name}]", ObjectiveSense.MAXIMIZE)
+        builder = FormulationBuilder(milp, self.model)
+        milp.set_objective(builder.utility_expression(self.weights))
+        builder.add_budget_constraints(self.budget)
+        if self.forced_monitors:
+            builder.add_forced_selection(self.forced_monitors)
+        if self.max_monitors is not None:
+            builder.add_cardinality_constraint(self.max_monitors)
+        return milp, builder
+
+    def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
+        """Solve to optimality and return the chosen deployment.
+
+        Raises
+        ------
+        repro.errors.InfeasibleError
+            If no deployment fits the budget (only possible with forced
+            monitors exceeding it — the empty deployment is otherwise
+            always feasible).
+        """
+        started = time.perf_counter()
+        milp, builder = self.build()
+        solution = solve(milp, backend, time_limit=time_limit)
+        elapsed = time.perf_counter() - started
+        if solution.status is SolutionStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"no deployment fits the budget {dict(self.budget.limits)!r} "
+                f"(forced monitors: {sorted(self.forced_monitors)})"
+            )
+        selected = builder.selected_ids(solution.values)
+        deployment = Deployment.of(self.model, selected)
+        return OptimizationResult(
+            deployment=deployment,
+            objective=solution.objective,
+            utility=utility(self.model, selected, self.weights),
+            solve_seconds=elapsed,
+            method=f"ilp/{solution.backend}",
+            optimal=solution.is_optimal,
+            stats={
+                "variables": float(milp.num_variables),
+                "constraints": float(milp.num_constraints),
+                "nodes": float(solution.nodes_explored),
+            },
+        )
+
+
+class MinCostProblem:
+    """Minimize deployment cost subject to security requirements.
+
+    At least one requirement must be given:
+
+    ``min_utility``
+        Overall utility floor under ``weights``.
+    ``min_attack_coverage``
+        Per-attack coverage floors, ``{attack_id: floor}``.
+    ``fully_cover``
+        Attacks whose every *required* step must be evidenced by at
+        least one selected monitor.
+    ``redundant_cover``
+        Defense-in-depth floors, ``{attack_id: min_sources}``: every
+        required step of the attack must be evidenced by at least
+        ``min_sources`` selected monitors (a single compromised or
+        failed monitor then cannot blind the kill chain).
+    ``min_attack_richness``
+        Forensic floors, ``{attack_id: floor}``: the attack's richness
+        metric (fraction of capturable data fields collected about its
+        steps) must reach ``floor`` — "we must be able to *investigate*
+        this attack", not merely notice it.
+
+    The objective is the scalarized cost; ``cost_dimension_weights``
+    rebalances dimensions (default: every dimension weighs 1).
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        *,
+        min_utility: float | None = None,
+        min_attack_coverage: Mapping[str, float] | None = None,
+        fully_cover: Iterable[str] = (),
+        redundant_cover: Mapping[str, int] | None = None,
+        min_attack_richness: Mapping[str, float] | None = None,
+        weights: UtilityWeights | None = None,
+        cost_dimension_weights: Mapping[str, float] | None = None,
+    ):
+        self.model = model
+        self.min_utility = min_utility
+        self.min_attack_coverage = dict(min_attack_coverage or {})
+        self.fully_cover = tuple(fully_cover)
+        self.redundant_cover = dict(redundant_cover or {})
+        self.min_attack_richness = dict(min_attack_richness or {})
+        self.weights = weights or UtilityWeights()
+        self.cost_dimension_weights = (
+            None if cost_dimension_weights is None else dict(cost_dimension_weights)
+        )
+        if (
+            min_utility is None
+            and not self.min_attack_coverage
+            and not self.fully_cover
+            and not self.redundant_cover
+            and not self.min_attack_richness
+        ):
+            raise OptimizationError(
+                "MinCostProblem needs at least one requirement: min_utility, "
+                "min_attack_coverage, fully_cover, redundant_cover, or "
+                "min_attack_richness"
+            )
+        for attack_id, floor in self.min_attack_richness.items():
+            if attack_id not in model.attacks:
+                raise OptimizationError(
+                    f"richness floor references unknown attack {attack_id!r}"
+                )
+            if not 0.0 <= floor <= 1.0:
+                raise OptimizationError(
+                    f"richness floor for {attack_id!r} must lie in [0, 1], got {floor!r}"
+                )
+        for attack_id, min_sources in self.redundant_cover.items():
+            if attack_id not in model.attacks:
+                raise OptimizationError(
+                    f"redundant_cover references unknown attack {attack_id!r}"
+                )
+            if min_sources < 1:
+                raise OptimizationError(
+                    f"redundant_cover for {attack_id!r} must be >= 1, got {min_sources!r}"
+                )
+        if min_utility is not None and not 0.0 <= min_utility <= 1.0:
+            raise OptimizationError(f"min_utility must lie in [0, 1], got {min_utility!r}")
+        for attack_id, floor in self.min_attack_coverage.items():
+            if attack_id not in model.attacks:
+                raise OptimizationError(f"coverage floor references unknown attack {attack_id!r}")
+            if not 0.0 <= floor <= 1.0:
+                raise OptimizationError(
+                    f"coverage floor for {attack_id!r} must lie in [0, 1], got {floor!r}"
+                )
+        for attack_id in self.fully_cover:
+            if attack_id not in model.attacks:
+                raise OptimizationError(f"fully_cover references unknown attack {attack_id!r}")
+
+    def build(self) -> tuple[MilpModel, FormulationBuilder]:
+        """Construct the ILP without solving (exposed for inspection/tests)."""
+        milp = MilpModel(f"min-cost[{self.model.name}]", ObjectiveSense.MINIMIZE)
+        builder = FormulationBuilder(milp, self.model)
+        milp.set_objective(builder.cost_expression(self.cost_dimension_weights))
+        if self.min_utility is not None:
+            milp.add_constraint(
+                builder.utility_expression(self.weights) >= self.min_utility,
+                name="min_utility",
+            )
+        for attack_id, floor in sorted(self.min_attack_coverage.items()):
+            milp.add_constraint(
+                builder.attack_coverage_expression(attack_id) >= floor,
+                name=f"min_cov[{attack_id}]",
+            )
+        for attack_id in self.fully_cover:
+            builder.add_full_coverage_constraint(attack_id)
+        for attack_id, min_sources in sorted(self.redundant_cover.items()):
+            builder.add_full_coverage_constraint(attack_id, min_sources=min_sources)
+        for attack_id, floor in sorted(self.min_attack_richness.items()):
+            milp.add_constraint(
+                builder.attack_richness_expression(attack_id) >= floor,
+                name=f"min_rich[{attack_id}]",
+            )
+        return milp, builder
+
+    def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
+        """Solve to optimality and return the cheapest compliant deployment.
+
+        Raises
+        ------
+        repro.errors.InfeasibleError
+            If the requirements are unattainable with the model's
+            monitors (e.g. a required step no monitor can evidence).
+        """
+        started = time.perf_counter()
+        milp, builder = self.build()
+        solution = solve(milp, backend, time_limit=time_limit)
+        elapsed = time.perf_counter() - started
+        if solution.status is SolutionStatus.INFEASIBLE:
+            raise InfeasibleError(
+                "security requirements are unattainable with the available monitors "
+                f"(min_utility={self.min_utility!r}, "
+                f"floors={self.min_attack_coverage!r}, fully_cover={self.fully_cover!r})"
+            )
+        selected = builder.selected_ids(solution.values)
+        deployment = Deployment.of(self.model, selected)
+        return OptimizationResult(
+            deployment=deployment,
+            objective=solution.objective,
+            utility=utility(self.model, selected, self.weights),
+            solve_seconds=elapsed,
+            method=f"ilp/{solution.backend}",
+            optimal=solution.is_optimal,
+            stats={
+                "variables": float(milp.num_variables),
+                "constraints": float(milp.num_constraints),
+                "nodes": float(solution.nodes_explored),
+            },
+        )

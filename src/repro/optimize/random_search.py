@@ -1,0 +1,70 @@
+"""Random-sampling baseline.
+
+The weakest baseline in the comparison: sample budget-feasible
+deployments by shuffling the monitor list and greedily filling the
+budget in that random order, keep the best of ``samples`` attempts.
+Its gap to the exact optimum calibrates how much structure the ILP and
+greedy heuristics actually exploit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.model import SystemModel
+from repro.errors import OptimizationError
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.deployment import Deployment, OptimizationResult
+
+__all__ = ["solve_random"]
+
+
+def solve_random(
+    model: SystemModel,
+    budget: Budget,
+    weights: UtilityWeights | None = None,
+    *,
+    samples: int = 100,
+    seed: int = 0,
+) -> OptimizationResult:
+    """Best of ``samples`` random budget-feasible deployments.
+
+    Deterministic for a fixed ``seed``.
+    """
+    if samples < 1:
+        raise OptimizationError(f"samples must be >= 1, got {samples!r}")
+    weights = weights or UtilityWeights()
+    rng = np.random.default_rng(seed)
+    monitor_ids = list(model.monitors)
+    started = time.perf_counter()
+
+    best_ids: frozenset[str] = frozenset()
+    best_utility = utility(model, best_ids, weights)
+
+    for _ in range(samples):
+        order = rng.permutation(len(monitor_ids))
+        selected: set[str] = set()
+        spend = model.deployment_cost(())
+        for index in order:
+            monitor_id = monitor_ids[index]
+            candidate_spend = spend + model.monitor_cost(monitor_id)
+            if budget.allows(candidate_spend):
+                selected.add(monitor_id)
+                spend = candidate_spend
+        candidate_utility = utility(model, selected, weights)
+        if candidate_utility > best_utility:
+            best_utility = candidate_utility
+            best_ids = frozenset(selected)
+
+    return OptimizationResult(
+        deployment=Deployment.of(model, best_ids),
+        objective=best_utility,
+        utility=best_utility,
+        solve_seconds=time.perf_counter() - started,
+        method="random",
+        optimal=False,
+        stats={"samples": float(samples)},
+    )

@@ -1,0 +1,216 @@
+"""Scenario-robust monitor placement.
+
+Attack importance values are estimates; a deployment tuned to one
+estimate can crater when the threat landscape shifts.  The robust
+variant optimizes the **worst case over importance scenarios**::
+
+    maximize   t
+    subject to t <= utility_s(x)   for every scenario s
+               cost(x) <= budget
+
+where ``utility_s`` is the utility expression with attack importance
+taken from scenario ``s``.  Because each ``utility_s`` is linear in the
+same auxiliary variables, the max-min program stays a MILP: one
+continuous epigraph variable ``t`` plus one constraint per scenario.
+
+Scenario builders for the common cases (reweighting attack classes,
+dropping attacks, flat importance) live here too.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+
+from repro.core.model import SystemModel
+from repro.errors import InfeasibleError, OptimizationError
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.optimize.formulation import FormulationBuilder
+from repro.solver import solve
+from repro.solver.expressions import LinearExpression
+from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
+
+__all__ = ["ImportanceScenario", "RobustMaxUtilityProblem", "scenario_utility"]
+
+
+class ImportanceScenario:
+    """A named reassignment of attack importance values.
+
+    ``overrides`` maps attack ids to importance in ``(0, 1]``; attacks
+    absent from the mapping keep their model importance.  An override of
+    exactly ``0`` removes the attack from the scenario entirely (the
+    threat retired).
+    """
+
+    def __init__(self, name: str, overrides: Mapping[str, float] | None = None):
+        self.name = name
+        self.overrides = dict(overrides or {})
+        for attack_id, importance in self.overrides.items():
+            if not 0.0 <= importance <= 1.0:
+                raise OptimizationError(
+                    f"scenario {name!r}: importance for {attack_id!r} must lie "
+                    f"in [0, 1], got {importance!r}"
+                )
+
+    def importance_of(self, model: SystemModel, attack_id: str) -> float:
+        """The attack's importance under this scenario."""
+        if attack_id in self.overrides:
+            return self.overrides[attack_id]
+        return model.attack(attack_id).importance
+
+    def validate_against(self, model: SystemModel) -> None:
+        """Check every override references a model attack."""
+        unknown = set(self.overrides) - set(model.attacks)
+        if unknown:
+            raise OptimizationError(
+                f"scenario {self.name!r} references unknown attacks: {sorted(unknown)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"ImportanceScenario({self.name!r}, {len(self.overrides)} overrides)"
+
+
+def _scenario_event_weights(
+    model: SystemModel, scenario: ImportanceScenario
+) -> dict[str, float]:
+    """Per-event utility weights under a scenario's importance values."""
+    importances = {
+        attack_id: scenario.importance_of(model, attack_id) for attack_id in model.attacks
+    }
+    total = sum(importances.values())
+    weights: dict[str, float] = {}
+    if total == 0:
+        return weights
+    for attack in model.attacks.values():
+        scale = importances[attack.attack_id] / total / attack.total_step_weight
+        if scale == 0:
+            continue
+        for step in attack.steps:
+            weights[step.event_id] = weights.get(step.event_id, 0.0) + scale * step.weight
+    return weights
+
+
+def _scenario_utility_expression(
+    builder: FormulationBuilder,
+    scenario: ImportanceScenario,
+    weights: UtilityWeights,
+) -> LinearExpression:
+    """Linear utility expression with scenario-adjusted importances."""
+    expr = LinearExpression()
+    for event_id, base in _scenario_event_weights(builder.model, scenario).items():
+        if weights.coverage > 0:
+            expr = expr + builder.coverage_level(event_id) * (weights.coverage * base)
+        if weights.redundancy > 0:
+            expr = expr + builder.redundancy_level(event_id, weights.redundancy_cap) * (
+                weights.redundancy * base
+            )
+        if weights.richness > 0:
+            expr = expr + builder.richness_level(event_id) * (weights.richness * base)
+    return expr
+
+
+def scenario_utility(
+    model: SystemModel,
+    deployed: frozenset[str] | set[str],
+    scenario: ImportanceScenario,
+    weights: UtilityWeights | None = None,
+) -> float:
+    """Reference (direct) evaluation of utility under a scenario.
+
+    Mirrors :func:`repro.metrics.utility.utility` with the scenario's
+    importance values; the ILP's scenario expressions must agree with
+    this function at 0/1 points (property-tested).
+    """
+    from repro.metrics.coverage import event_coverage
+    from repro.metrics.redundancy import event_redundancy
+    from repro.metrics.richness import event_richness
+
+    weights = weights or UtilityWeights()
+    deployed_set = set(deployed)
+    value = 0.0
+    for event_id, base in _scenario_event_weights(model, scenario).items():
+        if weights.coverage > 0:
+            value += weights.coverage * base * event_coverage(model, deployed_set, event_id)
+        if weights.redundancy > 0:
+            value += weights.redundancy * base * event_redundancy(
+                model, deployed_set, event_id, weights.redundancy_cap
+            )
+        if weights.richness > 0:
+            value += weights.richness * base * event_richness(model, deployed_set, event_id)
+    return value
+
+
+class RobustMaxUtilityProblem:
+    """Maximize worst-case utility over importance scenarios, under budget.
+
+    With a single scenario this reduces exactly to
+    :class:`~repro.optimize.problem.MaxUtilityProblem` (tested).  The
+    model's own importance values always participate as the implicit
+    ``"nominal"`` scenario unless ``include_nominal=False``.
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        budget: Budget,
+        scenarios: Sequence[ImportanceScenario],
+        weights: UtilityWeights | None = None,
+        *,
+        include_nominal: bool = True,
+    ):
+        self.model = model
+        self.budget = budget
+        self.weights = weights or UtilityWeights()
+        self.scenarios = list(scenarios)
+        if include_nominal:
+            self.scenarios.insert(0, ImportanceScenario("nominal"))
+        if not self.scenarios:
+            raise OptimizationError("robust optimization needs at least one scenario")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise OptimizationError(f"duplicate scenario names: {names}")
+        for scenario in self.scenarios:
+            scenario.validate_against(model)
+
+    def build(self) -> tuple[MilpModel, FormulationBuilder]:
+        """Construct the epigraph MILP without solving."""
+        milp = MilpModel(f"robust[{self.model.name}]", ObjectiveSense.MAXIMIZE)
+        builder = FormulationBuilder(milp, self.model)
+        t = milp.continuous("worst_case_utility", 0.0, 1.0)
+        for scenario in self.scenarios:
+            expr = _scenario_utility_expression(builder, scenario, self.weights)
+            milp.add_constraint(t <= expr, name=f"scenario[{scenario.name}]")
+        builder.add_budget_constraints(self.budget)
+        milp.set_objective(t + 0.0)
+        return milp, builder
+
+    def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
+        """Solve and report per-scenario utilities in ``stats``."""
+        started = time.perf_counter()
+        milp, builder = self.build()
+        solution = solve(milp, backend, time_limit=time_limit)
+        elapsed = time.perf_counter() - started
+        if solution.status is SolutionStatus.INFEASIBLE:
+            raise InfeasibleError("no deployment fits the budget")
+        selected = builder.selected_ids(solution.values)
+        per_scenario = {
+            f"utility[{s.name}]": scenario_utility(self.model, selected, s, self.weights)
+            for s in self.scenarios
+        }
+        worst = min(per_scenario.values())
+        return OptimizationResult(
+            deployment=Deployment.of(self.model, selected),
+            objective=solution.objective,
+            utility=worst,
+            solve_seconds=elapsed,
+            method=f"robust-ilp/{solution.backend}",
+            optimal=solution.is_optimal,
+            stats={
+                "variables": float(milp.num_variables),
+                "constraints": float(milp.num_constraints),
+                "scenarios": float(len(self.scenarios)),
+                **per_scenario,
+            },
+        )

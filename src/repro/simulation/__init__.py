@@ -1,0 +1,48 @@
+"""Operational validation: discrete-event monitoring simulation.
+
+Static metrics predict what a deployment *should* see; this package
+checks what it *does* see.  Attack campaigns execute on a discrete-
+event kernel, deployed monitors record steps imperfectly (per-type
+quality, latency), an evidence-accumulation detector raises verdicts,
+and a forensic scorer measures how completely each run can be
+reconstructed afterwards.  Experiment F5 uses these results to show
+that model-predicted utility tracks simulated detection and
+reconstruction quality.
+"""
+
+from repro.simulation.campaign import CampaignResult, RunOutcome, run_campaign
+from repro.simulation.detector import (
+    DEFAULT_DETECTION_THRESHOLD,
+    EvidenceAccumulationDetector,
+    SequencedEvidenceDetector,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.forensics import ForensicReport, reconstruct
+from repro.simulation.observation import ObservationModel
+from repro.simulation.records import Detection, Observation, StepOccurrence
+from repro.simulation.trace import (
+    jsonl_to_observations,
+    load_trace,
+    observations_to_jsonl,
+    save_trace,
+)
+
+__all__ = [
+    "jsonl_to_observations",
+    "load_trace",
+    "observations_to_jsonl",
+    "save_trace",
+    "CampaignResult",
+    "RunOutcome",
+    "run_campaign",
+    "DEFAULT_DETECTION_THRESHOLD",
+    "EvidenceAccumulationDetector",
+    "SequencedEvidenceDetector",
+    "Simulator",
+    "ForensicReport",
+    "reconstruct",
+    "ObservationModel",
+    "Detection",
+    "Observation",
+    "StepOccurrence",
+]

@@ -1,0 +1,232 @@
+"""Attack-campaign simulation: the operational validation harness.
+
+:func:`run_campaign` executes every attack in the model (``repetitions``
+times each) against a monitor deployment on the discrete-event kernel:
+
+1. each attack run schedules its steps in order with random inter-step
+   gaps;
+2. the :class:`~repro.simulation.observation.ObservationModel` turns
+   steps into (possibly missed) monitor records after a latency;
+3. the :class:`~repro.simulation.detector.EvidenceAccumulationDetector`
+   consumes records as they arrive and emits detections;
+4. afterwards, each run is scored forensically.
+
+The resulting :class:`CampaignResult` reports detection rate, detection
+latency, and reconstruction completeness — the operational quantities
+that experiment F5 correlates with the static utility metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import SystemModel
+from repro.errors import SimulationError
+from repro.optimize.deployment import Deployment
+from repro.simulation.detector import (
+    DEFAULT_DETECTION_THRESHOLD,
+    EvidenceAccumulationDetector,
+    SequencedEvidenceDetector,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.forensics import ForensicReport, reconstruct
+from repro.simulation.observation import ObservationModel
+from repro.simulation.records import Detection, Observation, StepOccurrence
+
+__all__ = ["CampaignResult", "RunOutcome", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What happened to one attack run."""
+
+    run_id: int
+    attack_id: str
+    detected: bool
+    detection_time: float | None
+    final_score: float
+    forensics: ForensicReport
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of a full attack campaign."""
+
+    runs: tuple[RunOutcome, ...]
+    detections: tuple[Detection, ...]
+    observations: int
+    benign_noise_volume: float
+    duration: float
+    seed: int
+    per_attack_detection: dict[str, float] = field(default_factory=dict)
+    #: Raw observation records, populated only when ``run_campaign`` is
+    #: called with ``keep_observations=True`` (trace export).
+    records: tuple[Observation, ...] = ()
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of runs detected."""
+        if not self.runs:
+            return 0.0
+        return sum(1 for r in self.runs if r.detected) / len(self.runs)
+
+    @property
+    def mean_detection_latency(self) -> float:
+        """Mean time from run start to detection, over detected runs."""
+        latencies = [r.detection_time for r in self.runs if r.detection_time is not None]
+        return float(np.mean(latencies)) if latencies else float("nan")
+
+    @property
+    def mean_step_completeness(self) -> float:
+        """Mean forensic step completeness over all runs."""
+        if not self.runs:
+            return 0.0
+        return float(np.mean([r.forensics.step_completeness for r in self.runs]))
+
+    @property
+    def mean_field_completeness(self) -> float:
+        """Mean forensic field completeness over all runs."""
+        if not self.runs:
+            return 0.0
+        return float(np.mean([r.forensics.field_completeness for r in self.runs]))
+
+
+def run_campaign(
+    model: SystemModel,
+    deployment: Deployment,
+    *,
+    repetitions: int = 10,
+    seed: int = 0,
+    threshold: float = DEFAULT_DETECTION_THRESHOLD,
+    mean_step_gap: float = 30.0,
+    mean_observation_latency: float = 0.5,
+    monitor_failure_rate: float = 0.0,
+    keep_observations: bool = False,
+    sequenced: bool = False,
+) -> CampaignResult:
+    """Simulate every attack against ``deployment`` and score the outcome.
+
+    Parameters
+    ----------
+    repetitions:
+        Number of runs per attack in the model.
+    seed:
+        Seed for all campaign randomness (step timing, monitor misses,
+        latencies, failures); identical seeds reproduce identical
+        campaigns.
+    threshold:
+        Detector threshold on the realized-coverage score.
+    mean_step_gap:
+        Mean exponential gap between consecutive steps of a run.
+    mean_observation_latency:
+        Mean exponential monitor processing latency.
+    monitor_failure_rate:
+        Per-run probability that each deployed monitor is down for the
+        entirety of that run (failure injection, experiment F8).
+    keep_observations:
+        Retain the raw observation records on the result (``records``)
+        for trace export; off by default to keep campaigns lightweight.
+    sequenced:
+        Use the kill-chain-ordered
+        :class:`~repro.simulation.detector.SequencedEvidenceDetector`
+        instead of plain evidence accumulation.
+    """
+    if repetitions < 1:
+        raise SimulationError(f"repetitions must be >= 1, got {repetitions!r}")
+    if deployment.model is not model:
+        raise SimulationError("deployment was built for a different model")
+    if not 0.0 <= monitor_failure_rate <= 1.0:
+        raise SimulationError(
+            f"monitor_failure_rate must lie in [0, 1], got {monitor_failure_rate!r}"
+        )
+
+    rng = np.random.default_rng(seed)
+    simulator = Simulator()
+    observer = ObservationModel(
+        model, deployment.monitor_ids, rng, mean_latency=mean_observation_latency
+    )
+    detector_class = SequencedEvidenceDetector if sequenced else EvidenceAccumulationDetector
+    detector = detector_class(model, threshold)
+
+    observations: list[Observation] = []
+    run_start: dict[int, float] = {}
+    run_attack: dict[int, str] = {}
+    run_failures: dict[int, frozenset[str]] = {}
+    deployed_list = sorted(deployment.monitor_ids)
+
+    def on_observation(sim: Simulator, observation: Observation) -> None:
+        observations.append(observation)
+        detector.consume(observation)
+
+    def on_step(sim: Simulator, step: StepOccurrence) -> None:
+        failed = run_failures[step.run_id]
+        for observation in observer.observe(step, failed):
+            sim.schedule(max(0.0, observation.time - sim.now), on_observation, observation)
+
+    # Schedule every run's steps up front; runs interleave in time.
+    run_id = 0
+    for attack in model.attacks.values():
+        for _ in range(repetitions):
+            if monitor_failure_rate > 0.0 and deployed_list:
+                down = rng.random(len(deployed_list)) < monitor_failure_rate
+                run_failures[run_id] = frozenset(
+                    m for m, is_down in zip(deployed_list, down) if is_down
+                )
+            else:
+                run_failures[run_id] = frozenset()
+            start = float(rng.uniform(0.0, 3600.0))
+            run_start[run_id] = start
+            run_attack[run_id] = attack.attack_id
+            t = start
+            for index, step in enumerate(attack.steps):
+                t += float(rng.exponential(mean_step_gap))
+                occurrence = StepOccurrence(
+                    run_id=run_id,
+                    attack_id=attack.attack_id,
+                    event_id=step.event_id,
+                    asset_id=model.event(step.event_id).asset_id,
+                    time=t,
+                    step_index=index,
+                )
+                simulator.schedule_at(t, on_step, occurrence)
+            run_id += 1
+
+    duration = simulator.run()
+
+    detection_by_run = {d.run_id: d for d in detector.detections}
+    outcomes: list[RunOutcome] = []
+    for rid in range(run_id):
+        attack_id = run_attack[rid]
+        detection = detection_by_run.get(rid)
+        outcomes.append(
+            RunOutcome(
+                run_id=rid,
+                attack_id=attack_id,
+                detected=detection is not None,
+                detection_time=(
+                    None if detection is None else detection.time - run_start[rid]
+                ),
+                final_score=detector.score_of(rid, attack_id),
+                forensics=reconstruct(model, rid, attack_id, observations),
+            )
+        )
+
+    per_attack: dict[str, float] = {}
+    for attack_id in model.attacks:
+        attack_runs = [o for o in outcomes if o.attack_id == attack_id]
+        per_attack[attack_id] = (
+            sum(1 for o in attack_runs if o.detected) / len(attack_runs) if attack_runs else 0.0
+        )
+
+    return CampaignResult(
+        runs=tuple(outcomes),
+        detections=tuple(detector.detections),
+        observations=len(observations),
+        benign_noise_volume=observer.benign_noise_volume(duration),
+        duration=duration,
+        seed=seed,
+        per_attack_detection=per_attack,
+        records=tuple(observations) if keep_observations else (),
+    )

@@ -1,0 +1,111 @@
+"""Evidence-accumulation intrusion detector.
+
+The detector consumes the observation stream and maintains, per attack
+run, a realized-coverage score: the step-weighted sum of the best
+observed evidence weight per step, normalized by the attack's total
+step weight (the operational analogue of the static coverage metric).
+When a run's score crosses ``threshold``, a :class:`Detection` verdict
+is emitted — once per run.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import SystemModel
+from repro.simulation.records import Detection, Observation
+
+__all__ = [
+    "EvidenceAccumulationDetector",
+    "SequencedEvidenceDetector",
+    "DEFAULT_DETECTION_THRESHOLD",
+]
+
+#: A run counts as detected once half its weighted steps are evidenced.
+DEFAULT_DETECTION_THRESHOLD = 0.5
+
+
+class EvidenceAccumulationDetector:
+    """Stateful detector over a stream of observations."""
+
+    def __init__(self, model: SystemModel, threshold: float = DEFAULT_DETECTION_THRESHOLD):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"detection threshold must lie in (0, 1], got {threshold!r}")
+        self.model = model
+        self.threshold = threshold
+        # (run, attack) -> {event -> best observed weight}
+        self._best_weight: dict[tuple[int, str], dict[str, float]] = {}
+        self._contributors: dict[tuple[int, str], set[str]] = {}
+        self._detections: dict[tuple[int, str], Detection] = {}
+
+    def consume(self, observation: Observation) -> Detection | None:
+        """Feed one observation; returns a verdict on threshold crossing."""
+        key = (observation.run_id, observation.attack_id)
+        if key in self._detections:
+            return None  # already detected
+        best = self._best_weight.setdefault(key, {})
+        previous = best.get(observation.event_id, 0.0)
+        if observation.weight > previous:
+            best[observation.event_id] = observation.weight
+        self._contributors.setdefault(key, set()).add(observation.monitor_id)
+
+        score = self._score(observation.attack_id, best)
+        if score >= self.threshold:
+            detection = Detection(
+                run_id=observation.run_id,
+                attack_id=observation.attack_id,
+                time=observation.time,
+                score=score,
+                contributing_monitors=frozenset(self._contributors[key]),
+            )
+            self._detections[key] = detection
+            return detection
+        return None
+
+    def _score(self, attack_id: str, best_weights: dict[str, float]) -> float:
+        attack = self.model.attack(attack_id)
+        realized = sum(
+            step.weight * best_weights.get(step.event_id, 0.0) for step in attack.steps
+        )
+        return realized / attack.total_step_weight
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def detections(self) -> list[Detection]:
+        """All verdicts emitted so far, in consumption order."""
+        return list(self._detections.values())
+
+    def score_of(self, run_id: int, attack_id: str) -> float:
+        """Current realized-coverage score of a run (0 if nothing seen)."""
+        best = self._best_weight.get((run_id, attack_id), {})
+        return self._score(attack_id, best) if best else 0.0
+
+    def was_detected(self, run_id: int, attack_id: str) -> bool:
+        """Whether the run crossed the threshold."""
+        return (run_id, attack_id) in self._detections
+
+
+class SequencedEvidenceDetector(EvidenceAccumulationDetector):
+    """Kill-chain-ordered variant of the evidence-accumulation detector.
+
+    Real correlation rules demand *causal* chains: a database dump is
+    suspicious after an injection request, much less so in isolation.
+    This detector credits a step's evidence only when **every earlier
+    required step** of the attack has also been evidenced; the first
+    unevidenced required step zeroes out everything after it.
+
+    Consequences (benchmarked in F12): never more sensitive than the
+    unordered detector, strictly less on deployments with early-chain
+    blind spots — which is exactly the argument for covering
+    reconnaissance steps even though they carry little weight.
+    """
+
+    def _score(self, attack_id: str, best_weights: dict[str, float]) -> float:
+        attack = self.model.attack(attack_id)
+        realized = 0.0
+        for step in attack.steps:
+            observed = best_weights.get(step.event_id, 0.0)
+            if observed > 0.0:
+                realized += step.weight * observed
+            elif step.required:
+                break  # the chain is not established past this point
+        return realized / attack.total_step_weight

@@ -1,0 +1,105 @@
+"""A minimal discrete-event simulation kernel.
+
+The monitoring simulation needs deterministic, ordered execution of
+timestamped events (attack steps firing, monitors emitting records,
+detectors updating scores).  This kernel provides exactly that: a
+priority queue of scheduled callbacks with a monotonically advancing
+clock and stable FIFO ordering for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven simulation clock and scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[["Simulator", Any], None], Any]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        delay: float,
+        handler: Callable[["Simulator", Any], None],
+        payload: Any = None,
+    ) -> None:
+        """Schedule ``handler(sim, payload)`` after ``delay`` time units.
+
+        Events at equal times run in scheduling (FIFO) order, which
+        keeps runs deterministic.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), handler, payload))
+
+    def schedule_at(
+        self,
+        time: float,
+        handler: Callable[["Simulator", Any], None],
+        payload: Any = None,
+    ) -> None:
+        """Schedule at an absolute time (must not be before ``now``)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, simulation clock is already at {self._now!r}"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), handler, payload))
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is strictly later (the clock is
+            advanced to ``until``).  ``None`` drains the queue.
+        max_events:
+            Safety cap on processed events.
+
+        Returns
+        -------
+        float
+            The simulation time at stop.
+        """
+        processed_this_run = 0
+        while self._heap:
+            time, _, handler, payload = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            if max_events is not None and processed_this_run >= max_events:
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            handler(self, payload)
+            self._processed += 1
+            processed_this_run += 1
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

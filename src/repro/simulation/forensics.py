@@ -1,0 +1,83 @@
+"""Forensic reconstruction scoring.
+
+After an incident, analysts reconstruct the attack from whatever the
+deployed monitors recorded.  This module scores that reconstruction per
+attack run:
+
+* **step completeness** — weighted fraction of the attack's steps with
+  at least one observation (can the timeline be reconstructed?);
+* **field completeness** — fraction of the fields that a full
+  deployment could have captured about the attack's events that were
+  actually captured (how much detail does each timeline entry carry?).
+
+Field completeness is the operational counterpart of the static
+richness metric, just as the detector's score mirrors coverage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.model import SystemModel
+from repro.simulation.records import Observation
+
+__all__ = ["ForensicReport", "reconstruct"]
+
+
+@dataclass(frozen=True)
+class ForensicReport:
+    """Reconstruction quality of one attack run."""
+
+    run_id: int
+    attack_id: str
+    steps_observed: int
+    steps_total: int
+    step_completeness: float
+    field_completeness: float
+    observations: int
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every step left at least one observation."""
+        return self.steps_observed == self.steps_total
+
+
+def reconstruct(
+    model: SystemModel,
+    run_id: int,
+    attack_id: str,
+    observations: Iterable[Observation],
+) -> ForensicReport:
+    """Score the reconstruction of one attack run from its observations."""
+    attack = model.attack(attack_id)
+    relevant = [
+        o for o in observations if o.run_id == run_id and o.attack_id == attack_id
+    ]
+    observed_events: dict[str, set[str]] = {}
+    for observation in relevant:
+        observed_events.setdefault(observation.event_id, set()).update(observation.fields)
+
+    observed_steps = sum(1 for step in attack.steps if step.event_id in observed_events)
+    weighted_observed = sum(
+        step.weight for step in attack.steps if step.event_id in observed_events
+    )
+    step_completeness = weighted_observed / attack.total_step_weight
+
+    capturable = 0
+    captured = 0
+    for step in attack.steps:
+        max_fields = model.max_fields_for_event(step.event_id)
+        capturable += len(max_fields)
+        captured += len(observed_events.get(step.event_id, set()) & max_fields)
+    field_completeness = captured / capturable if capturable else 0.0
+
+    return ForensicReport(
+        run_id=run_id,
+        attack_id=attack_id,
+        steps_observed=observed_steps,
+        steps_total=len(attack.steps),
+        step_completeness=step_completeness,
+        field_completeness=field_completeness,
+        observations=len(relevant),
+    )

@@ -1,0 +1,105 @@
+"""The observation model: what deployed monitors record about attacks.
+
+For every attack-step occurrence, each deployed monitor that can
+evidence the step's event (per the model's coverage relation) records
+it independently with probability equal to its monitor type's
+``quality``, after a small processing latency.  Records carry the
+evidence weight and the contributing data fields, which is what the
+detector scores and the forensic report counts.
+
+All randomness flows through a caller-supplied
+:class:`numpy.random.Generator`, so campaigns are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import SystemModel
+from repro.simulation.records import Observation, StepOccurrence
+
+__all__ = ["ObservationModel"]
+
+
+class ObservationModel:
+    """Generates monitor observations for attack-step occurrences."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        deployed: frozenset[str],
+        rng: np.random.Generator,
+        *,
+        mean_latency: float = 0.5,
+    ):
+        self.model = model
+        self.deployed = deployed
+        self.rng = rng
+        self.mean_latency = mean_latency
+        # Precompute, per event, the deployed monitors able to evidence it
+        # with their quality and evidence details — observation generation
+        # is the hot loop of a campaign.
+        self._watchers: dict[str, list[tuple[str, float, float, frozenset[str], str]]] = {}
+        for event_id in model.events:
+            watchers = []
+            for monitor_id, weight in model.monitors_for_event(event_id).items():
+                if monitor_id not in deployed:
+                    continue
+                monitor = model.monitor(monitor_id)
+                quality = model.monitor_type(monitor.monitor_type_id).quality
+                data_types = model.evidencing_data_types(monitor_id, event_id)
+                # Report through the best-weight data type; fields union
+                # over all evidencing data types of this monitor.
+                fields = frozenset().union(
+                    *(model.evidence_fields(dt, event_id) for dt in data_types)
+                )
+                best_dt = max(data_types)  # deterministic representative
+                watchers.append((monitor_id, quality, weight, fields, best_dt))
+            self._watchers[event_id] = watchers
+
+    def observe(
+        self, step: StepOccurrence, failed: frozenset[str] = frozenset()
+    ) -> list[Observation]:
+        """Observations generated for one step occurrence.
+
+        Each watching monitor records independently with probability
+        ``quality``; recorded observations get an exponential latency
+        with mean ``mean_latency``.  Monitors in ``failed`` are down for
+        this occurrence and record nothing (campaign failure injection).
+        """
+        observations: list[Observation] = []
+        for monitor_id, quality, weight, fields, data_type_id in self._watchers[step.event_id]:
+            if monitor_id in failed:
+                continue  # the monitor is down
+            if self.rng.random() >= quality:
+                continue  # the monitor missed this occurrence
+            latency = float(self.rng.exponential(self.mean_latency))
+            observations.append(
+                Observation(
+                    run_id=step.run_id,
+                    monitor_id=monitor_id,
+                    data_type_id=data_type_id,
+                    event_id=step.event_id,
+                    attack_id=step.attack_id,
+                    time=step.time + latency,
+                    weight=weight,
+                    fields=fields,
+                )
+            )
+        return observations
+
+    def benign_noise_volume(self, duration: float) -> float:
+        """Expected number of benign records the deployment generates.
+
+        Scales each deployed monitor's data types by their
+        ``volume_hint`` (records/hour).  This is the analyst-load side
+        of the cost story: richer deployments observe more, benign
+        records included.
+        """
+        total = 0.0
+        for monitor_id in self.deployed:
+            monitor = self.model.monitor(monitor_id)
+            mtype = self.model.monitor_type(monitor.monitor_type_id)
+            for data_type_id in mtype.data_type_ids:
+                total += self.model.data_type(data_type_id).volume_hint * duration / 3600.0
+        return total

@@ -1,0 +1,49 @@
+"""Record types flowing through the monitoring simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepOccurrence", "Observation", "Detection"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepOccurrence:
+    """An attack step actually happening during a scenario run."""
+
+    run_id: int
+    attack_id: str
+    event_id: str
+    asset_id: str
+    time: float
+    step_index: int
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """A record emitted by a deployed monitor about an attack step.
+
+    ``weight`` is the evidence strength of the (data type, event) link
+    that produced the record; ``fields`` are the data fields the record
+    carries about the step.
+    """
+
+    run_id: int
+    monitor_id: str
+    data_type_id: str
+    event_id: str
+    attack_id: str
+    time: float
+    weight: float
+    fields: frozenset[str] = field(default_factory=frozenset)
+
+
+@dataclass(frozen=True, slots=True)
+class Detection:
+    """A detector verdict: an attack run crossed the evidence threshold."""
+
+    run_id: int
+    attack_id: str
+    time: float
+    score: float
+    contributing_monitors: frozenset[str]

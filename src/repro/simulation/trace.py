@@ -1,0 +1,94 @@
+"""Campaign trace export: observations as JSON-lines log records.
+
+Downstream forensic tooling consumes *logs*, not Python objects.  This
+module serializes a campaign's observation stream (one JSON object per
+line, time-ordered) and loads it back — so simulated evidence can feed
+external correlation pipelines, or a saved trace can be re-scored with
+:func:`repro.simulation.forensics.reconstruct` without re-running the
+campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.simulation.campaign import CampaignResult
+from repro.simulation.records import Observation
+
+__all__ = ["observations_to_jsonl", "jsonl_to_observations", "save_trace", "load_trace"]
+
+
+def observations_to_jsonl(observations: Iterable[Observation]) -> str:
+    """Serialize observations, time-ordered, one JSON object per line."""
+    ordered = sorted(observations, key=lambda o: (o.time, o.run_id, o.monitor_id))
+    lines = [
+        json.dumps(
+            {
+                "time": o.time,
+                "run": o.run_id,
+                "monitor": o.monitor_id,
+                "data_type": o.data_type_id,
+                "event": o.event_id,
+                "attack": o.attack_id,
+                "weight": o.weight,
+                "fields": sorted(o.fields),
+            },
+            sort_keys=True,
+        )
+        for o in ordered
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def jsonl_to_observations(text: str) -> list[Observation]:
+    """Parse a trace produced by :func:`observations_to_jsonl`.
+
+    Raises
+    ------
+    repro.errors.SerializationError
+        On malformed lines, with the offending line number.
+    """
+    observations: list[Observation] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            observations.append(
+                Observation(
+                    run_id=record["run"],
+                    monitor_id=record["monitor"],
+                    data_type_id=record["data_type"],
+                    event_id=record["event"],
+                    attack_id=record["attack"],
+                    time=record["time"],
+                    weight=record["weight"],
+                    fields=frozenset(record.get("fields", ())),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise SerializationError(f"malformed trace line {line_number}: {exc}") from exc
+    return observations
+
+
+def save_trace(campaign: CampaignResult, path: str | Path) -> int:
+    """Write a campaign's observation records to ``path`` as JSONL.
+
+    Requires the campaign to have been run with
+    ``keep_observations=True``; returns the number of records written.
+    """
+    if campaign.observations and not campaign.records:
+        raise SerializationError(
+            "campaign has no retained records; rerun run_campaign(..., "
+            "keep_observations=True) to export a trace"
+        )
+    Path(path).write_text(observations_to_jsonl(campaign.records))
+    return len(campaign.records)
+
+
+def load_trace(path: str | Path) -> list[Observation]:
+    """Read a trace previously written by :func:`save_trace`."""
+    return jsonl_to_observations(Path(path).read_text())

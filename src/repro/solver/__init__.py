@@ -1,0 +1,82 @@
+"""A from-scratch MILP substrate (expression DSL + exact solvers).
+
+The paper's methodology requires an exact 0/1 integer-programming
+solver.  This package provides one that is self-contained:
+
+* an algebraic modeling layer (:mod:`repro.solver.expressions`,
+  :mod:`repro.solver.model`) in the style of PuLP;
+* a pure-Python **branch-and-bound** solver over scipy LP relaxations
+  (:mod:`repro.solver.branch_and_bound`);
+* a **HiGHS** backend via :func:`scipy.optimize.milp`
+  (:mod:`repro.solver.scipy_backend`), the default for large instances;
+* an exponential **enumeration oracle** used by the test suite
+  (:mod:`repro.solver.enumerate`).
+
+:func:`solve` dispatches by backend name.
+"""
+
+from repro.errors import SolverError
+from repro.solver.branch_and_bound import solve_branch_and_bound
+from repro.solver.enumerate import solve_by_enumeration
+from repro.solver.expressions import (
+    Constraint,
+    ConstraintSense,
+    LinearExpression,
+    Variable,
+    VarKind,
+)
+from repro.solver.model import (
+    MilpModel,
+    ObjectiveSense,
+    Solution,
+    SolutionStatus,
+    StandardForm,
+)
+from repro.solver.lpwriter import model_to_lp_string
+from repro.solver.scipy_backend import solve_scipy_milp
+
+__all__ = [
+    "Constraint",
+    "ConstraintSense",
+    "LinearExpression",
+    "Variable",
+    "VarKind",
+    "MilpModel",
+    "ObjectiveSense",
+    "Solution",
+    "SolutionStatus",
+    "StandardForm",
+    "solve",
+    "solve_branch_and_bound",
+    "solve_by_enumeration",
+    "solve_scipy_milp",
+    "model_to_lp_string",
+    "BACKENDS",
+]
+
+#: Registered backend names accepted by :func:`solve`.
+BACKENDS = ("scipy", "branch-and-bound", "enumeration")
+
+
+def solve(model: MilpModel, backend: str = "scipy", *, time_limit: float | None = None) -> Solution:
+    """Solve ``model`` with the named backend.
+
+    Parameters
+    ----------
+    model:
+        The MILP to solve.
+    backend:
+        One of :data:`BACKENDS`.  ``"scipy"`` (HiGHS) is the default and
+        the right choice for anything non-trivial; ``"branch-and-bound"``
+        is the dependency-free exact solver; ``"enumeration"`` is the
+        test oracle and refuses more than ~20 integer variables.
+    time_limit:
+        Wall-clock limit in seconds (ignored by the enumeration oracle).
+    """
+    if backend == "scipy":
+        return solve_scipy_milp(model, time_limit=time_limit)
+    if backend == "branch-and-bound":
+        return solve_branch_and_bound(model, time_limit=time_limit)
+    if backend == "enumeration":
+        return solve_by_enumeration(model)
+    raise SolverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -1,0 +1,151 @@
+"""A from-scratch branch-and-bound MILP solver.
+
+Best-first search over LP relaxations: each node fixes tighter bounds on
+the integral variables, the LP relaxation provides a dual bound, and
+integral LP solutions become incumbents.  Branching selects the integral
+variable whose relaxation value is most fractional (closest to 0.5),
+which works well on the 0/1 covering structures this library generates.
+
+This backend exists so the reproduction is self-contained — the paper's
+methodology relies on an exact solver, and this one proves optimality
+without any dependency beyond scipy's LP.  For large instances prefer
+the HiGHS backend (:mod:`repro.solver.scipy_backend`); experiment F7
+compares the two.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+
+import numpy as np
+
+from repro.errors import UnboundedError
+from repro.solver.lp import solve_lp
+from repro.solver.model import MilpModel, Solution, SolutionStatus
+
+__all__ = ["solve_branch_and_bound"]
+
+#: Absolute integrality tolerance: relaxation values this close to an
+#: integer are treated as integral.
+INTEGRALITY_TOLERANCE = 1e-6
+
+#: Relative optimality gap at which the search stops early.
+DEFAULT_GAP = 1e-9
+
+
+def _most_fractional(x: np.ndarray, integral_indices: np.ndarray) -> int | None:
+    """Index of the integral variable farthest from any integer, or None."""
+    values = x[integral_indices]
+    fractions = np.abs(values - np.round(values))
+    worst = int(np.argmax(fractions))
+    if fractions[worst] <= INTEGRALITY_TOLERANCE:
+        return None
+    return int(integral_indices[worst])
+
+
+def solve_branch_and_bound(
+    model: MilpModel,
+    *,
+    time_limit: float | None = None,
+    max_nodes: int = 1_000_000,
+    gap: float = DEFAULT_GAP,
+) -> Solution:
+    """Solve ``model`` to proven optimality by branch and bound.
+
+    Parameters
+    ----------
+    model:
+        The MILP to solve.
+    time_limit:
+        Wall-clock seconds after which the best incumbent is returned
+        with status ``FEASIBLE`` (or ``INFEASIBLE`` if none was found).
+    max_nodes:
+        Hard cap on explored nodes, same fallback behaviour.
+    gap:
+        Relative optimality gap ``|bound - incumbent| / max(1, |incumbent|)``
+        at which the incumbent is accepted as optimal.
+    """
+    form = model.compile()
+    names = [v.name for v in model.variables]
+    integral_indices = np.flatnonzero(form.integrality)
+    deadline = None if time_limit is None else time.monotonic() + time_limit
+
+    def make_solution(status: SolutionStatus, objective_min: float, x: np.ndarray | None, nodes: int) -> Solution:
+        values: dict[str, float] = {}
+        if x is not None:
+            rounded = x.copy()
+            rounded[integral_indices] = np.round(rounded[integral_indices])
+            values = {name: float(v) for name, v in zip(names, rounded)}
+        objective = form.objective_in_model_sense(objective_min) if x is not None else float("nan")
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            backend="branch-and-bound",
+            nodes_explored=nodes,
+        )
+
+    # Root relaxation.
+    root = solve_lp(form.c, form.A_ub, form.b_ub, form.A_eq, form.b_eq, form.lower, form.upper)
+    if root.status == "infeasible":
+        return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, "branch-and-bound", 1)
+    if root.status == "unbounded":
+        raise UnboundedError(f"model {model.name!r} has an unbounded LP relaxation")
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = float("inf")  # minimization convention
+
+    # Priority queue of (lp bound, tiebreak, lower bounds, upper bounds).
+    counter = itertools.count()
+    heap: list[tuple[float, int, np.ndarray, np.ndarray]] = []
+    heapq.heappush(heap, (root.objective, next(counter), form.lower.copy(), form.upper.copy()))
+    nodes = 0
+
+    while heap:
+        bound, _, lower, upper = heapq.heappop(heap)
+        # A node whose bound cannot beat the incumbent prunes the rest of
+        # the heap too (best-first order), so we can stop entirely.
+        if incumbent_x is not None:
+            relative_gap = (incumbent_obj - bound) / max(1.0, abs(incumbent_obj))
+            if relative_gap <= gap:
+                return make_solution(SolutionStatus.OPTIMAL, incumbent_obj, incumbent_x, nodes)
+
+        nodes += 1
+        if nodes > max_nodes or (deadline is not None and time.monotonic() > deadline):
+            if incumbent_x is not None:
+                return make_solution(SolutionStatus.FEASIBLE, incumbent_obj, incumbent_x, nodes)
+            return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, "branch-and-bound", nodes)
+
+        relaxation = solve_lp(form.c, form.A_ub, form.b_ub, form.A_eq, form.b_eq, lower, upper)
+        if not relaxation.is_optimal:
+            continue  # infeasible subtree
+        if relaxation.objective >= incumbent_obj - 1e-12:
+            continue  # cannot improve
+
+        assert relaxation.x is not None
+        branch_var = _most_fractional(relaxation.x, integral_indices)
+        if branch_var is None:
+            # Integral solution: new incumbent.
+            if relaxation.objective < incumbent_obj:
+                incumbent_obj = relaxation.objective
+                incumbent_x = relaxation.x
+            continue
+
+        value = relaxation.x[branch_var]
+        floor_val = np.floor(value)
+        # Down branch: x <= floor(value)
+        down_upper = upper.copy()
+        down_upper[branch_var] = floor_val
+        if lower[branch_var] <= floor_val:
+            heapq.heappush(heap, (relaxation.objective, next(counter), lower.copy(), down_upper))
+        # Up branch: x >= ceil(value)
+        up_lower = lower.copy()
+        up_lower[branch_var] = floor_val + 1.0
+        if up_lower[branch_var] <= upper[branch_var]:
+            heapq.heappush(heap, (relaxation.objective, next(counter), up_lower, upper.copy()))
+
+    if incumbent_x is not None:
+        return make_solution(SolutionStatus.OPTIMAL, incumbent_obj, incumbent_x, nodes)
+    return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, "branch-and-bound", nodes)

@@ -1,0 +1,66 @@
+"""LP relaxation solving on top of :func:`scipy.optimize.linprog`.
+
+The branch-and-bound backend repeatedly solves the LP relaxation of a
+:class:`~repro.solver.model.StandardForm` with per-node bound overrides;
+this module isolates the scipy call and translates its status codes into
+the substrate's vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+
+__all__ = ["LpResult", "solve_lp"]
+
+
+@dataclass(frozen=True, slots=True)
+class LpResult:
+    """Result of one LP relaxation solve (minimization convention)."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    objective: float
+    x: np.ndarray | None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_lp(
+    c: np.ndarray,
+    A_ub: np.ndarray,
+    b_ub: np.ndarray,
+    A_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> LpResult:
+    """Minimize ``c @ x`` subject to the given rows and bounds.
+
+    Uses the HiGHS dual simplex through scipy.  Raises
+    :class:`~repro.errors.SolverError` only for unexpected backend
+    statuses; infeasible and unbounded are regular outcomes reported in
+    the result.
+    """
+    bounds = np.column_stack((lower, upper))
+    result = linprog(
+        c,
+        A_ub=A_ub if A_ub.size else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=A_eq if A_eq.size else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 0:
+        return LpResult("optimal", float(result.fun), np.asarray(result.x))
+    if result.status == 2:
+        return LpResult("infeasible", float("inf"), None)
+    if result.status == 3:
+        return LpResult("unbounded", float("-inf"), None)
+    raise SolverError(f"linprog failed with status {result.status}: {result.message}")

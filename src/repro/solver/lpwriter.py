@@ -1,0 +1,111 @@
+"""CPLEX LP-format export of MILP models.
+
+Writing the model out in the standard LP text format lets users inspect
+formulations by eye and solve them with external tools (CPLEX, Gurobi,
+``glpsol --lp``, HiGHS standalone) — useful both for debugging the
+encoding and for trusting it: the file a commercial solver reads is the
+same program the built-in backends solve.
+
+The emitted subset of the format: an objective, ``Subject To``,
+``Bounds``, ``General``/``Binary`` sections, ``End``.  Variable names
+are sanitized (LP format forbids several characters the library's
+``x[monitor@asset]`` convention uses); the mapping is returned so
+solutions can be translated back.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.solver.expressions import ConstraintSense, LinearExpression
+from repro.solver.model import MilpModel, ObjectiveSense
+from repro.solver.expressions import VarKind
+
+__all__ = ["model_to_lp_string"]
+
+_INVALID = re.compile(r"[^A-Za-z0-9_.]")
+
+
+def _sanitize_names(model: MilpModel) -> dict[str, str]:
+    """Map model variable names to unique LP-safe names."""
+    mapping: dict[str, str] = {}
+    used: set[str] = set()
+    for variable in model.variables:
+        candidate = _INVALID.sub("_", variable.name)
+        if not candidate or candidate[0].isdigit() or candidate[0] == ".":
+            candidate = "v_" + candidate
+        base = candidate
+        suffix = 1
+        while candidate in used:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        used.add(candidate)
+        mapping[variable.name] = candidate
+    return mapping
+
+
+def _format_expression(expression: LinearExpression, names: dict[str, str]) -> str:
+    parts: list[str] = []
+    for variable, coefficient in sorted(
+        expression.terms.items(), key=lambda item: item[0].index
+    ):
+        name = names[variable.name]
+        sign = "-" if coefficient < 0 else "+"
+        magnitude = abs(coefficient)
+        if not parts and sign == "+":
+            parts.append(f"{magnitude:g} {name}")
+        else:
+            parts.append(f"{sign} {magnitude:g} {name}")
+    return " ".join(parts) if parts else "0 " + names[next(iter(names))]
+
+
+def model_to_lp_string(model: MilpModel) -> str:
+    """Serialize ``model`` to LP format text.
+
+    The objective's constant term is dropped (LP format has no place
+    for it); a comment records the offset so objective values can be
+    reconciled.
+    """
+    names = _sanitize_names(model)
+    lines: list[str] = [f"\\ model: {model.name}"]
+    if model.objective.constant:
+        lines.append(f"\\ objective offset (add to solver objective): {model.objective.constant:g}")
+
+    lines.append(
+        "Maximize" if model.sense is ObjectiveSense.MAXIMIZE else "Minimize"
+    )
+    lines.append(f" obj: {_format_expression(model.objective, names)}")
+
+    lines.append("Subject To")
+    for index, constraint in enumerate(model.constraints):
+        label = _INVALID.sub("_", constraint.name) if constraint.name else f"c{index}"
+        operator = {
+            ConstraintSense.LE: "<=",
+            ConstraintSense.GE: ">=",
+            ConstraintSense.EQ: "=",
+        }[constraint.sense]
+        body = _format_expression(
+            LinearExpression(constraint.expression.terms, 0.0), names
+        )
+        lines.append(f" {label}: {body} {operator} {constraint.rhs:g}")
+
+    lines.append("Bounds")
+    for variable in model.variables:
+        if variable.kind is VarKind.BINARY:
+            continue  # covered by the Binary section
+        name = names[variable.name]
+        lower = "-inf" if variable.lower == float("-inf") else f"{variable.lower:g}"
+        upper = "+inf" if variable.upper == float("inf") else f"{variable.upper:g}"
+        lines.append(f" {lower} <= {name} <= {upper}")
+
+    generals = [names[v.name] for v in model.variables if v.kind is VarKind.INTEGER]
+    if generals:
+        lines.append("General")
+        lines.append(" " + " ".join(generals))
+    binaries = [names[v.name] for v in model.variables if v.kind is VarKind.BINARY]
+    if binaries:
+        lines.append("Binary")
+        lines.append(" " + " ".join(binaries))
+
+    lines.append("End")
+    return "\n".join(lines) + "\n"

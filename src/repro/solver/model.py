@@ -1,0 +1,275 @@
+"""The MILP model container and its standard-form compilation.
+
+:class:`MilpModel` owns variables and constraints, and compiles itself
+into the dense standard form consumed by every backend::
+
+    optimize   c @ x
+    subject to A_ub @ x <= b_ub
+               A_eq @ x == b_eq
+               lower <= x <= upper,   x[i] integral where marked
+
+Maximization is normalized to minimization by negating ``c`` at compile
+time; backends always minimize and :class:`Solution` objects report the
+objective in the model's original sense.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solver.expressions import (
+    Constraint,
+    ConstraintSense,
+    LinearExpression,
+    Variable,
+    VarKind,
+)
+
+__all__ = ["ObjectiveSense", "MilpModel", "StandardForm", "SolutionStatus", "Solution"]
+
+
+class ObjectiveSense(str, enum.Enum):
+    """Whether the model maximizes or minimizes its objective."""
+
+    MAXIMIZE = "maximize"
+    MINIMIZE = "minimize"
+
+
+@dataclass(frozen=True, slots=True)
+class StandardForm:
+    """Dense numeric form of a model (minimization convention)."""
+
+    c: np.ndarray
+    A_ub: np.ndarray
+    b_ub: np.ndarray
+    A_eq: np.ndarray
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray  # bool mask
+    objective_constant: float
+    maximize: bool
+
+    @property
+    def num_variables(self) -> int:
+        return self.c.shape[0]
+
+    def objective_in_model_sense(self, minimized_value: float) -> float:
+        """Convert a backend's minimized objective to the model's sense."""
+        value = minimized_value + (-self.objective_constant if self.maximize else self.objective_constant)
+        return -value if self.maximize else value
+
+
+class SolutionStatus(str, enum.Enum):
+    """Terminal status of a solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    FEASIBLE = "feasible"  # incumbent found but optimality not proven
+
+
+@dataclass(frozen=True, slots=True)
+class Solution:
+    """A solve result: status, objective (model sense), and assignment."""
+
+    status: SolutionStatus
+    objective: float
+    values: Mapping[str, float]
+    backend: str
+    nodes_explored: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolutionStatus.OPTIMAL
+
+    def value(self, variable: Variable | str) -> float:
+        """The solved value of a variable (by object or name)."""
+        name = variable.name if isinstance(variable, Variable) else variable
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SolverError(f"solution has no variable {name!r}") from None
+
+
+class MilpModel:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "milp", sense: ObjectiveSense = ObjectiveSense.MAXIMIZE):
+        self.name = name
+        self.sense = sense
+        self._variables: list[Variable] = []
+        self._names: set[str] = set()
+        self._constraints: list[Constraint] = []
+        self._objective: LinearExpression = LinearExpression()
+
+    # -- variable factories ------------------------------------------------
+
+    def _new_variable(self, name: str, lower: float, upper: float, kind: VarKind) -> Variable:
+        if name in self._names:
+            raise SolverError(f"duplicate variable name {name!r} in model {self.name!r}")
+        variable = Variable(name, lower, upper, kind, index=len(self._variables))
+        self._variables.append(variable)
+        self._names.add(name)
+        return variable
+
+    def binary(self, name: str) -> Variable:
+        """A 0/1 decision variable."""
+        return self._new_variable(name, 0.0, 1.0, VarKind.BINARY)
+
+    def integer(self, name: str, lower: float = 0.0, upper: float = float("inf")) -> Variable:
+        """An integer variable with the given bounds."""
+        return self._new_variable(name, lower, upper, VarKind.INTEGER)
+
+    def continuous(
+        self, name: str, lower: float = 0.0, upper: float = float("inf")
+    ) -> Variable:
+        """A continuous variable with the given bounds."""
+        return self._new_variable(name, lower, upper, VarKind.CONTINUOUS)
+
+    # -- constraints and objective -------------------------------------------
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint built from expression comparisons."""
+        if not isinstance(constraint, Constraint):
+            raise SolverError(
+                f"expected a Constraint (use <=, >=, == on expressions), got "
+                f"{type(constraint).__name__}"
+            )
+        for var in constraint.expression.terms:
+            self._check_owned(var)
+        if name:
+            constraint = constraint.named(name)
+        self._constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expression: LinearExpression | Variable) -> None:
+        """Set the objective function (in the model's sense)."""
+        if isinstance(expression, Variable):
+            expression = expression + 0.0
+        if not isinstance(expression, LinearExpression):
+            raise SolverError(
+                f"objective must be a linear expression, got {type(expression).__name__}"
+            )
+        for var in expression.terms:
+            self._check_owned(var)
+        self._objective = expression
+
+    def _check_owned(self, var: Variable) -> None:
+        if var.index >= len(self._variables) or self._variables[var.index] is not var:
+            raise SolverError(f"variable {var.name!r} does not belong to model {self.name!r}")
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def variables(self) -> list[Variable]:
+        """All variables, in creation (column) order."""
+        return list(self._variables)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """All constraints, in insertion order."""
+        return list(self._constraints)
+
+    @property
+    def objective(self) -> LinearExpression:
+        """The current objective expression."""
+        return self._objective
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def num_integer_variables(self) -> int:
+        return sum(1 for v in self._variables if v.is_integral)
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self) -> StandardForm:
+        """Compile to dense standard (minimization) form.
+
+        ``GE`` rows are negated into ``LE`` rows; a maximization
+        objective is negated, with the flip recorded so solutions can be
+        reported in the model's original sense.
+        """
+        n = len(self._variables)
+        c = np.zeros(n)
+        for var, coef in self._objective.terms.items():
+            c[var.index] = coef
+        maximize = self.sense is ObjectiveSense.MAXIMIZE
+        if maximize:
+            c = -c
+
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for constraint in self._constraints:
+            row = np.zeros(n)
+            for var, coef in constraint.expression.terms.items():
+                row[var.index] = coef
+            rhs = constraint.rhs
+            if constraint.sense is ConstraintSense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constraint.sense is ConstraintSense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        return StandardForm(
+            c=c,
+            A_ub=np.array(ub_rows) if ub_rows else np.empty((0, n)),
+            b_ub=np.array(ub_rhs) if ub_rhs else np.empty(0),
+            A_eq=np.array(eq_rows) if eq_rows else np.empty((0, n)),
+            b_eq=np.array(eq_rhs) if eq_rhs else np.empty(0),
+            lower=np.array([v.lower for v in self._variables]),
+            upper=np.array([v.upper for v in self._variables]),
+            integrality=np.array([v.is_integral for v in self._variables], dtype=bool),
+            objective_constant=self._objective.constant,
+            maximize=maximize,
+        )
+
+    # -- solution checking -------------------------------------------------------
+
+    def assignment_from_values(self, values: Mapping[str, float]) -> dict[Variable, float]:
+        """Map a name-keyed solution back onto this model's variables."""
+        assignment: dict[Variable, float] = {}
+        for var in self._variables:
+            if var.name not in values:
+                raise SolverError(f"assignment is missing variable {var.name!r}")
+            assignment[var] = values[var.name]
+        return assignment
+
+    def is_feasible(self, values: Mapping[str, float], tolerance: float = 1e-6) -> bool:
+        """Whether a name-keyed assignment satisfies bounds, integrality, constraints."""
+        assignment = self.assignment_from_values(values)
+        for var, value in assignment.items():
+            if value < var.lower - tolerance or value > var.upper + tolerance:
+                return False
+            if var.is_integral and abs(value - round(value)) > tolerance:
+                return False
+        return all(c.satisfied_by(assignment, tolerance) for c in self._constraints)
+
+    def objective_value(self, values: Mapping[str, float]) -> float:
+        """Evaluate the objective at a name-keyed assignment (model sense)."""
+        return self._objective.evaluate(self.assignment_from_values(values))
+
+    def __repr__(self) -> str:
+        return (
+            f"MilpModel({self.name!r}, {self.sense.value}, "
+            f"{self.num_variables} vars ({self.num_integer_variables} int), "
+            f"{self.num_constraints} constraints)"
+        )

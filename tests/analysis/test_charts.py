@@ -1,0 +1,68 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import render_chart
+
+
+SERIES = {"a": [(0.0, 0.0), (1.0, 1.0)], "b": [(0.0, 1.0), (1.0, 0.0)]}
+
+
+class TestRenderChart:
+    def test_title_and_labels(self):
+        chart = render_chart(SERIES, title="T", x_label="xx", y_label="yy")
+        assert chart.splitlines()[0] == "T"
+        assert "xx" in chart
+        assert "yy" in chart
+
+    def test_legend_lists_all_series(self):
+        chart = render_chart(SERIES)
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_glyphs_plotted(self):
+        chart = render_chart({"only": [(0.0, 0.0), (1.0, 1.0)]})
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert any("*" in line for line in plot_lines)
+
+    def test_corner_placement(self):
+        chart = render_chart({"s": [(0.0, 1.0), (1.0, 0.0)]}, width=20, height=5)
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        # the (min x, max y) point lands in the top-left grid cell,
+        # the (max x, min y) point in the bottom-right one
+        assert plot_rows[0].split("|", 1)[1][0] == "*"
+        assert plot_rows[-1].split("|", 1)[1][19] == "*"
+
+    def test_axis_ticks(self):
+        chart = render_chart({"s": [(2.0, 10.0), (8.0, 30.0)]})
+        assert "30" in chart
+        assert "10" in chart
+        assert "2" in chart
+        assert "8" in chart
+
+    def test_empty_series(self):
+        chart = render_chart({}, title="nothing")
+        assert "(no data)" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_chart({"flat": [(0.0, 0.5), (1.0, 0.5)]})
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = render_chart({"dot": [(3.0, 7.0)]})
+        assert "*" in chart
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            render_chart(SERIES, width=5)
+        with pytest.raises(ValueError):
+            render_chart(SERIES, height=2)
+
+    def test_deterministic(self):
+        assert render_chart(SERIES) == render_chart(SERIES)
+
+    def test_width_respected(self):
+        chart = render_chart(SERIES, width=30, height=6)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        for line in plot_lines:
+            assert len(line.split("|", 1)[1]) <= 30

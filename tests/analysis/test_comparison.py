@@ -1,0 +1,91 @@
+"""Tests for deployment comparison."""
+
+import pytest
+
+from repro.analysis.comparison import compare_deployments
+from repro.errors import OptimizationError
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.deployment import Deployment
+
+
+@pytest.fixture()
+def pair(toy_model):
+    a = Deployment.of(toy_model, ["mnet@n1"])
+    b = Deployment.of(toy_model, ["mlog@h1", "mdb@h2"])
+    return a, b
+
+
+class TestDiff:
+    def test_set_diff(self, pair):
+        comparison = compare_deployments(*pair)
+        assert comparison.added == frozenset({"mlog@h1", "mdb@h2"})
+        assert comparison.removed == frozenset({"mnet@n1"})
+        assert comparison.kept == frozenset()
+        assert comparison.churn == 3
+
+    def test_identity_comparison(self, toy_model):
+        d = Deployment.full(toy_model)
+        comparison = compare_deployments(d, d)
+        assert comparison.churn == 0
+        assert comparison.utility_delta == 0.0
+        assert not comparison.regressions()
+
+    def test_cost_delta(self, pair):
+        a, b = pair
+        comparison = compare_deployments(a, b)
+        # A: mnet cpu 4, network 2.  B: mlog@h1 + mdb@h2 -> cpu 5, storage 1.
+        assert comparison.cost_delta == {
+            "cpu": pytest.approx(1.0),
+            "network": pytest.approx(-2.0),
+            "storage": pytest.approx(1.0),
+        }
+
+    def test_different_models_rejected(self, toy_model):
+        from tests.conftest import build_toy_builder
+
+        other = build_toy_builder().build()
+        with pytest.raises(OptimizationError):
+            compare_deployments(Deployment.full(toy_model), Deployment.full(other))
+
+
+class TestMetrics:
+    def test_metric_deltas_match_breakdowns(self, toy_model, pair):
+        from repro.metrics.utility import utility_breakdown
+
+        a, b = pair
+        comparison = compare_deployments(a, b, UtilityWeights())
+        assert comparison.metric_a == utility_breakdown(toy_model, a.monitor_ids)
+        assert comparison.metric_b == utility_breakdown(toy_model, b.monitor_ids)
+        assert comparison.utility_delta == pytest.approx(
+            comparison.metric_b["utility"] - comparison.metric_a["utility"]
+        )
+
+    def test_attack_deltas_cover_all_attacks(self, toy_model, pair):
+        comparison = compare_deployments(*pair)
+        assert {d.attack_id for d in comparison.attack_deltas} == set(toy_model.attacks)
+
+    def test_regressions_detected(self, toy_model):
+        strong = Deployment.of(toy_model, ["mlog@h1", "mdb@h2"])  # e1 at 1.0
+        weak = Deployment.of(toy_model, ["mnet@n1"])  # e1 at 0.5
+        comparison = compare_deployments(strong, weak)
+        regressions = comparison.regressions()
+        assert regressions
+        assert all(d.delta < 0 for d in regressions)
+        # Worst regression first.
+        deltas = [d.delta for d in regressions]
+        assert deltas == sorted(deltas)
+
+
+class TestText:
+    def test_renders_sections(self, pair):
+        text = compare_deployments(*pair).to_text()
+        assert "Deployment comparison" in text
+        assert "+ mlog@h1" in text
+        assert "- mnet@n1" in text
+        assert "Attack coverage movements" in text
+
+    def test_no_change_render(self, toy_model):
+        d = Deployment.full(toy_model)
+        text = compare_deployments(d, d).to_text()
+        assert "(none)" in text
+        assert "(no coverage changes)" in text

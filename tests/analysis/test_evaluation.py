@@ -1,0 +1,79 @@
+"""Tests for deployment evaluation reports."""
+
+import pytest
+
+from repro.analysis.evaluation import evaluate_deployment
+from repro.metrics.coverage import overall_coverage
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.deployment import Deployment
+
+NET_ONLY = ["mnet@n1"]
+
+
+class TestReportValues:
+    def test_aggregates_match_metrics(self, toy_model):
+        deployment = Deployment.of(toy_model, NET_ONLY)
+        report = evaluate_deployment(toy_model, deployment)
+        assert report.utility == pytest.approx(utility(toy_model, NET_ONLY))
+        assert report.coverage == pytest.approx(overall_coverage(toy_model, NET_ONLY))
+
+    def test_per_attack_assessments(self, toy_model):
+        report = evaluate_deployment(toy_model, Deployment.of(toy_model, NET_ONLY))
+        by_id = {a.attack_id: a for a in report.attacks}
+        assert set(by_id) == {"A", "B"}
+        assert by_id["A"].coverage == pytest.approx(0.45)
+        assert by_id["A"].fully_covered  # e1 and e2 both covered (weakly)
+        assert by_id["A"].detectable
+
+    def test_counts(self, toy_model):
+        report = evaluate_deployment(toy_model, Deployment.of(toy_model, ["mlog@h2"]))
+        # mlog@h2 covers only e3 (optional step of B).
+        assert report.detectable_count == 1
+        assert report.fully_covered_count == 0
+
+    def test_cost_reported(self, toy_model):
+        report = evaluate_deployment(toy_model, Deployment.of(toy_model, NET_ONLY))
+        assert report.cost == {"cpu": 4, "network": 2}
+
+    def test_no_campaign_by_default(self, toy_model):
+        report = evaluate_deployment(toy_model, Deployment.of(toy_model, NET_ONLY))
+        assert report.campaign is None
+
+
+class TestSimulatedReport:
+    def test_campaign_attached(self, toy_model):
+        report = evaluate_deployment(
+            toy_model,
+            Deployment.full(toy_model),
+            simulate=True,
+            repetitions=3,
+            seed=5,
+        )
+        assert report.campaign is not None
+        assert len(report.campaign.runs) == 3 * len(toy_model.attacks)
+
+    def test_simulation_deterministic(self, toy_model):
+        kwargs = dict(simulate=True, repetitions=3, seed=5)
+        a = evaluate_deployment(toy_model, Deployment.full(toy_model), **kwargs)
+        b = evaluate_deployment(toy_model, Deployment.full(toy_model), **kwargs)
+        assert a.campaign.detection_rate == b.campaign.detection_rate
+
+
+class TestTextRendering:
+    def test_contains_sections(self, toy_model):
+        report = evaluate_deployment(toy_model, Deployment.of(toy_model, NET_ONLY))
+        text = report.to_text()
+        assert "Deployment report" in text
+        assert "Per-attack assessment" in text
+        assert "Cost" in text
+
+    def test_simulated_section_when_present(self, toy_model):
+        report = evaluate_deployment(
+            toy_model, Deployment.full(toy_model), simulate=True, repetitions=2, seed=1
+        )
+        assert "Simulated campaign" in report.to_text()
+
+    def test_custom_weights_respected(self, toy_model):
+        weights = UtilityWeights.coverage_only()
+        report = evaluate_deployment(toy_model, Deployment.of(toy_model, NET_ONLY), weights)
+        assert report.utility == pytest.approx(report.coverage)

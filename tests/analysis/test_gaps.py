@@ -1,0 +1,90 @@
+"""Tests for coverage-gap analysis."""
+
+import pytest
+
+from repro.analysis.gaps import find_gaps, gap_report
+from repro.optimize.deployment import Deployment
+
+
+class TestFindGaps:
+    def test_empty_deployment_all_events_gap(self, toy_model):
+        gaps = find_gaps(toy_model, Deployment.empty(toy_model))
+        assert {g.event_id for g in gaps} == {"e1", "e2", "e3"}
+        assert all(g.is_blind_spot for g in gaps)
+
+    def test_full_deployment_weak_events_only(self, toy_model):
+        # Full coverage: e1=1.0, e2=0.8, e3=0.6; threshold 0.5 -> none.
+        gaps = find_gaps(toy_model, Deployment.full(toy_model), threshold=0.5)
+        assert gaps == []
+
+    def test_threshold_controls_weak_gaps(self, toy_model):
+        gaps = find_gaps(toy_model, Deployment.full(toy_model), threshold=0.7)
+        assert {g.event_id for g in gaps} == {"e3"}
+        assert not gaps[0].is_blind_spot
+
+    def test_fixes_ranked_by_value_per_cost(self, toy_model):
+        gaps = find_gaps(toy_model, Deployment.empty(toy_model))
+        e1 = next(g for g in gaps if g.event_id == "e1")
+        # e1 candidates: mlog@h1 (1.0 @ cost 3), mnet@n1 (0.5 @ cost 6)
+        assert [f.monitor_id for f in e1.fixes] == ["mlog@h1", "mnet@n1"]
+        assert e1.fixes[0].coverage_per_cost == pytest.approx(1.0 / 3)
+
+    def test_fixes_exclude_deployed_and_weaker_monitors(self, toy_model):
+        deployment = Deployment.of(toy_model, ["mnet@n1"])
+        gaps = find_gaps(toy_model, deployment, threshold=0.9)
+        e1 = next(g for g in gaps if g.event_id == "e1")
+        # mnet already deployed (0.5); only the stronger mlog@h1 is a fix.
+        assert [f.monitor_id for f in e1.fixes] == ["mlog@h1"]
+
+    def test_uncoverable_event_has_no_fixes(self):
+        from tests.conftest import build_toy_builder
+
+        builder = build_toy_builder()
+        builder.event("orphan", asset="h1")
+        builder.attack("C", steps=["orphan"])
+        model = builder.build()
+        gaps = find_gaps(model, Deployment.full(model))
+        orphan = next(g for g in gaps if g.event_id == "orphan")
+        assert not orphan.fixable
+
+    def test_events_without_attacks_skipped(self):
+        from tests.conftest import build_toy_builder
+
+        builder = build_toy_builder()
+        builder.event("lonely", asset="h1")
+        builder.evidence("dlog", "lonely")
+        model = builder.build()
+        gaps = find_gaps(model, Deployment.empty(model))
+        assert "lonely" not in {g.event_id for g in gaps}
+
+    def test_sorted_worst_first(self, toy_model):
+        deployment = Deployment.of(toy_model, ["mnet@n1"])  # e3 blind, e1/e2 weak
+        gaps = find_gaps(toy_model, deployment, threshold=0.9)
+        coverages = [g.current_coverage for g in gaps]
+        assert coverages == sorted(coverages)
+
+    def test_attack_context(self, toy_model):
+        gaps = find_gaps(toy_model, Deployment.empty(toy_model))
+        e2 = next(g for g in gaps if g.event_id == "e2")
+        assert e2.attacks == frozenset({"A", "B"})
+        assert e2.max_importance == 1.0
+
+
+class TestGapReport:
+    def test_report_lists_gaps_and_fixes(self, toy_model):
+        text = gap_report(toy_model, Deployment.empty(toy_model))
+        assert "blind spots" in text
+        assert "mlog@h1" in text
+
+    def test_clean_deployment_reports_none(self, toy_model):
+        text = gap_report(toy_model, Deployment.full(toy_model), threshold=0.5)
+        assert "no gaps" in text.lower()
+
+    def test_on_case_study(self, web_model):
+        from repro.metrics.cost import Budget
+        from repro.optimize.problem import MaxUtilityProblem
+
+        tight = MaxUtilityProblem(web_model, Budget.fraction_of_total(web_model, 0.05)).solve()
+        gaps = find_gaps(web_model, tight.deployment)
+        assert gaps, "a 5% budget deployment must leave gaps"
+        assert all(g.fixable for g in gaps), "case study has no uncoverable events"

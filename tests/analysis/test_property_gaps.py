@@ -1,0 +1,75 @@
+"""Property-based invariants of gap analysis on random models."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.casestudy import synthetic_model
+from repro.analysis.gaps import find_gaps
+from repro.metrics.coverage import event_coverage
+from repro.optimize.deployment import Deployment
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def gaps_case(draw):
+    model = synthetic_model(
+        assets=5,
+        data_types=4,
+        monitor_types=3,
+        monitors=draw(st.integers(3, 12)),
+        attacks=draw(st.integers(1, 5)),
+        events=draw(st.integers(3, 8)),
+        seed=draw(st.integers(0, 3_000)),
+    )
+    monitor_ids = sorted(model.monitors)
+    deployed = frozenset(m for m in monitor_ids if draw(st.booleans()))
+    threshold = draw(st.floats(0.1, 1.0))
+    return model, Deployment.of(model, deployed), threshold
+
+
+@given(gaps_case())
+@settings(**SETTINGS)
+def test_gaps_are_below_threshold(case):
+    model, deployment, threshold = case
+    for gap in find_gaps(model, deployment, threshold=threshold):
+        assert gap.current_coverage < threshold
+        assert gap.current_coverage == event_coverage(
+            model, deployment.monitor_ids, gap.event_id
+        )
+
+
+@given(gaps_case())
+@settings(**SETTINGS)
+def test_fixes_strictly_improve_and_are_undeployed(case):
+    model, deployment, threshold = case
+    for gap in find_gaps(model, deployment, threshold=threshold):
+        for fix in gap.fixes:
+            assert fix.monitor_id not in deployment.monitor_ids
+            assert fix.new_coverage > gap.current_coverage
+            # Applying the fix really achieves the promised coverage.
+            achieved = event_coverage(
+                model, deployment.monitor_ids | {fix.monitor_id}, gap.event_id
+            )
+            assert achieved >= fix.new_coverage - 1e-12
+
+
+@given(gaps_case())
+@settings(**SETTINGS)
+def test_gap_events_belong_to_attacks(case):
+    model, deployment, threshold = case
+    for gap in find_gaps(model, deployment, threshold=threshold):
+        assert gap.attacks
+        assert gap.attacks == model.attacks_using_event(gap.event_id)
+
+
+@given(gaps_case())
+@settings(**SETTINGS)
+def test_full_deployment_leaves_only_unfixable_gaps(case):
+    model, _, threshold = case
+    for gap in find_gaps(model, Deployment.full(model), threshold=threshold):
+        assert not gap.fixes  # nothing left to deploy

@@ -1,0 +1,118 @@
+"""Tests for failure-robustness analysis."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    expected_utility_under_failures,
+    robustness_curve,
+    worst_case_utility,
+)
+from repro.errors import MetricError
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.deployment import Deployment
+
+WEIGHTS = UtilityWeights()
+
+
+class TestExpectedUtility:
+    def test_zero_rate_equals_utility(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        assert expected_utility_under_failures(
+            toy_model, deployment, 0.0, WEIGHTS
+        ) == pytest.approx(utility(toy_model, deployment.monitor_ids, WEIGHTS))
+
+    def test_rate_one_kills_everything(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        assert expected_utility_under_failures(
+            toy_model, deployment, 1.0, WEIGHTS, samples=20, seed=0
+        ) == pytest.approx(0.0)
+
+    def test_monotone_in_failure_rate(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        values = [
+            expected_utility_under_failures(
+                toy_model, deployment, rate, WEIGHTS, samples=300, seed=1
+            )
+            for rate in (0.0, 0.2, 0.5, 0.8)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_deterministic_per_seed(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        a = expected_utility_under_failures(toy_model, deployment, 0.3, samples=50, seed=9)
+        b = expected_utility_under_failures(toy_model, deployment, 0.3, samples=50, seed=9)
+        assert a == b
+
+    def test_invalid_inputs(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        with pytest.raises(MetricError):
+            expected_utility_under_failures(toy_model, deployment, -0.1)
+        with pytest.raises(MetricError):
+            expected_utility_under_failures(toy_model, deployment, 0.5, samples=0)
+
+
+class TestWorstCase:
+    def test_k_zero_is_base_utility(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        value, disabled = worst_case_utility(toy_model, deployment, 0, WEIGHTS)
+        assert disabled == frozenset()
+        assert value == pytest.approx(utility(toy_model, deployment.monitor_ids, WEIGHTS))
+
+    def test_exact_adversary_on_toy(self, toy_model):
+        """k=1 worst case: brute-force agrees with the function."""
+        deployment = Deployment.full(toy_model)
+        expected = min(
+            utility(toy_model, deployment.monitor_ids - {m}, WEIGHTS)
+            for m in deployment.monitor_ids
+        )
+        value, disabled = worst_case_utility(toy_model, deployment, 1, WEIGHTS)
+        assert value == pytest.approx(expected)
+        assert len(disabled) == 1
+
+    def test_k_at_least_size_gives_zero(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        value, disabled = worst_case_utility(toy_model, deployment, 100, WEIGHTS)
+        assert value == 0.0
+        assert disabled == deployment.monitor_ids
+
+    def test_disabled_set_achieves_reported_value(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        value, disabled = worst_case_utility(toy_model, deployment, 2, WEIGHTS)
+        assert utility(
+            toy_model, deployment.monitor_ids - disabled, WEIGHTS
+        ) == pytest.approx(value)
+
+    def test_negative_k_rejected(self, toy_model):
+        with pytest.raises(MetricError):
+            worst_case_utility(toy_model, Deployment.full(toy_model), -1)
+
+    def test_greedy_fallback_on_large_deployment(self, web_model):
+        deployment = Deployment.full(web_model)  # C(51, 3) > exact limit
+        value, disabled = worst_case_utility(web_model, deployment, 3, WEIGHTS)
+        assert len(disabled) == 3
+        assert 0.0 <= value <= deployment.utility(WEIGHTS)
+
+
+class TestRobustnessCurve:
+    def test_non_increasing(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        curve = robustness_curve(toy_model, deployment, 3, WEIGHTS)
+        values = [v for _, v in curve]
+        assert values == sorted(values, reverse=True)
+        assert [k for k, _ in curve] == [0, 1, 2, 3]
+
+    def test_redundant_deployment_degrades_slower(self, toy_model):
+        """The redundancy story: a corroborated deployment loses less
+        from one failure than a minimal one of equal coverage."""
+        minimal = Deployment.of(toy_model, ["mlog@h1", "mdb@h2"])  # one source per event
+        redundant = Deployment.of(toy_model, ["mlog@h1", "mdb@h2", "mnet@n1"])
+        w = UtilityWeights.coverage_only()
+        minimal_drop = (
+            utility(toy_model, minimal.monitor_ids, w)
+            - worst_case_utility(toy_model, minimal, 1, w)[0]
+        )
+        redundant_drop = (
+            utility(toy_model, redundant.monitor_ids, w)
+            - worst_case_utility(toy_model, redundant, 1, w)[0]
+        )
+        assert redundant_drop < minimal_drop

@@ -1,0 +1,48 @@
+"""Tests for weight-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import jaccard, weight_sensitivity
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(frozenset({"a"}), frozenset({"a"})) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_partial(self):
+        assert jaccard(frozenset({"a", "b"}), frozenset({"b", "c"})) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+class TestWeightSensitivity:
+    def test_points_per_weighting(self, toy_model):
+        budget = Budget.of(cpu=6)
+        weightings = [UtilityWeights.tradeoff(lam) for lam in (0.0, 0.5, 1.0)]
+        points = weight_sensitivity(toy_model, budget, weightings)
+        assert len(points) == 3
+        for point, weights in zip(points, weightings):
+            assert point.weights is weights
+            assert 0.0 <= point.similarity_to_baseline <= 1.0
+
+    def test_baseline_similarity_is_one_for_baseline_weights(self, toy_model):
+        budget = Budget.of(cpu=6)
+        baseline = UtilityWeights()
+        points = weight_sensitivity(toy_model, budget, [baseline], baseline=baseline)
+        assert points[0].similarity_to_baseline == 1.0
+
+    def test_components_reported(self, toy_model):
+        budget = Budget.of(cpu=100)
+        (point,) = weight_sensitivity(toy_model, budget, [UtilityWeights()])
+        assert point.coverage > 0
+        assert point.utility == pytest.approx(
+            UtilityWeights().coverage * point.coverage
+            + UtilityWeights().redundancy * point.redundancy
+            + UtilityWeights().richness * point.richness
+        )

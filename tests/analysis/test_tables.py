@@ -1,0 +1,55 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(0.123456, precision=1) == "0.1"
+
+    def test_integral_floats_shown_as_int(self):
+        assert format_value(3.0) == "3"
+
+    def test_nan_shown_as_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_passed_through(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_header_and_rule(self):
+        text = render_table(["a", "bb"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title_first(self):
+        text = render_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("22")
+        assert lines[-2].endswith(" 1")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_column_width_fits_longest(self):
+        text = render_table(["h"], [["very-long-cell"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("very-long-cell")

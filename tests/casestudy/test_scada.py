@@ -1,0 +1,83 @@
+"""Structural tests for the SCADA substation case study."""
+
+import pytest
+
+from repro.casestudy import scada_substation
+from repro.core import MonitorScope, audit_model, model_to_dict
+from repro.metrics.coverage import fully_covered_attacks
+from repro.metrics.cost import Budget
+from repro.optimize.problem import MaxUtilityProblem
+
+
+@pytest.fixture(scope="module")
+def scada_model():
+    return scada_substation()
+
+
+class TestStructure:
+    def test_counts(self, scada_model):
+        stats = scada_model.stats()
+        assert stats["assets"] == 12
+        assert stats["attacks"] == 7
+        assert stats["monitors"] >= 20
+
+    def test_topology_connected(self, scada_model):
+        assert len(scada_model.topology.connected_components()) == 1
+
+    def test_deterministic(self, scada_model):
+        assert model_to_dict(scada_substation()) == model_to_dict(scada_model)
+
+    def test_every_attack_fully_coverable(self, scada_model):
+        everything = frozenset(scada_model.monitors)
+        assert fully_covered_attacks(scada_model, everything) == frozenset(
+            scada_model.attacks
+        )
+
+    def test_no_uncoverable_events(self, scada_model):
+        codes = {f.code for f in audit_model(scada_model)}
+        assert "uncoverable-event" not in codes
+        assert "uncoverable-attack" not in codes
+
+    def test_zones_partition_it_ot(self, scada_model):
+        field = {a.asset_id for a in scada_model.topology.assets_in_zone("field")}
+        assert {"wan-gw", "rtu-1", "rtu-2", "plc-1", "relay-1"} == field
+
+
+class TestSharedKillChains:
+    def test_rtu_compromise_shared(self, scada_model):
+        users = scada_model.attacks_using_event("rtu-compromise@rtu-1")
+        assert users == frozenset({"false-data-injection", "it-ot-lateral"})
+
+    def test_rogue_command_shared(self, scada_model):
+        users = scada_model.attacks_using_event("rogue-control-cmd@scada-fe")
+        assert users == frozenset({"unauthorized-control", "insider-misuse"})
+
+
+class TestScopeSemantics:
+    def test_field_events_invisible_to_control_host_monitors(self, scada_model):
+        providers = scada_model.monitors_for_event("breaker-trip@relay-1")
+        for monitor_id in providers:
+            monitor = scada_model.monitor(monitor_id)
+            mtype = scada_model.monitor_type(monitor.monitor_type_id)
+            if mtype.scope is MonitorScope.HOST:
+                assert monitor.asset_id in ("relay-1", "rtu-1")
+
+    def test_wan_gateway_nids_sees_field_devices(self, scada_model):
+        providers = scada_model.monitors_for_event("falsified-telemetry@wan-gw")
+        assert "ics_nids@wan-gw" in providers
+
+
+class TestOptimization:
+    def test_optimal_deployment_within_budget(self, scada_model):
+        budget = Budget.fraction_of_total(scada_model, 0.3)
+        result = MaxUtilityProblem(scada_model, budget).solve()
+        assert result.optimal
+        assert budget.allows(result.deployment.cost())
+        assert result.utility > 0.4
+
+    def test_relay_logger_selected_for_control_attacks(self, scada_model):
+        # The relay event log is the only strong evidence for breaker
+        # trips; any reasonable budget should buy it.
+        budget = Budget.fraction_of_total(scada_model, 0.4)
+        result = MaxUtilityProblem(scada_model, budget).solve()
+        assert "relay_logger@relay-1" in result.monitor_ids

@@ -1,0 +1,90 @@
+"""Tests for the synthetic scaling-model generator."""
+
+import pytest
+
+from repro.casestudy import ScalingConfig, synthetic_model
+from repro.core import model_to_dict
+from repro.errors import ModelError
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        a = synthetic_model(monitors=20, attacks=10, seed=42)
+        b = synthetic_model(monitors=20, attacks=10, seed=42)
+        assert model_to_dict(a) == model_to_dict(b)
+
+    def test_different_seed_different_model(self):
+        a = synthetic_model(monitors=20, attacks=10, seed=1)
+        b = synthetic_model(monitors=20, attacks=10, seed=2)
+        assert model_to_dict(a) != model_to_dict(b)
+
+    def test_config_object_equivalent_to_kwargs(self):
+        config = ScalingConfig(monitors=15, attacks=5, seed=9)
+        assert model_to_dict(synthetic_model(config)) == model_to_dict(
+            synthetic_model(monitors=15, attacks=5, seed=9)
+        )
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(ModelError):
+            synthetic_model(ScalingConfig(), monitors=5)
+
+
+class TestSizeControl:
+    @pytest.mark.parametrize("monitors", [5, 50, 150])
+    def test_monitor_count_exact(self, monitors):
+        model = synthetic_model(monitors=monitors, attacks=10, seed=0)
+        assert model.stats()["monitors"] == monitors
+
+    @pytest.mark.parametrize("attacks", [1, 25, 100])
+    def test_attack_count_exact(self, attacks):
+        model = synthetic_model(monitors=20, attacks=attacks, seed=0)
+        assert model.stats()["attacks"] == attacks
+
+    def test_default_event_pool_is_twice_attacks(self):
+        model = synthetic_model(monitors=20, attacks=10, seed=0)
+        assert model.stats()["events"] == 20
+
+    def test_explicit_event_pool(self):
+        model = synthetic_model(monitors=20, attacks=10, events=7, seed=0)
+        assert model.stats()["events"] == 7
+
+    def test_too_many_monitors_rejected(self):
+        with pytest.raises(ModelError, match="cannot place"):
+            synthetic_model(assets=3, monitor_types=2, monitors=7, attacks=2, seed=0)
+
+
+class TestStructure:
+    def test_topology_connected(self):
+        model = synthetic_model(monitors=30, attacks=10, seed=3)
+        assert len(model.topology.connected_components()) == 1
+
+    def test_monitors_are_distinct_placements(self):
+        model = synthetic_model(monitors=40, attacks=10, seed=4)
+        placements = {
+            (m.monitor_type_id, m.asset_id) for m in model.monitors.values()
+        }
+        assert len(placements) == 40
+
+    def test_attack_steps_reference_pool_events(self):
+        model = synthetic_model(monitors=20, attacks=15, seed=5)
+        for attack in model.attacks.values():
+            for step in attack.steps:
+                assert step.event_id in model.events
+
+    def test_validates_cleanly(self):
+        # Construction itself runs SystemModel integrity checks; reaching
+        # here without ValidationError is the assertion.
+        model = synthetic_model(monitors=60, attacks=40, seed=6)
+        assert model.stats()["monitors"] == 60
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"assets": 1},
+        {"monitors": 0},
+        {"attacks": 0},
+        {"min_steps": 0},
+        {"min_steps": 4, "max_steps": 2},
+        {"network_monitor_fraction": 1.5},
+    ])
+    def test_invalid_configs_rejected(self, bad_kwargs):
+        with pytest.raises(ModelError):
+            synthetic_model(**bad_kwargs)

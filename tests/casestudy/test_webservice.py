@@ -1,0 +1,118 @@
+"""Structural tests for the enterprise Web service case study."""
+
+import pytest
+
+from repro.casestudy import ATTACK_CLASSES, enterprise_web_service
+from repro.core import MonitorScope
+from repro.errors import ModelError
+from repro.metrics.coverage import fully_covered_attacks
+
+
+class TestStructure:
+    def test_default_scale(self, web_model):
+        stats = web_model.stats()
+        assert stats["assets"] == 12
+        assert stats["monitor_types"] == 12
+        assert stats["data_types"] == 15
+        assert stats["monitors"] > 40
+        assert stats["attacks"] == 26
+
+    def test_attack_count_matches_catalog(self, web_model):
+        per_web = sum(1 for _, _, per in ATTACK_CLASSES if per)
+        global_attacks = sum(1 for _, _, per in ATTACK_CLASSES if not per)
+        assert len(web_model.attacks) == 2 * per_web + global_attacks
+
+    def test_topology_connected(self, web_model):
+        assert len(web_model.topology.connected_components()) == 1
+
+    def test_zones(self, web_model):
+        dmz = {a.asset_id for a in web_model.topology.assets_in_zone("dmz")}
+        assert dmz == {"lb-1", "web-1", "web-2"}
+
+    def test_every_attack_fully_coverable(self, web_model):
+        everything = frozenset(web_model.monitors)
+        assert fully_covered_attacks(web_model, everything) == frozenset(web_model.attacks)
+
+    def test_every_event_belongs_to_an_attack(self, web_model):
+        for event_id in web_model.events:
+            assert web_model.attacks_using_event(event_id), event_id
+
+    def test_every_monitor_cost_positive(self, web_model):
+        for monitor_id in web_model.monitors:
+            assert web_model.monitor_cost(monitor_id).scalarize() > 0, monitor_id
+
+    def test_network_monitors_on_fabric_only(self, web_model):
+        for monitor in web_model.monitors.values():
+            mtype = web_model.monitor_type(monitor.monitor_type_id)
+            if mtype.scope is MonitorScope.NETWORK:
+                kind = web_model.topology.asset(monitor.asset_id).kind
+                assert kind.is_network_fabric(), monitor.monitor_id
+
+    def test_ldap_logger_only_on_directory_server(self, web_model):
+        placements = [
+            m.asset_id
+            for m in web_model.monitors.values()
+            if m.monitor_type_id == "ldap_logger"
+        ]
+        assert placements == ["auth-1"]
+
+    def test_shared_recon_events(self, web_model):
+        # The perimeter port scan is shared by both per-web SQL injections.
+        users = web_model.attacks_using_event("port-scan@fw-edge")
+        assert {"sql-injection@web-1", "sql-injection@web-2"} <= users
+
+
+class TestParameterization:
+    def test_single_web_server(self):
+        model = enterprise_web_service(web_servers=1)
+        assert "web-1" in model.assets
+        assert "web-2" not in model.assets
+        per_web = sum(1 for _, _, per in ATTACK_CLASSES if per)
+        global_attacks = len(ATTACK_CLASSES) - per_web
+        assert len(model.attacks) == per_web + global_attacks
+
+    def test_three_web_servers_scale_attacks(self):
+        model = enterprise_web_service(web_servers=3)
+        assert "sql-injection@web-3" in model.attacks
+
+    def test_app_server_count(self):
+        model = enterprise_web_service(app_servers=3)
+        assert "app-3" in model.assets
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ModelError):
+            enterprise_web_service(web_servers=0)
+        with pytest.raises(ModelError):
+            enterprise_web_service(app_servers=0)
+
+    def test_deterministic_construction(self, web_model):
+        from repro.core import model_to_dict
+
+        again = enterprise_web_service()
+        assert model_to_dict(again) == model_to_dict(web_model)
+
+
+class TestEvidenceSemantics:
+    def test_db_events_only_visible_to_db_and_network_monitors(self, web_model):
+        providers = web_model.monitors_for_event("db-query-anomaly@db-1")
+        for monitor_id in providers:
+            monitor = web_model.monitor(monitor_id)
+            mtype = web_model.monitor_type(monitor.monitor_type_id)
+            if mtype.scope is MonitorScope.HOST:
+                assert monitor.asset_id == "db-1", monitor_id
+
+    def test_web_host_events_not_visible_from_other_web_host(self, web_model):
+        providers = web_model.monitors_for_event("webshell-exec@web-1")
+        host_monitors = [
+            m for m in providers if web_model.monitor(m).asset_id not in ("web-1",)
+        ]
+        # webshell-exec is evidenced by host-level data only.
+        assert not host_monitors
+
+    def test_waf_sees_both_web_servers(self, web_model):
+        # waf@lb-1 is network-scoped; lb-1 links to web-1 and web-2.
+        assert "waf@lb-1" in web_model.monitors_for_event("sqli-request@web-1")
+        assert "waf@lb-1" in web_model.monitors_for_event("sqli-request@web-2")
+
+    def test_firewall_logger_at_edge_sees_perimeter_events(self, web_model):
+        assert "firewall_logger@fw-edge" in web_model.monitors_for_event("port-scan@fw-edge")

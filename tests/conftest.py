@@ -1,0 +1,88 @@
+"""Shared fixtures: a hand-checkable toy model and the case study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import enterprise_web_service
+from repro.core import AssetKind, ModelBuilder, MonitorScope, SystemModel
+
+
+def build_toy_builder() -> ModelBuilder:
+    """A three-asset model small enough to verify every metric by hand.
+
+    Topology: ``n1`` (switch) linked to ``h1`` (web host) and ``h2``
+    (database).  Coverage relation (monitor -> event: weight):
+
+    * ``mlog@h1`` -> e1: 1.0
+    * ``mlog@h2`` -> e3: 0.6
+    * ``mnet@n1`` -> e1: 0.5, e2: 0.4   (network scope sees h1, h2)
+    * ``mdb@h2``  -> e2: 0.8
+
+    Attacks: ``A`` = (e1, e2) importance 1.0; ``B`` = (e2 weight 2,
+    e3 optional) importance 0.5.
+    """
+    builder = ModelBuilder("toy")
+    builder.asset("h1", kind=AssetKind.SERVER)
+    builder.asset("h2", kind=AssetKind.DATABASE)
+    builder.asset("n1", kind=AssetKind.NETWORK_DEVICE)
+    builder.link("n1", "h1")
+    builder.link("n1", "h2")
+
+    builder.data_type("dlog", fields=["f1", "f2"])
+    builder.data_type("dnet", fields=["f2", "f3"])
+    builder.data_type("ddb", fields=["f4"])
+
+    builder.monitor_type(
+        "mlog", data_types=["dlog"], cost={"cpu": 2, "storage": 1}, quality=0.9
+    )
+    builder.monitor_type(
+        "mnet",
+        data_types=["dnet"],
+        cost={"cpu": 4, "network": 2},
+        scope=MonitorScope.NETWORK,
+        deployable_kinds=[AssetKind.NETWORK_DEVICE],
+        quality=0.8,
+    )
+    builder.monitor_type(
+        "mdb",
+        data_types=["ddb"],
+        cost={"cpu": 3},
+        deployable_kinds=[AssetKind.DATABASE],
+        quality=1.0,
+    )
+    builder.monitor("mlog", "h1")
+    builder.monitor("mlog", "h2")
+    builder.monitor("mnet", "n1")
+    builder.monitor("mdb", "h2")
+
+    builder.event("e1", asset="h1")
+    builder.event("e2", asset="h2")
+    builder.event("e3", asset="h2")
+    builder.evidence("dlog", "e1", 1.0)
+    builder.evidence("dnet", "e1", 0.5)
+    builder.evidence("ddb", "e2", 0.8)
+    builder.evidence("dnet", "e2", 0.4)
+    builder.evidence("dlog", "e3", 0.6)
+
+    builder.attack("A", steps=["e1", "e2"], importance=1.0)
+    from repro.core import AttackStep
+
+    builder.attack(
+        "B",
+        steps=[AttackStep("e2", weight=2.0), AttackStep("e3", weight=1.0, required=False)],
+        importance=0.5,
+    )
+    return builder
+
+
+@pytest.fixture()
+def toy_model() -> SystemModel:
+    """Fresh toy model per test (cheap to build)."""
+    return build_toy_builder().build()
+
+
+@pytest.fixture(scope="session")
+def web_model() -> SystemModel:
+    """The enterprise Web service case study (immutable, shared)."""
+    return enterprise_web_service()

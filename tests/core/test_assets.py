@@ -1,0 +1,143 @@
+"""Tests for assets, links, and the topology graph."""
+
+import pytest
+
+from repro.core.assets import Asset, AssetKind, Link, Topology
+from repro.errors import DuplicateIdError, UnknownIdError
+
+
+def make_asset(asset_id="a1", kind=AssetKind.HOST, **kwargs):
+    return Asset(asset_id=asset_id, name=asset_id, kind=kind, **kwargs)
+
+
+class TestAsset:
+    def test_basic_construction(self):
+        asset = make_asset("web-1", AssetKind.SERVER, zone="dmz", criticality=0.8)
+        assert asset.asset_id == "web-1"
+        assert asset.kind is AssetKind.SERVER
+        assert asset.zone == "dmz"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="asset_id"):
+            make_asset("")
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 5.0])
+    def test_criticality_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError, match="criticality"):
+            make_asset(criticality=bad)
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_criticality_boundaries_accepted(self, ok):
+        assert make_asset(criticality=ok).criticality == ok
+
+    def test_tags(self):
+        asset = make_asset(tags=frozenset({"os:linux", "pci"}))
+        assert asset.has_tag("pci")
+        assert not asset.has_tag("os:windows")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_asset().zone = "x"
+
+
+class TestAssetKind:
+    def test_network_fabric_kinds(self):
+        assert AssetKind.FIREWALL.is_network_fabric()
+        assert AssetKind.LOAD_BALANCER.is_network_fabric()
+        assert AssetKind.NETWORK_DEVICE.is_network_fabric()
+
+    def test_host_kinds_are_not_fabric(self):
+        assert not AssetKind.SERVER.is_network_fabric()
+        assert not AssetKind.DATABASE.is_network_fabric()
+        assert not AssetKind.EXTERNAL.is_network_fabric()
+
+
+class TestLink:
+    def test_endpoints_unordered(self):
+        link = Link("a", "b")
+        assert link.endpoints == frozenset({"a", "b"})
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="self-link"):
+            Link("a", "a")
+
+    def test_other_endpoint(self):
+        link = Link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            Link("a", "b").other("c")
+
+
+class TestTopology:
+    @pytest.fixture()
+    def topo(self):
+        t = Topology()
+        t.add_asset(make_asset("a", AssetKind.SERVER))
+        t.add_asset(make_asset("b", AssetKind.DATABASE))
+        t.add_asset(make_asset("c", AssetKind.NETWORK_DEVICE))
+        t.add_link("c", "a")
+        t.add_link("c", "b")
+        return t
+
+    def test_contains_and_len(self, topo):
+        assert "a" in topo
+        assert "zzz" not in topo
+        assert len(topo) == 3
+
+    def test_duplicate_asset_rejected(self, topo):
+        with pytest.raises(DuplicateIdError):
+            topo.add_asset(make_asset("a"))
+
+    def test_link_requires_existing_assets(self, topo):
+        with pytest.raises(UnknownIdError):
+            topo.add_link("a", "nope")
+
+    def test_asset_lookup(self, topo):
+        assert topo.asset("a").kind is AssetKind.SERVER
+        with pytest.raises(UnknownIdError):
+            topo.asset("nope")
+
+    def test_neighbors(self, topo):
+        assert topo.neighbors("c") == frozenset({"a", "b"})
+        assert topo.neighbors("a") == frozenset({"c"})
+        with pytest.raises(UnknownIdError):
+            topo.neighbors("nope")
+
+    def test_assets_of_kind(self, topo):
+        assert [a.asset_id for a in topo.assets_of_kind(AssetKind.SERVER)] == ["a"]
+        assert topo.assets_of_kind(AssetKind.WORKSTATION) == []
+
+    def test_assets_in_zone(self):
+        t = Topology()
+        t.add_asset(make_asset("x", zone="dmz"))
+        t.add_asset(make_asset("y", zone="internal"))
+        assert [a.asset_id for a in t.assets_in_zone("dmz")] == ["x"]
+
+    def test_host_observation_domain_is_self(self, topo):
+        assert topo.observation_domain("a", network_scope=False) == frozenset({"a"})
+
+    def test_network_observation_domain_includes_neighbors(self, topo):
+        assert topo.observation_domain("c", network_scope=True) == frozenset({"a", "b", "c"})
+
+    def test_observation_domain_unknown_asset(self, topo):
+        with pytest.raises(UnknownIdError):
+            topo.observation_domain("nope", network_scope=True)
+
+    def test_connected_components_single(self, topo):
+        assert topo.connected_components() == [frozenset({"a", "b", "c"})]
+
+    def test_connected_components_disconnected(self, topo):
+        topo.add_asset(make_asset("island"))
+        components = topo.connected_components()
+        assert len(components) == 2
+        assert frozenset({"island"}) in components
+
+    def test_asset_ids_insertion_order(self, topo):
+        assert topo.asset_ids() == ["a", "b", "c"]
+
+    def test_links_listing(self, topo):
+        assert len(topo.links) == 2
+        assert topo.links[0].endpoints == frozenset({"c", "a"})

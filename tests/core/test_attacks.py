@@ -1,0 +1,73 @@
+"""Tests for events, attack steps, and attacks."""
+
+import pytest
+
+from repro.core.attacks import Attack, AttackStep, Event
+
+
+class TestEvent:
+    def test_requires_asset(self):
+        with pytest.raises(ValueError, match="asset"):
+            Event("e", "e", asset_id="")
+
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Event("", "e", asset_id="a")
+
+
+class TestAttackStep:
+    def test_defaults(self):
+        step = AttackStep("e1")
+        assert step.weight == 1.0
+        assert step.required
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0])
+    def test_nonpositive_weight_rejected(self, weight):
+        with pytest.raises(ValueError, match="weight"):
+            AttackStep("e1", weight=weight)
+
+    def test_requires_event(self):
+        with pytest.raises(ValueError):
+            AttackStep("")
+
+
+def make_attack(steps=None, **kwargs):
+    defaults = dict(attack_id="a", name="a", importance=1.0)
+    defaults.update(kwargs)
+    if steps is None:
+        steps = (AttackStep("e1"), AttackStep("e2", weight=2.0, required=False))
+    return Attack(steps=tuple(steps), **defaults)
+
+
+class TestAttack:
+    def test_event_ids_ordered(self):
+        assert make_attack().event_ids == ("e1", "e2")
+
+    def test_required_event_ids(self):
+        assert make_attack().required_event_ids == frozenset({"e1"})
+
+    def test_total_step_weight(self):
+        assert make_attack().total_step_weight == 3.0
+
+    def test_step_for_event(self):
+        attack = make_attack()
+        assert attack.step_for_event("e2").weight == 2.0
+        with pytest.raises(KeyError):
+            attack.step_for_event("nope")
+
+    def test_needs_steps(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            make_attack(steps=())
+
+    def test_duplicate_event_rejected(self):
+        with pytest.raises(ValueError, match="two steps"):
+            make_attack(steps=(AttackStep("e1"), AttackStep("e1")))
+
+    @pytest.mark.parametrize("importance", [0.0, -0.5, 1.5])
+    def test_importance_range(self, importance):
+        with pytest.raises(ValueError, match="importance"):
+            make_attack(importance=importance)
+
+    def test_importance_boundary(self):
+        assert make_attack(importance=1.0).importance == 1.0
+        assert make_attack(importance=0.001).importance == 0.001

@@ -1,0 +1,133 @@
+"""Tests for the fluent ModelBuilder."""
+
+import pytest
+
+from repro.core import AssetKind, AttackStep, ModelBuilder, MonitorScope
+from repro.errors import DuplicateIdError, UnknownIdError
+
+
+@pytest.fixture()
+def builder():
+    b = ModelBuilder("test")
+    b.asset("a1", kind=AssetKind.SERVER)
+    b.asset("a2", kind=AssetKind.DATABASE)
+    b.link("a1", "a2")
+    b.data_type("d1", fields=["f1"])
+    b.monitor_type("mt1", data_types=["d1"], cost={"cpu": 1})
+    return b
+
+
+class TestFluency:
+    def test_methods_chain(self):
+        model = (
+            ModelBuilder("chain")
+            .asset("a")
+            .data_type("d")
+            .monitor_type("mt", data_types=["d"])
+            .monitor("mt", "a")
+            .event("e", asset="a")
+            .evidence("d", "e")
+            .attack("atk", steps=["e"])
+            .build()
+        )
+        assert model.stats()["monitors"] == 1
+
+
+class TestDuplicates:
+    def test_duplicate_data_type(self, builder):
+        with pytest.raises(DuplicateIdError):
+            builder.data_type("d1")
+
+    def test_duplicate_monitor_type(self, builder):
+        with pytest.raises(DuplicateIdError):
+            builder.monitor_type("mt1", data_types=["d1"])
+
+    def test_duplicate_monitor(self, builder):
+        builder.monitor("mt1", "a1")
+        with pytest.raises(DuplicateIdError):
+            builder.monitor("mt1", "a1")
+
+    def test_duplicate_event(self, builder):
+        builder.event("e", asset="a1")
+        with pytest.raises(DuplicateIdError):
+            builder.event("e", asset="a2")
+
+    def test_duplicate_evidence(self, builder):
+        builder.event("e", asset="a1")
+        builder.evidence("d1", "e")
+        with pytest.raises(DuplicateIdError):
+            builder.evidence("d1", "e", 0.5)
+
+    def test_duplicate_attack(self, builder):
+        builder.event("e", asset="a1")
+        builder.attack("atk", steps=["e"])
+        with pytest.raises(DuplicateIdError):
+            builder.attack("atk", steps=["e"])
+
+
+class TestMonitorPlacement:
+    def test_default_monitor_id(self, builder):
+        builder.monitor("mt1", "a1")
+        model_monitors = builder.build().monitors
+        assert "mt1@a1" in model_monitors
+
+    def test_explicit_monitor_id(self, builder):
+        builder.monitor("mt1", "a1", monitor_id="custom")
+        assert "custom" in builder.build().monitors
+
+    def test_monitor_everywhere_respects_kinds(self):
+        b = ModelBuilder()
+        b.asset("s", kind=AssetKind.SERVER)
+        b.asset("db", kind=AssetKind.DATABASE)
+        b.data_type("d")
+        b.monitor_type("mt", data_types=["d"], deployable_kinds=[AssetKind.DATABASE])
+        b.monitor_everywhere("mt")
+        monitors = b.build().monitors
+        assert set(monitors) == {"mt@db"}
+
+    def test_monitor_everywhere_unknown_type(self, builder):
+        with pytest.raises(UnknownIdError):
+            builder.monitor_everywhere("ghost")
+
+
+class TestAttackSteps:
+    def test_string_steps_normalized(self, builder):
+        builder.event("e", asset="a1")
+        builder.attack("atk", steps=["e"])
+        attack = builder.build().attack("atk")
+        assert attack.steps[0].weight == 1.0
+        assert attack.steps[0].required
+
+    def test_tuple_steps_normalized(self, builder):
+        builder.event("e", asset="a1")
+        builder.attack("atk", steps=[("e", 2.5)])
+        assert builder.build().attack("atk").steps[0].weight == 2.5
+
+    def test_attackstep_objects_passed_through(self, builder):
+        builder.event("e", asset="a1")
+        builder.attack("atk", steps=[AttackStep("e", weight=3.0, required=False)])
+        step = builder.build().attack("atk").steps[0]
+        assert step.weight == 3.0 and not step.required
+
+    def test_mixed_step_forms(self, builder):
+        builder.event("e1", asset="a1")
+        builder.event("e2", asset="a2")
+        builder.event("e3", asset="a1")
+        builder.attack("atk", steps=["e1", ("e2", 2.0), AttackStep("e3", required=False)])
+        assert builder.build().attack("atk").event_ids == ("e1", "e2", "e3")
+
+
+class TestCostCoercion:
+    def test_dict_cost_accepted(self, builder):
+        builder.monitor_type("mt2", data_types=["d1"], cost={"storage": 3})
+        builder.monitor("mt2", "a1")
+        assert builder.build().monitor_cost("mt2@a1").get("storage") == 3
+
+    def test_none_cost_is_zero(self, builder):
+        builder.monitor_type("mt3", data_types=["d1"])
+        builder.monitor("mt3", "a1")
+        assert builder.build().monitor_cost("mt3@a1").is_zero()
+
+    def test_scope_passed_through(self, builder):
+        builder.monitor_type("mt4", data_types=["d1"], scope=MonitorScope.NETWORK)
+        assert builder.build().monitor_type("mt4").scope is MonitorScope.NETWORK

@@ -1,0 +1,58 @@
+"""Tests for data types, fields, and evidence entries."""
+
+import pytest
+
+from repro.core.data import DataField, DataType, Evidence
+
+
+class TestDataField:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            DataField("")
+
+    def test_description_optional(self):
+        assert DataField("src_ip").description == ""
+
+
+class TestDataType:
+    def test_field_names(self):
+        dt = DataType("flow", "Flow", fields=(DataField("a"), DataField("b")))
+        assert dt.field_names == frozenset({"a", "b"})
+
+    def test_empty_fields_allowed(self):
+        assert DataType("x", "x").field_names == frozenset()
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate field"):
+            DataType("x", "x", fields=(DataField("a"), DataField("a")))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            DataType("", "x")
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError, match="volume_hint"):
+            DataType("x", "x", volume_hint=-1)
+
+
+class TestEvidence:
+    def test_key(self):
+        assert Evidence("dt", "ev").key == ("dt", "ev")
+
+    @pytest.mark.parametrize("weight", [0.0, -0.5, 1.5])
+    def test_weight_out_of_range_rejected(self, weight):
+        with pytest.raises(ValueError, match="weight"):
+            Evidence("dt", "ev", weight=weight)
+
+    @pytest.mark.parametrize("weight", [0.01, 0.5, 1.0])
+    def test_weight_in_range_accepted(self, weight):
+        assert Evidence("dt", "ev", weight=weight).weight == weight
+
+    def test_empty_refs_rejected(self):
+        with pytest.raises(ValueError):
+            Evidence("", "ev")
+        with pytest.raises(ValueError):
+            Evidence("dt", "")
+
+    def test_fields_used_default_empty(self):
+        assert Evidence("dt", "ev").fields_used == frozenset()

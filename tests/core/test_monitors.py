@@ -1,0 +1,128 @@
+"""Tests for cost vectors, monitor types, and monitor instances."""
+
+import pytest
+
+from repro.core.assets import AssetKind
+from repro.core.monitors import CostVector, Monitor, MonitorScope, MonitorType
+
+
+class TestCostVector:
+    def test_zero(self):
+        assert CostVector.zero().is_zero()
+        assert CostVector.zero().get("cpu") == 0.0
+
+    def test_zero_entries_dropped(self):
+        cv = CostVector({"cpu": 0.0, "storage": 2.0})
+        assert cv.dimensions == frozenset({"storage"})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="cpu"):
+            CostVector({"cpu": -1})
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            CostVector({"cpu": float("inf")})
+        with pytest.raises(ValueError):
+            CostVector({"cpu": float("nan")})
+
+    def test_addition_merges_dimensions(self):
+        total = CostVector({"cpu": 1, "storage": 2}) + CostVector({"cpu": 3, "network": 4})
+        assert total.as_dict() == {"cpu": 4, "storage": 2, "network": 4}
+
+    def test_scaling(self):
+        assert (CostVector({"cpu": 2}) * 2.5).get("cpu") == 5.0
+        assert (2.5 * CostVector({"cpu": 2})).get("cpu") == 5.0
+
+    def test_scaling_to_zero_empties(self):
+        assert (CostVector({"cpu": 2}) * 0).is_zero()
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CostVector({"cpu": 1}) * -1
+
+    def test_total(self):
+        vectors = [CostVector({"cpu": 1}), CostVector({"cpu": 2, "admin": 1})]
+        assert CostVector.total(vectors).as_dict() == {"cpu": 3, "admin": 1}
+
+    def test_total_empty(self):
+        assert CostVector.total([]).is_zero()
+
+    def test_uniform(self):
+        cv = CostVector.uniform(2.0, ["a", "b"])
+        assert cv.as_dict() == {"a": 2.0, "b": 2.0}
+
+    def test_scalarize_unweighted(self):
+        assert CostVector({"cpu": 1, "storage": 2}).scalarize() == 3.0
+
+    def test_scalarize_weighted(self):
+        cv = CostVector({"cpu": 1, "storage": 2})
+        assert cv.scalarize({"cpu": 10}) == 10.0  # unweighted dims drop out
+
+    def test_fits_within(self):
+        budget = CostVector({"cpu": 5, "storage": 3})
+        assert CostVector({"cpu": 5}).fits_within(budget)
+        assert not CostVector({"cpu": 6}).fits_within(budget)
+        assert not CostVector({"network": 0.1}).fits_within(budget)
+
+    def test_fits_within_zero_budget(self):
+        assert CostVector.zero().fits_within(CostVector.zero())
+        assert not CostVector({"cpu": 1}).fits_within(CostVector.zero())
+
+
+def make_type(**kwargs):
+    defaults = dict(
+        monitor_type_id="mt",
+        name="mt",
+        data_type_ids=("dt",),
+        cost=CostVector({"cpu": 1}),
+    )
+    defaults.update(kwargs)
+    return MonitorType(**defaults)
+
+
+class TestMonitorType:
+    def test_needs_data_types(self):
+        with pytest.raises(ValueError, match="at least one data type"):
+            make_type(data_type_ids=())
+
+    def test_duplicate_data_types_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_type(data_type_ids=("dt", "dt"))
+
+    @pytest.mark.parametrize("quality", [0.0, -0.1, 1.01])
+    def test_quality_range(self, quality):
+        with pytest.raises(ValueError, match="quality"):
+            make_type(quality=quality)
+
+    def test_deployable_anywhere_by_default(self):
+        mt = make_type()
+        assert mt.can_deploy_at_kind(AssetKind.SERVER)
+        assert mt.can_deploy_at_kind(AssetKind.EXTERNAL)
+
+    def test_deployable_kinds_restrict(self):
+        mt = make_type(deployable_kinds=frozenset({AssetKind.DATABASE}))
+        assert mt.can_deploy_at_kind(AssetKind.DATABASE)
+        assert not mt.can_deploy_at_kind(AssetKind.SERVER)
+
+    def test_default_scope_is_host(self):
+        assert make_type().scope is MonitorScope.HOST
+
+
+class TestMonitor:
+    def test_effective_cost_scales(self):
+        mt = make_type(cost=CostVector({"cpu": 4, "storage": 2}))
+        monitor = Monitor("m", "mt", "a1", cost_multiplier=1.5)
+        assert monitor.effective_cost(mt).as_dict() == {"cpu": 6.0, "storage": 3.0}
+
+    def test_effective_cost_type_mismatch(self):
+        other = make_type(monitor_type_id="other")
+        with pytest.raises(ValueError, match="has type"):
+            Monitor("m", "mt", "a1").effective_cost(other)
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="cost_multiplier"):
+            Monitor("m", "mt", "a1", cost_multiplier=-1)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Monitor("", "mt", "a1")

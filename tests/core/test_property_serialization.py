@@ -1,0 +1,58 @@
+"""Property-based serialization tests: random models must round-trip."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.casestudy import synthetic_model
+from repro.core import model_from_dict, model_to_dict
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_model(draw):
+    assets = draw(st.integers(2, 10))
+    monitor_types = draw(st.integers(1, 4))
+    monitors = min(draw(st.integers(1, 12)), assets * monitor_types)
+    return synthetic_model(
+        assets=assets,
+        data_types=draw(st.integers(1, 6)),
+        monitor_types=monitor_types,
+        monitors=monitors,
+        attacks=draw(st.integers(1, 8)),
+        events=draw(st.integers(1, 10)),
+        network_monitor_fraction=draw(st.floats(0.0, 1.0)),
+        seed=draw(st.integers(0, 100_000)),
+    )
+
+
+@given(random_model())
+@settings(**SETTINGS)
+def test_round_trip_is_identity_on_documents(model):
+    document = model_to_dict(model)
+    clone = model_from_dict(document)
+    assert model_to_dict(clone) == document
+
+
+@given(random_model())
+@settings(**SETTINGS)
+def test_round_trip_preserves_coverage_relation(model):
+    clone = model_from_dict(model_to_dict(model))
+    for event_id in model.events:
+        assert clone.monitors_for_event(event_id) == model.monitors_for_event(event_id)
+    for monitor_id in model.monitors:
+        assert clone.monitor_cost(monitor_id).as_dict() == model.monitor_cost(
+            monitor_id
+        ).as_dict()
+
+
+@given(random_model())
+@settings(**SETTINGS)
+def test_round_trip_preserves_field_indices(model):
+    clone = model_from_dict(model_to_dict(model))
+    for event_id in model.events:
+        assert clone.max_fields_for_event(event_id) == model.max_fields_for_event(event_id)

@@ -1,0 +1,96 @@
+"""Tests for JSON serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import load_model, model_from_dict, model_to_dict, save_model
+from repro.core.serialization import FORMAT_VERSION
+from repro.errors import SerializationError
+
+
+def assert_models_equal(a, b):
+    """Structural equality through the canonical dict form."""
+    assert model_to_dict(a) == model_to_dict(b)
+
+
+class TestRoundTrip:
+    def test_toy_round_trip(self, toy_model):
+        assert_models_equal(toy_model, model_from_dict(model_to_dict(toy_model)))
+
+    def test_web_model_round_trip(self, web_model):
+        assert_models_equal(web_model, model_from_dict(model_to_dict(web_model)))
+
+    def test_round_trip_preserves_indices(self, toy_model):
+        clone = model_from_dict(model_to_dict(toy_model))
+        for event_id in toy_model.events:
+            assert clone.monitors_for_event(event_id) == toy_model.monitors_for_event(event_id)
+        for monitor_id in toy_model.monitors:
+            assert clone.monitor_cost(monitor_id).as_dict() == toy_model.monitor_cost(
+                monitor_id
+            ).as_dict()
+
+    def test_file_round_trip(self, toy_model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(toy_model, path)
+        assert_models_equal(toy_model, load_model(path))
+
+    def test_document_is_plain_json(self, toy_model):
+        json.dumps(model_to_dict(toy_model))  # must not raise
+
+
+class TestMalformed:
+    def test_unsupported_version(self, toy_model):
+        document = model_to_dict(toy_model)
+        document["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(SerializationError, match="version"):
+            model_from_dict(document)
+
+    def test_missing_required_key(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            model_from_dict({"assets": [{"name": "no-id"}]})
+
+    def test_dangling_reference_surfaces_as_validation_error(self, toy_model):
+        # Structurally valid JSON with broken cross-references fails model
+        # validation (not parsing), with the full problem list preserved.
+        from repro.errors import ValidationError
+
+        document = model_to_dict(toy_model)
+        document["monitors"][0]["asset"] = "ghost"
+        with pytest.raises(ValidationError, match="unknown asset"):
+            model_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            load_model(path)
+
+    def test_bad_enum_value(self, toy_model):
+        document = model_to_dict(toy_model)
+        document["assets"][0]["kind"] = "flying-saucer"
+        with pytest.raises(SerializationError):
+            model_from_dict(document)
+
+
+class TestDefaults:
+    def test_minimal_document(self):
+        model = model_from_dict({"name": "empty"})
+        assert model.name == "empty"
+        assert model.stats()["assets"] == 0
+
+    def test_defaults_fill_in(self):
+        model = model_from_dict(
+            {
+                "assets": [{"id": "a"}],
+                "data_types": [{"id": "d"}],
+                "monitor_types": [{"id": "mt", "data_types": ["d"]}],
+                "monitors": [{"id": "m", "type": "mt", "asset": "a"}],
+                "events": [{"id": "e", "asset": "a"}],
+                "evidence": [{"data_type": "d", "event": "e"}],
+                "attacks": [{"id": "atk", "steps": [{"event": "e"}]}],
+            }
+        )
+        assert model.monitor_type("mt").quality == 0.95
+        assert model.attack("atk").importance == 1.0
+        assert model.evidence[0].weight == 1.0

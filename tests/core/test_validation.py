@@ -1,0 +1,84 @@
+"""Tests for semantic model audits."""
+
+
+from repro.core import AssetKind
+from repro.core.validation import Severity, audit_model
+
+from tests.conftest import build_toy_builder
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestAudit:
+    def test_clean_toy_model_has_no_warnings(self, toy_model):
+        findings = audit_model(toy_model)
+        assert not [f for f in findings if f.severity is Severity.WARNING]
+
+    def test_uncoverable_event_flagged(self):
+        builder = build_toy_builder()
+        builder.event("orphan", asset="h1")
+        builder.attack("C", steps=["orphan"])
+        findings = audit_model(builder.build())
+        assert "uncoverable-event" in codes(findings)
+        assert "uncoverable-attack" in codes(findings)
+
+    def test_optional_uncoverable_step_not_an_attack_problem(self):
+        from repro.core import AttackStep
+
+        builder = build_toy_builder()
+        builder.event("orphan", asset="h1")
+        builder.attack("C", steps=[AttackStep("e1"), AttackStep("orphan", required=False)])
+        findings = audit_model(builder.build())
+        assert "uncoverable-event" in codes(findings)
+        assert "uncoverable-attack" not in codes(findings)
+
+    def test_idle_monitor_flagged(self):
+        builder = build_toy_builder()
+        builder.data_type("dx")
+        builder.monitor_type("mx", data_types=["dx"], cost={"cpu": 1})
+        builder.monitor("mx", "h1")
+        findings = audit_model(builder.build())
+        idle = [f for f in findings if f.code == "idle-monitor"]
+        assert any("mx@h1" in f.message for f in idle)
+
+    def test_free_monitor_flagged(self):
+        builder = build_toy_builder()
+        builder.monitor_type("freebie", data_types=["dlog"])
+        builder.monitor("freebie", "h1")
+        findings = audit_model(builder.build())
+        assert "free-monitor" in codes(findings)
+
+    def test_disconnected_topology_flagged(self):
+        builder = build_toy_builder()
+        builder.asset("island", kind=AssetKind.HOST)
+        findings = audit_model(builder.build())
+        assert "disconnected-topology" in codes(findings)
+
+    def test_unused_data_type_flagged(self):
+        builder = build_toy_builder()
+        builder.data_type("unused")
+        findings = audit_model(builder.build())
+        assert "unused-data-type" in codes(findings)
+
+    def test_unused_event_flagged(self):
+        builder = build_toy_builder()
+        builder.event("lonely", asset="h1")
+        builder.evidence("dlog", "lonely")
+        findings = audit_model(builder.build())
+        assert "unused-event" in codes(findings)
+
+    def test_finding_str_format(self):
+        builder = build_toy_builder()
+        builder.data_type("unused")
+        findings = audit_model(builder.build())
+        rendered = [str(f) for f in findings]
+        assert any(r.startswith("[info] unused-data-type:") for r in rendered)
+
+    def test_web_model_audit_is_warning_bounded(self, web_model):
+        # The case study deliberately contains idle monitors (deployable
+        # but useless placements); it must not contain uncoverable attacks.
+        findings = audit_model(web_model)
+        assert "uncoverable-attack" not in codes(findings)
+        assert "uncoverable-event" not in codes(findings)

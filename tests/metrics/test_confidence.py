@@ -1,0 +1,56 @@
+"""Confidence metrics against hand-computed values on the toy model.
+
+Monitor qualities: mlog 0.9, mnet 0.8, mdb 1.0.
+"""
+
+import pytest
+
+from repro.metrics.confidence import attack_confidence, event_confidence, overall_confidence
+
+NET_ONLY = {"mnet@n1"}
+ALL = {"mlog@h1", "mlog@h2", "mnet@n1", "mdb@h2"}
+
+
+class TestEventConfidence:
+    def test_single_monitor(self, toy_model):
+        # e1 via mnet: weight 0.5 * quality 0.8 = 0.4
+        assert event_confidence(toy_model, NET_ONLY, "e1") == pytest.approx(0.4)
+
+    def test_corroboration_compounds(self, toy_model):
+        # e1 via both: 1 - (1 - 1.0*0.9)(1 - 0.5*0.8) = 1 - 0.1*0.6
+        assert event_confidence(toy_model, ALL, "e1") == pytest.approx(0.94)
+
+    def test_perfect_monitor_with_full_weight(self, toy_model):
+        # e2 via mdb alone: weight 0.8 * quality 1.0
+        assert event_confidence(toy_model, {"mdb@h2"}, "e2") == pytest.approx(0.8)
+
+    def test_uncovered_event_zero(self, toy_model):
+        assert event_confidence(toy_model, NET_ONLY, "e3") == 0.0
+
+    def test_confidence_never_exceeds_one(self, toy_model):
+        for event_id in toy_model.events:
+            assert 0.0 <= event_confidence(toy_model, ALL, event_id) <= 1.0
+
+
+class TestAggregates:
+    def test_attack_confidence_hand_computed(self, toy_model):
+        # A under NET_ONLY: e1 -> 0.4, e2 -> 0.32; mean = 0.36
+        assert attack_confidence(toy_model, NET_ONLY, "A") == pytest.approx(0.36)
+
+    def test_overall_hand_computed(self, toy_model):
+        conf_a = 0.36
+        conf_b = (2 * 0.32 + 0.0) / 3
+        expected = (1.0 * conf_a + 0.5 * conf_b) / 1.5
+        assert overall_confidence(toy_model, NET_ONLY) == pytest.approx(expected)
+
+    def test_full_deployment(self, toy_model):
+        # e2 via mdb (0.8*1.0) and mnet (0.4*0.8): 1 - 0.2*0.68 = 0.864
+        assert event_confidence(toy_model, ALL, "e2") == pytest.approx(0.864)
+        conf_a = (0.94 + 0.864) / 2
+        assert attack_confidence(toy_model, ALL, "A") == pytest.approx(conf_a)
+
+    def test_no_attacks_is_zero(self):
+        from repro.core import ModelBuilder
+
+        model = ModelBuilder().asset("a").build()
+        assert overall_confidence(model, set()) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for budgets and cost metrics."""
+
+import pytest
+
+from repro.core.monitors import CostVector
+from repro.errors import MetricError
+from repro.metrics.cost import Budget, budget_utilization, deployment_cost, residual_budget
+
+
+class TestBudget:
+    def test_of_constructor(self):
+        budget = Budget.of(cpu=10, storage=5)
+        assert budget.dimensions == frozenset({"cpu", "storage"})
+        assert budget.limit("cpu") == 10
+        assert budget.limit("network") is None
+
+    def test_allows_within_limits(self):
+        budget = Budget.of(cpu=10)
+        assert budget.allows(CostVector({"cpu": 10}))
+        assert not budget.allows(CostVector({"cpu": 10.01}))
+
+    def test_unconstrained_dimension_is_free(self):
+        budget = Budget.of(cpu=10)
+        assert budget.allows(CostVector({"cpu": 1, "storage": 1e9}))
+
+    def test_fraction_of_total(self, toy_model):
+        budget = Budget.fraction_of_total(toy_model, 0.5)
+        total = toy_model.total_cost()
+        for dim in total.dimensions:
+            assert budget.limit(dim) == pytest.approx(total.get(dim) * 0.5)
+
+    def test_fraction_negative_rejected(self, toy_model):
+        with pytest.raises(MetricError):
+            Budget.fraction_of_total(toy_model, -0.1)
+
+    def test_fraction_one_allows_everything(self, toy_model):
+        budget = Budget.fraction_of_total(toy_model, 1.0)
+        assert budget.allows(toy_model.total_cost())
+
+    def test_scaled(self):
+        assert Budget.of(cpu=10).scaled(0.5).limit("cpu") == 5.0
+
+
+class TestDeploymentCost:
+    def test_sums_monitor_costs(self, toy_model):
+        cost = deployment_cost(toy_model, ["mlog@h1", "mnet@n1"])
+        assert cost.as_dict() == {"cpu": 6, "storage": 1, "network": 2}
+
+    def test_empty_deployment_is_free(self, toy_model):
+        assert deployment_cost(toy_model, []).is_zero()
+
+
+class TestUtilization:
+    def test_fractional_utilization(self, toy_model):
+        budget = Budget.of(cpu=10, network=4)
+        utilization = budget_utilization(toy_model, ["mnet@n1"], budget)
+        assert utilization == {"cpu": pytest.approx(0.4), "network": pytest.approx(0.5)}
+
+    def test_overspend_reported_above_one(self, toy_model):
+        budget = Budget.of(cpu=2)
+        utilization = budget_utilization(toy_model, ["mnet@n1"], budget)
+        assert utilization["cpu"] == pytest.approx(2.0)
+
+    def test_only_constrained_dimensions_reported(self, toy_model):
+        utilization = budget_utilization(toy_model, ["mnet@n1"], Budget.of(cpu=10))
+        assert set(utilization) == {"cpu"}
+
+    def test_residual_budget(self, toy_model):
+        residual = residual_budget(toy_model, ["mnet@n1"], Budget.of(cpu=10, network=1))
+        assert residual == {"cpu": pytest.approx(6.0), "network": pytest.approx(-1.0)}

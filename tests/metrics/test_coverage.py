@@ -1,0 +1,187 @@
+"""Coverage metrics against hand-computed values on the toy model.
+
+Toy coverage relation (see ``tests/conftest.py``):
+e1 <- {mlog@h1: 1.0, mnet@n1: 0.5}; e2 <- {mdb@h2: 0.8, mnet@n1: 0.4};
+e3 <- {mlog@h2: 0.6}.  Attack A = (e1, e2) imp 1.0; attack B =
+(e2 w2, e3 optional) imp 0.5.
+"""
+
+import pytest
+
+from repro.metrics.coverage import (
+    attack_coverage,
+    covered_events,
+    detectable_attacks,
+    event_coverage,
+    fully_covered_attacks,
+    overall_coverage,
+)
+
+NET_ONLY = {"mnet@n1"}
+ALL = {"mlog@h1", "mlog@h2", "mnet@n1", "mdb@h2"}
+
+
+class TestEventCoverage:
+    def test_best_weight_wins(self, toy_model):
+        assert event_coverage(toy_model, ALL, "e1") == 1.0
+
+    def test_single_provider(self, toy_model):
+        assert event_coverage(toy_model, NET_ONLY, "e1") == 0.5
+        assert event_coverage(toy_model, NET_ONLY, "e2") == 0.4
+
+    def test_uncovered_event_is_zero(self, toy_model):
+        assert event_coverage(toy_model, NET_ONLY, "e3") == 0.0
+        assert event_coverage(toy_model, set(), "e1") == 0.0
+
+
+class TestAttackCoverage:
+    def test_hand_computed(self, toy_model):
+        assert attack_coverage(toy_model, NET_ONLY, "A") == pytest.approx(0.45)
+        assert attack_coverage(toy_model, NET_ONLY, "B") == pytest.approx(0.8 / 3)
+
+    def test_accepts_attack_object(self, toy_model):
+        attack = toy_model.attack("A")
+        assert attack_coverage(toy_model, NET_ONLY, attack) == pytest.approx(0.45)
+
+    def test_full_deployment(self, toy_model):
+        assert attack_coverage(toy_model, ALL, "A") == pytest.approx(0.9)
+        assert attack_coverage(toy_model, ALL, "B") == pytest.approx(2.2 / 3)
+
+
+class TestOverallCoverage:
+    def test_hand_computed(self, toy_model):
+        expected = (1.0 * 0.45 + 0.5 * (0.8 / 3)) / 1.5
+        assert overall_coverage(toy_model, NET_ONLY) == pytest.approx(expected)
+
+    def test_empty_deployment(self, toy_model):
+        assert overall_coverage(toy_model, set()) == 0.0
+
+    def test_full_deployment(self, toy_model):
+        expected = (1.0 * 0.9 + 0.5 * (2.2 / 3)) / 1.5
+        assert overall_coverage(toy_model, ALL) == pytest.approx(expected)
+
+    def test_no_attacks_is_zero(self):
+        from repro.core import ModelBuilder
+
+        model = ModelBuilder().asset("a").build()
+        assert overall_coverage(model, set()) == 0.0
+
+
+class TestCoveredEvents:
+    def test_threshold_zero(self, toy_model):
+        assert covered_events(toy_model, NET_ONLY) == frozenset({"e1", "e2"})
+
+    def test_threshold_filters(self, toy_model):
+        assert covered_events(toy_model, NET_ONLY, threshold=0.45) == frozenset({"e1"})
+
+
+class TestAttackSets:
+    def test_fully_covered_requires_required_steps(self, toy_model):
+        # A requires e1 and e2; B requires only e2 (e3 is optional).
+        assert fully_covered_attacks(toy_model, NET_ONLY) == frozenset({"A", "B"})
+        assert fully_covered_attacks(toy_model, {"mdb@h2"}) == frozenset({"B"})
+
+    def test_detectable_needs_any_step(self, toy_model):
+        assert detectable_attacks(toy_model, {"mlog@h2"}) == frozenset({"B"})
+        assert detectable_attacks(toy_model, set()) == frozenset()
+
+    def test_threshold_applies(self, toy_model):
+        # At threshold 0.5 the 0.4-weight coverage of e2 no longer counts.
+        assert fully_covered_attacks(toy_model, NET_ONLY, threshold=0.45) == frozenset()
+
+
+class TestAssetWeightedCoverage:
+    def test_hand_computed(self, toy_model):
+        from repro.metrics.coverage import asset_weighted_coverage
+
+        # Events: e1@h1 (crit 0.5), e2@h2 (crit 0.5), e3@h2 (crit 0.5).
+        # Under NET_ONLY: cov 0.5, 0.4, 0.0 -> mean 0.3 (equal weights).
+        assert asset_weighted_coverage(toy_model, NET_ONLY) == pytest.approx(0.3)
+
+    def test_criticality_reweights(self):
+        from repro.core import AssetKind, ModelBuilder
+        from repro.metrics.coverage import asset_weighted_coverage
+
+        b = ModelBuilder()
+        b.asset("low", kind=AssetKind.SERVER, criticality=0.1)
+        b.asset("high", kind=AssetKind.DATABASE, criticality=0.9)
+        b.data_type("d")
+        b.monitor_type("mt", data_types=["d"], cost={"cpu": 1})
+        b.monitor("mt", "low")
+        b.monitor("mt", "high")
+        b.event("e-low", asset="low")
+        b.event("e-high", asset="high")
+        b.evidence("d", "e-low")
+        b.evidence("d", "e-high")
+        b.attack("atk", steps=["e-low", "e-high"])
+        model = b.build()
+
+        covers_low = asset_weighted_coverage(model, {"mt@low"})
+        covers_high = asset_weighted_coverage(model, {"mt@high"})
+        assert covers_high == pytest.approx(0.9)
+        assert covers_low == pytest.approx(0.1)
+        assert covers_high > covers_low
+
+    def test_unattacked_events_ignored(self, toy_model):
+        from tests.conftest import build_toy_builder
+        from repro.metrics.coverage import asset_weighted_coverage
+
+        builder = build_toy_builder()
+        builder.event("lonely", asset="h1")
+        builder.evidence("dlog", "lonely")
+        model = builder.build()
+        assert asset_weighted_coverage(model, NET_ONLY) == pytest.approx(
+            asset_weighted_coverage(toy_model, NET_ONLY)
+        )
+
+    def test_bounds_and_monotonicity(self, toy_model):
+        from repro.metrics.coverage import asset_weighted_coverage
+
+        assert asset_weighted_coverage(toy_model, set()) == 0.0
+        assert asset_weighted_coverage(toy_model, ALL) <= 1.0
+        assert asset_weighted_coverage(toy_model, ALL) >= asset_weighted_coverage(
+            toy_model, NET_ONLY
+        )
+
+    def test_empty_model(self):
+        from repro.core import ModelBuilder
+        from repro.metrics.coverage import asset_weighted_coverage
+
+        model = ModelBuilder().asset("a").build()
+        assert asset_weighted_coverage(model, set()) == 0.0
+
+
+class TestZoneCoverage:
+    def test_toy_has_single_default_zone(self, toy_model):
+        from repro.metrics.coverage import zone_coverage
+
+        zones = zone_coverage(toy_model, NET_ONLY)
+        assert set(zones) == {""}
+        # e1=0.5, e2=0.4, e3=0 -> mean 0.3
+        assert zones[""] == pytest.approx(0.3)
+
+    def test_case_study_zones(self, web_model):
+        from repro.metrics.coverage import zone_coverage
+
+        zones = zone_coverage(web_model, web_model.monitors)
+        assert set(zones) >= {"dmz", "internal", "perimeter"}
+        for value in zones.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_zone_isolation(self, web_model):
+        from repro.metrics.coverage import zone_coverage
+
+        # Deploy only DMZ host monitors: internal zone coverage must be
+        # lower than DMZ coverage.
+        dmz_monitors = {
+            m for m in web_model.monitors
+            if web_model.topology.asset(web_model.monitor(m).asset_id).zone == "dmz"
+        }
+        zones = zone_coverage(web_model, dmz_monitors)
+        assert zones["dmz"] > zones["internal"]
+
+    def test_empty_deployment_zero_everywhere(self, web_model):
+        from repro.metrics.coverage import zone_coverage
+
+        zones = zone_coverage(web_model, set())
+        assert all(value == 0.0 for value in zones.values())

@@ -1,0 +1,123 @@
+"""Property-based tests of metric invariants on random models.
+
+Invariants checked on randomized synthetic models and deployments:
+
+* every metric lies in ``[0, 1]``;
+* every metric is **monotone**: adding a monitor never decreases it;
+* the empty deployment scores 0 and the full deployment is maximal;
+* the ILP-facing aggregation identity holds: overall metrics are the
+  importance-weighted means of the per-attack metrics.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.casestudy import synthetic_model
+from repro.metrics.confidence import overall_confidence
+from repro.metrics.coverage import attack_coverage, overall_coverage
+from repro.metrics.redundancy import overall_redundancy
+from repro.metrics.richness import overall_richness
+from repro.metrics.utility import UtilityWeights, utility
+
+
+@st.composite
+def model_and_deployment(draw):
+    """A small synthetic model plus a random subset of its monitors."""
+    seed = draw(st.integers(0, 10_000))
+    assets = draw(st.integers(3, 8))
+    monitor_types = 3
+    monitors = min(draw(st.integers(2, 10)), assets * monitor_types)
+    model = synthetic_model(
+        assets=assets,
+        data_types=4,
+        monitor_types=monitor_types,
+        monitors=monitors,
+        attacks=draw(st.integers(1, 6)),
+        events=draw(st.integers(2, 8)),
+        seed=seed,
+    )
+    monitor_ids = sorted(model.monitors)
+    deployed = frozenset(m for m in monitor_ids if draw(st.booleans()))
+    return model, deployed
+
+
+ALL_METRICS = [
+    overall_coverage,
+    lambda m, d: overall_redundancy(m, d, 2),
+    overall_richness,
+    overall_confidence,
+    utility,
+]
+
+COMMON_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(model_and_deployment())
+@settings(**COMMON_SETTINGS)
+def test_metrics_bounded(case):
+    model, deployed = case
+    for metric in ALL_METRICS:
+        value = metric(model, deployed)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+@given(model_and_deployment(), st.integers(0, 100))
+@settings(**COMMON_SETTINGS)
+def test_metrics_monotone_in_deployment(case, pick):
+    model, deployed = case
+    remaining = sorted(set(model.monitors) - deployed)
+    if not remaining:
+        return
+    extra = remaining[pick % len(remaining)]
+    for metric in ALL_METRICS:
+        assert metric(model, deployed | {extra}) >= metric(model, deployed) - 1e-12
+
+
+@given(model_and_deployment())
+@settings(**COMMON_SETTINGS)
+def test_empty_deployment_scores_zero(case):
+    model, _ = case
+    for metric in ALL_METRICS:
+        assert metric(model, frozenset()) == 0.0
+
+
+@given(model_and_deployment())
+@settings(**COMMON_SETTINGS)
+def test_full_deployment_is_maximal(case):
+    model, deployed = case
+    full = frozenset(model.monitors)
+    for metric in ALL_METRICS:
+        assert metric(model, full) >= metric(model, deployed) - 1e-12
+
+
+@given(model_and_deployment())
+@settings(**COMMON_SETTINGS)
+def test_overall_coverage_is_importance_weighted_mean(case):
+    model, deployed = case
+    total_importance = sum(a.importance for a in model.attacks.values())
+    expected = (
+        sum(
+            a.importance * attack_coverage(model, deployed, a)
+            for a in model.attacks.values()
+        )
+        / total_importance
+    )
+    assert overall_coverage(model, deployed) == pytest.approx(expected)
+
+
+@given(model_and_deployment(), st.floats(0.0, 1.0))
+@settings(**COMMON_SETTINGS)
+def test_utility_interpolates_between_components(case, lam):
+    """The tradeoff weighting is a true convex combination."""
+    model, deployed = case
+    w = UtilityWeights.tradeoff(lam)
+    coverage = overall_coverage(model, deployed)
+    redundancy = overall_redundancy(model, deployed, w.redundancy_cap)
+    assert utility(model, deployed, w) == pytest.approx(
+        (1 - lam) * coverage + lam * redundancy
+    )

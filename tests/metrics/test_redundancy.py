@@ -1,0 +1,62 @@
+"""Redundancy metrics against hand-computed values on the toy model."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.redundancy import (
+    attack_redundancy,
+    event_evidence_count,
+    event_redundancy,
+    overall_redundancy,
+)
+
+NET_ONLY = {"mnet@n1"}
+ALL = {"mlog@h1", "mlog@h2", "mnet@n1", "mdb@h2"}
+
+
+class TestEvidenceCount:
+    def test_counts_deployed_providers(self, toy_model):
+        assert event_evidence_count(toy_model, ALL, "e1") == 2
+        assert event_evidence_count(toy_model, NET_ONLY, "e1") == 1
+        assert event_evidence_count(toy_model, NET_ONLY, "e3") == 0
+
+
+class TestEventRedundancy:
+    def test_cap_two(self, toy_model):
+        assert event_redundancy(toy_model, ALL, "e1") == 1.0
+        assert event_redundancy(toy_model, NET_ONLY, "e1") == 0.5
+        assert event_redundancy(toy_model, ALL, "e3") == 0.5
+
+    def test_cap_one_saturates_immediately(self, toy_model):
+        assert event_redundancy(toy_model, NET_ONLY, "e1", cap=1) == 1.0
+
+    def test_cap_three(self, toy_model):
+        assert event_redundancy(toy_model, ALL, "e1", cap=3) == pytest.approx(2 / 3)
+
+    def test_invalid_cap(self, toy_model):
+        with pytest.raises(MetricError):
+            event_redundancy(toy_model, ALL, "e1", cap=0)
+
+
+class TestAggregates:
+    def test_attack_redundancy(self, toy_model):
+        assert attack_redundancy(toy_model, NET_ONLY, "A") == pytest.approx(0.5)
+        assert attack_redundancy(toy_model, NET_ONLY, "B") == pytest.approx(1.0 / 3)
+
+    def test_overall_hand_computed(self, toy_model):
+        expected = (1.0 * 0.5 + 0.5 * (1.0 / 3)) / 1.5
+        assert overall_redundancy(toy_model, NET_ONLY) == pytest.approx(expected)
+
+    def test_full_deployment(self, toy_model):
+        # counts: e1=2, e2=2, e3=1 -> redundancy 1, 1, 0.5
+        assert attack_redundancy(toy_model, ALL, "A") == pytest.approx(1.0)
+        assert attack_redundancy(toy_model, ALL, "B") == pytest.approx(2.5 / 3)
+
+    def test_empty_deployment_zero(self, toy_model):
+        assert overall_redundancy(toy_model, set()) == 0.0
+
+    def test_no_attacks_is_zero(self):
+        from repro.core import ModelBuilder
+
+        model = ModelBuilder().asset("a").build()
+        assert overall_redundancy(model, set()) == 0.0

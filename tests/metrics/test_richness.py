@@ -1,0 +1,83 @@
+"""Richness metrics against hand-computed values on the toy model.
+
+Capturable fields per event: e1 -> {f1, f2, f3}; e2 -> {f2, f3, f4};
+e3 -> {f1, f2}.
+"""
+
+import pytest
+
+from repro.metrics.richness import (
+    attack_richness,
+    deployment_field_census,
+    event_richness,
+    overall_richness,
+)
+
+NET_ONLY = {"mnet@n1"}
+ALL = {"mlog@h1", "mlog@h2", "mnet@n1", "mdb@h2"}
+
+
+class TestEventRichness:
+    def test_full_deployment_is_one(self, toy_model):
+        for event_id in ("e1", "e2", "e3"):
+            assert event_richness(toy_model, ALL, event_id) == 1.0
+
+    def test_partial_fields(self, toy_model):
+        # mnet captures dnet fields {f2, f3}: 2 of e1's 3 capturable fields.
+        assert event_richness(toy_model, NET_ONLY, "e1") == pytest.approx(2 / 3)
+        assert event_richness(toy_model, NET_ONLY, "e2") == pytest.approx(2 / 3)
+        assert event_richness(toy_model, NET_ONLY, "e3") == 0.0
+
+    def test_empty_deployment(self, toy_model):
+        assert event_richness(toy_model, set(), "e1") == 0.0
+
+    def test_uncapturable_event_is_zero(self):
+        from tests.conftest import build_toy_builder
+
+        builder = build_toy_builder()
+        builder.event("orphan", asset="h1")
+        model = builder.build()
+        assert event_richness(model, {"mlog@h1"}, "orphan") == 0.0
+
+
+class TestAggregates:
+    def test_attack_richness(self, toy_model):
+        assert attack_richness(toy_model, NET_ONLY, "A") == pytest.approx(2 / 3)
+        assert attack_richness(toy_model, NET_ONLY, "B") == pytest.approx(4 / 9)
+
+    def test_overall_hand_computed(self, toy_model):
+        expected = (1.0 * (2 / 3) + 0.5 * (4 / 9)) / 1.5
+        assert overall_richness(toy_model, NET_ONLY) == pytest.approx(expected)
+
+    def test_full_deployment_is_one(self, toy_model):
+        assert overall_richness(toy_model, ALL) == pytest.approx(1.0)
+
+    def test_no_attacks_is_zero(self):
+        from repro.core import ModelBuilder
+
+        model = ModelBuilder().asset("a").build()
+        assert overall_richness(model, set()) == 0.0
+
+
+class TestFieldCensus:
+    def test_census_lists_captured_fields(self, toy_model):
+        census = deployment_field_census(toy_model, NET_ONLY)
+        assert census == {
+            "e1": frozenset({"f2", "f3"}),
+            "e2": frozenset({"f2", "f3"}),
+        }
+
+    def test_empty_deployment_empty_census(self, toy_model):
+        assert deployment_field_census(toy_model, set()) == {}
+
+    def test_restricted_evidence_fields_respected(self):
+        from tests.conftest import build_toy_builder
+
+        builder = build_toy_builder()
+        builder.event("e4", asset="h1")
+        builder.evidence("dlog", "e4", fields_used=["f1"])
+        builder.attack("C", steps=["e4"])
+        model = builder.build()
+        census = deployment_field_census(model, {"mlog@h1"})
+        assert census["e4"] == frozenset({"f1"})
+        assert event_richness(model, {"mlog@h1"}, "e4") == 1.0

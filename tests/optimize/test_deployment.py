@@ -1,0 +1,83 @@
+"""Tests for the Deployment value type."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.deployment import Deployment, OptimizationResult
+
+
+class TestConstruction:
+    def test_of_validates_ids(self, toy_model):
+        with pytest.raises(OptimizationError, match="unknown monitors"):
+            Deployment.of(toy_model, ["ghost"])
+
+    def test_empty_and_full(self, toy_model):
+        assert len(Deployment.empty(toy_model)) == 0
+        assert Deployment.full(toy_model).monitor_ids == frozenset(toy_model.monitors)
+
+    def test_contains(self, toy_model):
+        d = Deployment.of(toy_model, ["mnet@n1"])
+        assert "mnet@n1" in d
+        assert "mdb@h2" not in d
+
+
+class TestSetOperations:
+    def test_with_monitor(self, toy_model):
+        d = Deployment.empty(toy_model).with_monitor("mnet@n1")
+        assert d.monitor_ids == frozenset({"mnet@n1"})
+
+    def test_with_unknown_monitor_rejected(self, toy_model):
+        with pytest.raises(OptimizationError):
+            Deployment.empty(toy_model).with_monitor("ghost")
+
+    def test_without_monitor(self, toy_model):
+        d = Deployment.of(toy_model, ["mnet@n1", "mdb@h2"]).without_monitor("mnet@n1")
+        assert d.monitor_ids == frozenset({"mdb@h2"})
+
+    def test_union(self, toy_model):
+        a = Deployment.of(toy_model, ["mnet@n1"])
+        b = Deployment.of(toy_model, ["mdb@h2"])
+        assert (a | b).monitor_ids == frozenset({"mnet@n1", "mdb@h2"})
+
+    def test_union_requires_same_model(self, toy_model):
+        from tests.conftest import build_toy_builder
+
+        other = build_toy_builder().build()
+        with pytest.raises(OptimizationError, match="different models"):
+            Deployment.empty(toy_model) | Deployment.empty(other)
+
+
+class TestEvaluation:
+    def test_cost(self, toy_model):
+        d = Deployment.of(toy_model, ["mnet@n1"])
+        assert d.cost().as_dict() == {"cpu": 4, "network": 2}
+
+    def test_utility_matches_metric(self, toy_model):
+        from repro.metrics.utility import utility
+
+        d = Deployment.of(toy_model, ["mnet@n1"])
+        w = UtilityWeights()
+        assert d.utility(w) == pytest.approx(utility(toy_model, d.monitor_ids, w))
+
+    def test_breakdown_keys(self, toy_model):
+        breakdown = Deployment.full(toy_model).breakdown()
+        assert set(breakdown) == {"coverage", "redundancy", "richness", "utility"}
+
+    def test_by_asset_grouping(self, toy_model):
+        d = Deployment.of(toy_model, ["mlog@h2", "mdb@h2", "mnet@n1"])
+        assert d.by_asset() == {"h2": ["mdb@h2", "mlog@h2"], "n1": ["mnet@n1"]}
+
+
+class TestOptimizationResult:
+    def test_summary_mentions_method_and_utility(self, toy_model):
+        result = OptimizationResult(
+            deployment=Deployment.empty(toy_model),
+            objective=0.0,
+            utility=0.0,
+            solve_seconds=0.01,
+            method="greedy",
+            optimal=False,
+        )
+        assert "greedy" in result.summary()
+        assert "heuristic" in result.summary()

@@ -1,0 +1,203 @@
+"""Tests for the ILP linearization: the encoded expressions must equal
+the reference metrics on **every** 0/1 assignment of a small model."""
+
+import itertools
+
+import pytest
+
+from repro.metrics.coverage import attack_coverage, event_coverage
+from repro.metrics.cost import Budget
+from repro.metrics.redundancy import event_redundancy
+from repro.metrics.richness import event_richness
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.formulation import FormulationBuilder
+from repro.errors import OptimizationError
+
+from repro.solver.model import MilpModel, ObjectiveSense
+from repro.solver import solve
+
+
+def all_subsets(model):
+    ids = sorted(model.monitors)
+    for r in range(len(ids) + 1):
+        yield from (frozenset(c) for c in itertools.combinations(ids, r))
+
+
+def maximize_expression_given_selection(milp, builder, expression, selected):
+    """Max value of an auxiliary expression with the selection pinned.
+
+    The encodings are upper-bounded relaxations that reach the true
+    metric value at optimum, so we evaluate them by maximizing.
+    """
+    for monitor_id, var in builder.selection.items():
+        value = 1.0 if monitor_id in selected else 0.0
+        milp.add_constraint(var + 0.0 == value, name=f"pin[{monitor_id}]")
+    milp.set_objective(expression)
+    solution = solve(milp, "scipy")
+    return solution.objective
+
+
+class TestCoverageLevel:
+    @pytest.mark.parametrize("event_id", ["e1", "e2", "e3"])
+    def test_matches_metric_on_all_subsets(self, toy_model, event_id):
+        for selected in all_subsets(toy_model):
+            milp = MilpModel("t", ObjectiveSense.MAXIMIZE)
+            builder = FormulationBuilder(milp, toy_model)
+            expr = builder.coverage_level(event_id)
+            value = maximize_expression_given_selection(milp, builder, expr, selected)
+            assert value == pytest.approx(
+                event_coverage(toy_model, selected, event_id), abs=1e-6
+            ), (event_id, sorted(selected))
+
+    def test_cached_per_event(self, toy_model):
+        milp = MilpModel("t")
+        builder = FormulationBuilder(milp, toy_model)
+        assert builder.coverage_level("e1") is builder.coverage_level("e1")
+
+    def test_unprovided_event_is_empty_expression(self):
+        from tests.conftest import build_toy_builder
+
+        b = build_toy_builder()
+        b.event("orphan", asset="h1")
+        model = b.build()
+        milp = MilpModel("t")
+        builder = FormulationBuilder(milp, model)
+        assert builder.coverage_level("orphan").terms == {}
+
+
+class TestRedundancyLevel:
+    @pytest.mark.parametrize("cap", [1, 2, 3])
+    def test_matches_metric_on_all_subsets(self, toy_model, cap):
+        for selected in all_subsets(toy_model):
+            milp = MilpModel("t", ObjectiveSense.MAXIMIZE)
+            builder = FormulationBuilder(milp, toy_model)
+            expr = builder.redundancy_level("e1", cap)
+            value = maximize_expression_given_selection(milp, builder, expr, selected)
+            assert value == pytest.approx(
+                event_redundancy(toy_model, selected, "e1", cap), abs=1e-6
+            )
+
+
+class TestRichnessLevel:
+    @pytest.mark.parametrize("event_id", ["e1", "e2", "e3"])
+    def test_matches_metric_on_all_subsets(self, toy_model, event_id):
+        for selected in all_subsets(toy_model):
+            milp = MilpModel("t", ObjectiveSense.MAXIMIZE)
+            builder = FormulationBuilder(milp, toy_model)
+            expr = builder.richness_level(event_id)
+            value = maximize_expression_given_selection(milp, builder, expr, selected)
+            assert value == pytest.approx(
+                event_richness(toy_model, selected, event_id), abs=1e-6
+            )
+
+
+class TestUtilityExpression:
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            UtilityWeights(),
+            UtilityWeights.coverage_only(),
+            UtilityWeights(coverage=0.0, redundancy=1.0, richness=0.0),
+            UtilityWeights(coverage=0.0, redundancy=0.0, richness=1.0),
+            UtilityWeights(coverage=0.3, redundancy=0.3, richness=0.4, redundancy_cap=3),
+        ],
+    )
+    def test_matches_metric_on_all_subsets(self, toy_model, weights):
+        for selected in all_subsets(toy_model):
+            milp = MilpModel("t", ObjectiveSense.MAXIMIZE)
+            builder = FormulationBuilder(milp, toy_model)
+            expr = builder.utility_expression(weights)
+            value = maximize_expression_given_selection(milp, builder, expr, selected)
+            assert value == pytest.approx(
+                utility(toy_model, selected, weights), abs=1e-6
+            ), sorted(selected)
+
+
+class TestAttackCoverageExpression:
+    def test_matches_metric(self, toy_model):
+        for attack_id in toy_model.attacks:
+            for selected in all_subsets(toy_model):
+                milp = MilpModel("t", ObjectiveSense.MAXIMIZE)
+                builder = FormulationBuilder(milp, toy_model)
+                expr = builder.attack_coverage_expression(attack_id)
+                value = maximize_expression_given_selection(milp, builder, expr, selected)
+                assert value == pytest.approx(
+                    attack_coverage(toy_model, selected, attack_id), abs=1e-6
+                )
+
+
+class TestConstraints:
+    def test_budget_constraint_cuts_selection(self, toy_model):
+        milp = MilpModel("t", ObjectiveSense.MAXIMIZE)
+        builder = FormulationBuilder(milp, toy_model)
+        builder.add_budget_constraints(Budget.of(cpu=4))
+        milp.set_objective(builder.cost_expression({"cpu": 1.0}))
+        solution = solve(milp, "scipy")
+        assert solution.objective <= 4 + 1e-9
+
+    def test_empty_budget_rejected(self, toy_model):
+        milp = MilpModel("t")
+        builder = FormulationBuilder(milp, toy_model)
+        with pytest.raises(OptimizationError, match="no dimension"):
+            builder.add_budget_constraints(Budget())
+
+    def test_cost_expression_unweighted(self, toy_model):
+        milp = MilpModel("t", ObjectiveSense.MINIMIZE)
+        builder = FormulationBuilder(milp, toy_model)
+        expr = builder.cost_expression()
+        assignment = {var: 1.0 for var in builder.selection.values()}
+        assert expr.evaluate(assignment) == pytest.approx(
+            toy_model.total_cost().scalarize()
+        )
+
+    def test_full_coverage_constraint_forces_providers(self, toy_model):
+        milp = MilpModel("t", ObjectiveSense.MINIMIZE)
+        builder = FormulationBuilder(milp, toy_model)
+        builder.add_full_coverage_constraint("A")
+        milp.set_objective(builder.cost_expression())
+        solution = solve(milp, "scipy")
+        selected = builder.selected_ids(solution.values)
+        # A requires e1 and e2; two optima tie at cost 6 ({mnet@n1} and
+        # {mlog@h1, mdb@h2}) — check cost-optimality and actual coverage.
+        assert solution.objective == pytest.approx(6.0)
+        from repro.metrics.coverage import event_coverage
+
+        assert event_coverage(toy_model, selected, "e1") > 0
+        assert event_coverage(toy_model, selected, "e2") > 0
+
+    def test_full_coverage_infeasible_for_uncoverable_attack(self):
+        from tests.conftest import build_toy_builder
+        from repro.solver.model import SolutionStatus
+
+        b = build_toy_builder()
+        b.event("orphan", asset="h1")
+        b.attack("C", steps=["orphan"])
+        model = b.build()
+        milp = MilpModel("t", ObjectiveSense.MINIMIZE)
+        builder = FormulationBuilder(milp, model)
+        builder.add_full_coverage_constraint("C")
+        milp.set_objective(builder.cost_expression())
+        assert solve(milp, "scipy").status is SolutionStatus.INFEASIBLE
+
+    def test_forced_selection(self, toy_model):
+        milp = MilpModel("t", ObjectiveSense.MINIMIZE)
+        builder = FormulationBuilder(milp, toy_model)
+        builder.add_forced_selection({"mdb@h2"})
+        milp.set_objective(builder.cost_expression())
+        solution = solve(milp, "scipy")
+        assert "mdb@h2" in builder.selected_ids(solution.values)
+
+    def test_forced_unknown_monitor_rejected(self, toy_model):
+        milp = MilpModel("t")
+        builder = FormulationBuilder(milp, toy_model)
+        with pytest.raises(OptimizationError, match="unknown monitors"):
+            builder.add_forced_selection({"ghost"})
+
+
+class TestSelectedIds:
+    def test_threshold_half(self, toy_model):
+        milp = MilpModel("t")
+        builder = FormulationBuilder(milp, toy_model)
+        values = {var.name: 0.0 for var in builder.selection.values()}
+        values["x[mnet@n1]"] = 1.0
+        assert builder.selected_ids(values) == frozenset({"mnet@n1"})

@@ -1,0 +1,75 @@
+"""Tests for the exact ε-constraint Pareto frontier."""
+
+import itertools
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.frontier import exact_frontier
+
+
+def brute_force_frontier(model, weights):
+    """All non-dominated (cost, utility) pairs by subset enumeration."""
+    candidates = []
+    ids = sorted(model.monitors)
+    for r in range(len(ids) + 1):
+        for combo in itertools.combinations(ids, r):
+            selected = frozenset(combo)
+            candidates.append(
+                (model.deployment_cost(selected).scalarize(), utility(model, selected, weights))
+            )
+    candidates.sort(key=lambda p: (p[0], -p[1]))
+    frontier = []
+    best = -1.0
+    for cost, value in candidates:
+        if value > best + 1e-12:
+            frontier.append((cost, value))
+            best = value
+    return frontier
+
+
+class TestExactFrontier:
+    def test_matches_brute_force_on_toy(self, toy_model):
+        weights = UtilityWeights()
+        points = exact_frontier(toy_model, weights)
+        expected = brute_force_frontier(toy_model, weights)
+        assert len(points) == len(expected)
+        for point, (cost, value) in zip(points, expected):
+            assert point.scalar_cost == pytest.approx(cost)
+            assert point.utility == pytest.approx(value)
+
+    def test_strictly_increasing(self, toy_model):
+        points = exact_frontier(toy_model)
+        costs = [p.scalar_cost for p in points]
+        utilities = [p.utility for p in points]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+        assert all(b > a for a, b in zip(utilities, utilities[1:]))
+
+    def test_endpoints(self, toy_model):
+        points = exact_frontier(toy_model)
+        assert points[0].scalar_cost == 0.0
+        assert points[0].utility == 0.0
+        assert points[-1].utility == pytest.approx(utility(toy_model, toy_model.monitors))
+
+    def test_deployments_achieve_their_point(self, toy_model):
+        weights = UtilityWeights()
+        for point in exact_frontier(toy_model, weights):
+            assert point.deployment.utility(weights) == pytest.approx(point.utility)
+            assert point.deployment.cost().scalarize() == pytest.approx(point.scalar_cost)
+
+    def test_coverage_only_weights(self, toy_model):
+        weights = UtilityWeights.coverage_only()
+        points = exact_frontier(toy_model, weights)
+        expected = brute_force_frontier(toy_model, weights)
+        assert [(p.scalar_cost, round(p.utility, 9)) for p in points] == [
+            (c, round(u, 9)) for c, u in expected
+        ]
+
+    def test_invalid_epsilon(self, toy_model):
+        with pytest.raises(OptimizationError):
+            exact_frontier(toy_model, epsilon=0.0)
+
+    def test_max_points_caps_iterations(self, toy_model):
+        points = exact_frontier(toy_model, max_points=2)
+        assert len(points) <= 2

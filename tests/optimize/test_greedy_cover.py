@@ -1,0 +1,103 @@
+"""Tests for the greedy min-cost (set-cover style) baseline and the
+new richness floors on MinCostProblem."""
+
+import pytest
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.metrics.richness import attack_richness
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.greedy_cover import solve_greedy_cover
+from repro.optimize.problem import MinCostProblem
+
+WEIGHTS = UtilityWeights()
+
+
+class TestGreedyCover:
+    @pytest.mark.parametrize("floor", [0.1, 0.3, 0.5, 0.7])
+    def test_floor_met(self, toy_model, floor):
+        result = solve_greedy_cover(toy_model, floor, WEIGHTS)
+        assert result.utility >= floor - 1e-9
+
+    @pytest.mark.parametrize("floor", [0.3, 0.5, 0.7])
+    def test_never_cheaper_than_exact(self, toy_model, floor):
+        greedy = solve_greedy_cover(toy_model, floor, WEIGHTS)
+        exact = MinCostProblem(toy_model, min_utility=floor, weights=WEIGHTS).solve()
+        assert greedy.objective >= exact.objective - 1e-9
+
+    def test_zero_floor_selects_nothing(self, toy_model):
+        result = solve_greedy_cover(toy_model, 0.0, WEIGHTS)
+        assert result.monitor_ids == frozenset()
+        assert result.objective == 0.0
+
+    def test_unreachable_floor_raises(self, toy_model):
+        with pytest.raises(InfeasibleError, match="exceeds"):
+            solve_greedy_cover(toy_model, 0.99, WEIGHTS)
+
+    def test_invalid_floor(self, toy_model):
+        with pytest.raises(OptimizationError):
+            solve_greedy_cover(toy_model, 1.5, WEIGHTS)
+
+    def test_reverse_delete_prunes_redundant_monitors(self, toy_model):
+        """Every kept monitor must be necessary for the floor."""
+        result = solve_greedy_cover(toy_model, 0.5, WEIGHTS)
+        for monitor_id in result.monitor_ids:
+            without = result.monitor_ids - {monitor_id}
+            assert utility(toy_model, without, WEIGHTS) < 0.5 - 1e-12, monitor_id
+
+    def test_on_case_study(self, web_model):
+        greedy = solve_greedy_cover(web_model, 0.6, WEIGHTS)
+        exact = MinCostProblem(web_model, min_utility=0.6, weights=WEIGHTS).solve()
+        assert greedy.utility >= 0.6 - 1e-9
+        assert greedy.objective >= exact.objective - 1e-9
+        # Greedy should be in the right ballpark, not pathological.
+        assert greedy.objective <= 3 * exact.objective
+
+    def test_deterministic(self, toy_model):
+        a = solve_greedy_cover(toy_model, 0.5, WEIGHTS)
+        b = solve_greedy_cover(toy_model, 0.5, WEIGHTS)
+        assert a.monitor_ids == b.monitor_ids
+
+
+class TestRichnessFloors:
+    def test_floor_met(self, toy_model):
+        result = MinCostProblem(toy_model, min_attack_richness={"A": 0.8}).solve()
+        assert attack_richness(toy_model, result.monitor_ids, "A") >= 0.8 - 1e-6
+
+    def test_cheapest_among_compliant(self, toy_model):
+        import itertools
+
+        result = MinCostProblem(toy_model, min_attack_richness={"A": 0.8}).solve()
+        ids = sorted(toy_model.monitors)
+        for r in range(len(ids) + 1):
+            for combo in itertools.combinations(ids, r):
+                selected = frozenset(combo)
+                if attack_richness(toy_model, selected, "A") >= 0.8 - 1e-9:
+                    cost = toy_model.deployment_cost(selected).scalarize()
+                    assert cost >= result.objective - 1e-6
+
+    def test_richness_costs_more_than_coverage(self, toy_model):
+        """Full forensic richness needs more monitors than bare coverage."""
+        cover = MinCostProblem(toy_model, min_attack_coverage={"A": 0.5}).solve()
+        rich = MinCostProblem(toy_model, min_attack_richness={"A": 1.0}).solve()
+        assert rich.objective >= cover.objective
+
+    def test_unreachable_floor_infeasible(self):
+        from tests.conftest import build_toy_builder
+
+        builder = build_toy_builder()
+        builder.event("orphan", asset="h1")
+        builder.attack("C", steps=["e1", "orphan"])
+        model = builder.build()
+        # orphan has no capturable fields; C's richness is capped below 1.
+        with pytest.raises(InfeasibleError):
+            MinCostProblem(model, min_attack_richness={"C": 0.95}).solve()
+
+    def test_validation(self, toy_model):
+        with pytest.raises(OptimizationError, match="unknown attack"):
+            MinCostProblem(toy_model, min_attack_richness={"ghost": 0.5})
+        with pytest.raises(OptimizationError, match="richness floor"):
+            MinCostProblem(toy_model, min_attack_richness={"A": 1.5})
+
+    def test_counts_as_requirement(self, toy_model):
+        result = MinCostProblem(toy_model, min_attack_richness={"B": 0.1}).solve()
+        assert result.optimal

@@ -1,0 +1,183 @@
+"""Tests for the greedy, random, and annealing baselines."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.annealing import solve_annealing
+from repro.optimize.greedy import solve_greedy
+from repro.optimize.problem import MaxUtilityProblem
+from repro.optimize.random_search import solve_random
+
+WEIGHTS = UtilityWeights()
+
+
+class TestGreedy:
+    def test_respects_budget(self, toy_model):
+        budget = Budget.of(cpu=6)
+        result = solve_greedy(toy_model, budget, WEIGHTS)
+        assert budget.allows(result.deployment.cost())
+
+    def test_never_beats_optimal(self, toy_model):
+        for cpu in (0, 2, 4, 6, 9, 100):
+            budget = Budget.of(cpu=cpu)
+            greedy = solve_greedy(toy_model, budget, WEIGHTS)
+            optimal = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+            assert greedy.utility <= optimal.utility + 1e-9
+
+    def test_finds_optimum_on_toy(self, toy_model):
+        # On this small instance greedy should actually match the optimum
+        # with a generous budget (no budget conflicts to be myopic about).
+        budget = Budget.of(cpu=100)
+        greedy = solve_greedy(toy_model, budget, WEIGHTS)
+        optimal = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+        assert greedy.utility == pytest.approx(optimal.utility)
+
+    def test_utility_matches_deployment(self, toy_model):
+        result = solve_greedy(toy_model, Budget.of(cpu=6), WEIGHTS)
+        assert result.utility == pytest.approx(
+            utility(toy_model, result.monitor_ids, WEIGHTS)
+        )
+
+    def test_forced_monitors_kept(self, toy_model):
+        result = solve_greedy(
+            toy_model, Budget.of(cpu=100), WEIGHTS, forced_monitors=["mdb@h2"]
+        )
+        assert "mdb@h2" in result.monitor_ids
+
+    def test_deterministic(self, web_model):
+        budget = Budget.fraction_of_total(web_model, 0.2)
+        a = solve_greedy(web_model, budget, WEIGHTS)
+        b = solve_greedy(web_model, budget, WEIGHTS)
+        assert a.monitor_ids == b.monitor_ids
+
+    def test_zero_budget_selects_nothing(self, toy_model):
+        result = solve_greedy(toy_model, Budget.of(cpu=0.1), WEIGHTS)
+        assert result.monitor_ids == frozenset()
+
+    def test_method_label(self, toy_model):
+        assert solve_greedy(toy_model, Budget.of(cpu=6)).method == "greedy"
+
+
+class TestRandom:
+    def test_respects_budget(self, toy_model):
+        budget = Budget.of(cpu=6)
+        result = solve_random(toy_model, budget, WEIGHTS, samples=20, seed=7)
+        assert budget.allows(result.deployment.cost())
+
+    def test_deterministic_per_seed(self, toy_model):
+        budget = Budget.of(cpu=6)
+        a = solve_random(toy_model, budget, WEIGHTS, samples=20, seed=7)
+        b = solve_random(toy_model, budget, WEIGHTS, samples=20, seed=7)
+        assert a.monitor_ids == b.monitor_ids
+
+    def test_never_beats_optimal(self, toy_model):
+        budget = Budget.of(cpu=6)
+        result = solve_random(toy_model, budget, WEIGHTS, samples=50, seed=0)
+        optimal = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+        assert result.utility <= optimal.utility + 1e-9
+
+    def test_more_samples_never_worse(self, web_model):
+        budget = Budget.fraction_of_total(web_model, 0.2)
+        few = solve_random(web_model, budget, WEIGHTS, samples=2, seed=3)
+        many = solve_random(web_model, budget, WEIGHTS, samples=30, seed=3)
+        assert many.utility >= few.utility - 1e-12
+
+    def test_invalid_samples(self, toy_model):
+        with pytest.raises(OptimizationError):
+            solve_random(toy_model, Budget.of(cpu=6), samples=0)
+
+
+class TestAnnealing:
+    def test_respects_budget(self, toy_model):
+        budget = Budget.of(cpu=6)
+        result = solve_annealing(toy_model, budget, WEIGHTS, iterations=300, seed=5)
+        assert budget.allows(result.deployment.cost())
+
+    def test_deterministic_per_seed(self, toy_model):
+        budget = Budget.of(cpu=6)
+        a = solve_annealing(toy_model, budget, WEIGHTS, iterations=300, seed=5)
+        b = solve_annealing(toy_model, budget, WEIGHTS, iterations=300, seed=5)
+        assert a.monitor_ids == b.monitor_ids
+
+    def test_never_beats_optimal(self, toy_model):
+        budget = Budget.of(cpu=6)
+        result = solve_annealing(toy_model, budget, WEIGHTS, iterations=500, seed=0)
+        optimal = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+        assert result.utility <= optimal.utility + 1e-9
+
+    def test_finds_good_solution_on_toy(self, toy_model):
+        budget = Budget.of(cpu=100)
+        result = solve_annealing(toy_model, budget, WEIGHTS, iterations=1000, seed=0)
+        optimal = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+        assert result.utility >= 0.9 * optimal.utility
+
+    def test_invalid_parameters(self, toy_model):
+        with pytest.raises(OptimizationError):
+            solve_annealing(toy_model, Budget.of(cpu=6), iterations=0)
+        with pytest.raises(OptimizationError):
+            solve_annealing(toy_model, Budget.of(cpu=6), cooling=1.5)
+
+    def test_stats_report_acceptance(self, toy_model):
+        result = solve_annealing(toy_model, Budget.of(cpu=100), iterations=100, seed=1)
+        assert 0 <= result.stats["accepted"] <= 100
+
+
+class TestLazyGreedyEquivalence:
+    """The lazy-evaluation heap must be an optimization, not a semantics
+    change: it has to pick the same deployments as the naive greedy that
+    re-evaluates every candidate each round."""
+
+    @staticmethod
+    def naive_greedy(model, budget, weights):
+        selected: set[str] = set()
+        spend = model.deployment_cost(())
+        current = utility(model, selected, weights)
+        while True:
+            best_monitor, best_ratio, best_gain = None, 0.0, 0.0
+            for monitor_id in model.monitors:
+                if monitor_id in selected:
+                    continue
+                cost = model.monitor_cost(monitor_id)
+                if not budget.allows(spend + cost):
+                    continue
+                gain = utility(model, selected | {monitor_id}, weights) - current
+                if gain <= 0:
+                    continue
+                scalar = cost.scalarize()
+                ratio = gain / scalar if scalar > 0 else float("inf")
+                if ratio > best_ratio or (
+                    ratio == best_ratio
+                    and best_monitor is not None
+                    and monitor_id < best_monitor
+                ):
+                    best_monitor, best_ratio, best_gain = monitor_id, ratio, gain
+            if best_monitor is None:
+                return frozenset(selected)
+            selected.add(best_monitor)
+            spend = spend + model.monitor_cost(best_monitor)
+            current += best_gain
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_same_utility_as_naive(self, seed):
+        from repro.casestudy import synthetic_model
+
+        model = synthetic_model(monitors=15, attacks=10, seed=seed)
+        budget = Budget.fraction_of_total(model, 0.3)
+        weights = UtilityWeights()
+        lazy = solve_greedy(model, budget, weights)
+        naive_ids = self.naive_greedy(model, budget, weights)
+        # Tie-breaking order may differ, but achieved utility must match.
+        assert lazy.utility == pytest.approx(
+            utility(model, naive_ids, weights), abs=1e-9
+        )
+
+    def test_same_utility_on_toy(self, toy_model):
+        for cpu in (2, 4, 6, 9, 100):
+            budget = Budget.of(cpu=cpu)
+            lazy = solve_greedy(toy_model, budget, WEIGHTS)
+            naive_ids = self.naive_greedy(toy_model, budget, WEIGHTS)
+            assert lazy.utility == pytest.approx(
+                utility(toy_model, naive_ids, WEIGHTS), abs=1e-9
+            )

@@ -1,0 +1,120 @@
+"""Property-based tests of the optimization layer on random models.
+
+The central soundness property of the reproduction: on randomized
+models, the ILP's objective must equal the reference utility metric of
+the deployment it returns, the optimum must dominate every heuristic,
+and budgets must be respected by everything.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.casestudy import synthetic_model
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.greedy import solve_greedy
+from repro.optimize.problem import MaxUtilityProblem
+from repro.optimize.random_search import solve_random
+
+
+@st.composite
+def optimization_case(draw):
+    seed = draw(st.integers(0, 5_000))
+    model = synthetic_model(
+        assets=5,
+        data_types=4,
+        monitor_types=3,
+        monitors=draw(st.integers(3, 12)),
+        attacks=draw(st.integers(1, 5)),
+        events=draw(st.integers(3, 8)),
+        seed=seed,
+    )
+    fraction = draw(st.floats(0.1, 0.9))
+    weights = draw(
+        st.sampled_from(
+            [
+                UtilityWeights(),
+                UtilityWeights.coverage_only(),
+                UtilityWeights(coverage=0.2, redundancy=0.5, richness=0.3),
+            ]
+        )
+    )
+    return model, Budget.fraction_of_total(model, fraction), weights
+
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(optimization_case())
+@settings(**SETTINGS)
+def test_ilp_objective_equals_reference_utility(case):
+    model, budget, weights = case
+    result = MaxUtilityProblem(model, budget, weights).solve()
+    assert result.objective == pytest.approx(
+        utility(model, result.monitor_ids, weights), abs=1e-6
+    )
+
+
+@given(optimization_case())
+@settings(**SETTINGS)
+def test_ilp_dominates_heuristics(case):
+    model, budget, weights = case
+    optimal = MaxUtilityProblem(model, budget, weights).solve()
+    greedy = solve_greedy(model, budget, weights)
+    random_best = solve_random(model, budget, weights, samples=10, seed=1)
+    assert greedy.utility <= optimal.utility + 1e-6
+    assert random_best.utility <= optimal.utility + 1e-6
+
+
+@given(optimization_case())
+@settings(**SETTINGS)
+def test_everyone_respects_budget(case):
+    model, budget, weights = case
+    for result in (
+        MaxUtilityProblem(model, budget, weights).solve(),
+        solve_greedy(model, budget, weights),
+        solve_random(model, budget, weights, samples=5, seed=2),
+    ):
+        assert budget.allows(result.deployment.cost()), result.method
+
+
+@given(optimization_case())
+@settings(**SETTINGS)
+def test_backends_agree_on_optimum(case):
+    model, budget, weights = case
+    scipy_result = MaxUtilityProblem(model, budget, weights).solve("scipy")
+    bnb_result = MaxUtilityProblem(model, budget, weights).solve("branch-and-bound")
+    assert scipy_result.utility == pytest.approx(bnb_result.utility, abs=1e-6)
+
+
+@given(optimization_case(), st.integers(0, 2**32 - 1))
+@settings(**SETTINGS)
+def test_formulation_agrees_with_metric_on_pinned_deployments(case, subset_seed):
+    """Stronger than optimum agreement: the ILP's utility expression
+    equals the reference metric at an *arbitrary* pinned 0/1 point."""
+    import numpy as np
+
+    from repro.optimize.formulation import FormulationBuilder
+    from repro.solver import solve
+    from repro.solver.model import MilpModel, ObjectiveSense
+
+    model, _, weights = case
+    rng = np.random.default_rng(subset_seed)
+    monitor_ids = sorted(model.monitors)
+    selected = frozenset(m for m in monitor_ids if rng.random() < 0.5)
+
+    milp = MilpModel("pinned", ObjectiveSense.MAXIMIZE)
+    builder = FormulationBuilder(milp, model)
+    milp.set_objective(builder.utility_expression(weights))
+    for monitor_id, var in builder.selection.items():
+        value = 1.0 if monitor_id in selected else 0.0
+        milp.add_constraint(var + 0.0 == value)
+    solution = solve(milp, "scipy")
+    assert solution.objective == pytest.approx(
+        utility(model, selected, weights), abs=1e-6
+    )

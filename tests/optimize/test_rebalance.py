@@ -1,0 +1,88 @@
+"""Tests for deployment rebalancing with switching costs."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.problem import MaxUtilityProblem
+from repro.optimize.rebalance import RebalanceProblem
+
+WEIGHTS = UtilityWeights()
+
+
+class TestRebalance:
+    def test_zero_penalties_reduce_to_max_utility(self, toy_model):
+        budget = Budget.of(cpu=6)
+        plain = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+        rebalanced = RebalanceProblem(
+            toy_model, budget, ["mlog@h2"], WEIGHTS,
+            removal_penalty=0.0, addition_penalty=0.0,
+        ).solve()
+        assert rebalanced.utility == pytest.approx(plain.utility, abs=1e-6)
+
+    def test_huge_penalties_freeze_current_deployment(self, toy_model):
+        current = {"mlog@h1", "mdb@h2"}
+        result = RebalanceProblem(
+            toy_model, Budget.of(cpu=100), current, WEIGHTS,
+            removal_penalty=10.0, addition_penalty=10.0,
+        ).solve()
+        assert result.monitor_ids == frozenset(current)
+        assert result.stats["removed"] == 0
+        assert result.stats["added"] == 0
+
+    def test_moderate_penalty_limits_churn(self, toy_model):
+        """With mild penalties the rebalance keeps useful current
+        monitors that a from-scratch optimum might swap for ties."""
+        current = {"mlog@h1"}
+        result = RebalanceProblem(
+            toy_model, Budget.of(cpu=100), current, WEIGHTS,
+            removal_penalty=0.05, addition_penalty=0.0,
+        ).solve()
+        assert "mlog@h1" in result.monitor_ids  # removal never pays here
+
+    def test_change_accounting(self, toy_model):
+        current = {"mlog@h2"}
+        result = RebalanceProblem(
+            toy_model, Budget.of(cpu=100), current, WEIGHTS,
+            removal_penalty=0.0, addition_penalty=0.001,
+        ).solve()
+        removed = current - result.monitor_ids
+        added = result.monitor_ids - current
+        assert result.stats["removed"] == len(removed)
+        assert result.stats["added"] == len(added)
+        assert result.stats["change_penalty_paid"] == pytest.approx(
+            0.001 * len(added)
+        )
+
+    def test_unknown_current_monitors_ignored(self, toy_model):
+        result = RebalanceProblem(
+            toy_model, Budget.of(cpu=6), ["retired-monitor"], WEIGHTS
+        ).solve()
+        assert result.optimal  # no error, no penalty for the ghost
+
+    def test_budget_still_respected(self, toy_model):
+        budget = Budget.of(cpu=6)
+        result = RebalanceProblem(
+            toy_model, budget, set(toy_model.monitors), WEIGHTS,
+            removal_penalty=5.0,  # wants to keep everything...
+        ).solve()
+        assert budget.allows(result.deployment.cost())  # ...but can't
+
+    def test_negative_penalty_rejected(self, toy_model):
+        with pytest.raises(OptimizationError):
+            RebalanceProblem(
+                toy_model, Budget.of(cpu=6), [], removal_penalty=-1.0
+            )
+
+    def test_objective_includes_penalties(self, toy_model):
+        """The solver objective equals utility minus penalties paid."""
+        current = {"mlog@h2"}
+        result = RebalanceProblem(
+            toy_model, Budget.of(cpu=100), current, WEIGHTS,
+            removal_penalty=0.02, addition_penalty=0.01,
+        ).solve()
+        removed = len(current - result.monitor_ids)
+        added = len(result.monitor_ids - current)
+        expected = result.utility - 0.02 * removed - 0.01 * added
+        assert result.objective == pytest.approx(expected, abs=1e-6)

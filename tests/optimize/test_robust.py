@@ -1,0 +1,134 @@
+"""Tests for scenario-robust optimization."""
+
+import itertools
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights, utility
+from repro.optimize.problem import MaxUtilityProblem
+from repro.optimize.robust import (
+    ImportanceScenario,
+    RobustMaxUtilityProblem,
+    scenario_utility,
+)
+
+WEIGHTS = UtilityWeights()
+
+
+class TestImportanceScenario:
+    def test_overrides_apply(self, toy_model):
+        scenario = ImportanceScenario("shift", {"A": 0.2})
+        assert scenario.importance_of(toy_model, "A") == 0.2
+        assert scenario.importance_of(toy_model, "B") == 0.5  # model value
+
+    def test_invalid_importance(self):
+        with pytest.raises(OptimizationError):
+            ImportanceScenario("bad", {"A": 1.5})
+
+    def test_unknown_attack_caught_at_problem_construction(self, toy_model):
+        scenario = ImportanceScenario("ghost", {"nope": 0.5})
+        with pytest.raises(OptimizationError, match="unknown attacks"):
+            RobustMaxUtilityProblem(toy_model, Budget.of(cpu=6), [scenario])
+
+
+class TestScenarioUtility:
+    def test_nominal_scenario_equals_metric(self, toy_model):
+        scenario = ImportanceScenario("nominal")
+        for deployed in ({"mnet@n1"}, set(toy_model.monitors), set()):
+            assert scenario_utility(toy_model, deployed, scenario, WEIGHTS) == pytest.approx(
+                utility(toy_model, deployed, WEIGHTS)
+            )
+
+    def test_zero_importance_removes_attack(self, toy_model):
+        # With B removed, utility equals the A-only model's utility.
+        scenario = ImportanceScenario("no-B", {"B": 0.0})
+        deployed = {"mnet@n1"}
+        # A-only overall coverage = attack A coverage (importance cancels).
+        from repro.metrics.coverage import attack_coverage
+        from repro.metrics.redundancy import attack_redundancy
+        from repro.metrics.richness import attack_richness
+
+        expected = (
+            WEIGHTS.coverage * attack_coverage(toy_model, deployed, "A")
+            + WEIGHTS.redundancy * attack_redundancy(toy_model, deployed, "A", 2)
+            + WEIGHTS.richness * attack_richness(toy_model, deployed, "A")
+        )
+        assert scenario_utility(toy_model, deployed, scenario, WEIGHTS) == pytest.approx(expected)
+
+
+class TestRobustProblem:
+    def test_single_nominal_scenario_reduces_to_plain(self, toy_model):
+        budget = Budget.of(cpu=6)
+        robust = RobustMaxUtilityProblem(toy_model, budget, [], include_nominal=True).solve()
+        plain = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+        assert robust.utility == pytest.approx(plain.utility, abs=1e-6)
+
+    def test_worst_case_is_min_over_scenarios(self, toy_model):
+        scenarios = [
+            ImportanceScenario("a-heavy", {"B": 0.1}),
+            ImportanceScenario("b-heavy", {"A": 0.1}),
+        ]
+        result = RobustMaxUtilityProblem(toy_model, Budget.of(cpu=6), scenarios).solve()
+        per_scenario = [v for k, v in result.stats.items() if k.startswith("utility[")]
+        assert result.utility == pytest.approx(min(per_scenario), abs=1e-9)
+
+    def test_robust_matches_brute_force(self, toy_model):
+        scenarios = [
+            ImportanceScenario("nominal"),
+            ImportanceScenario("a-heavy", {"B": 0.1}),
+            ImportanceScenario("b-heavy", {"A": 0.1}),
+        ]
+        budget = Budget.of(cpu=6)
+        result = RobustMaxUtilityProblem(
+            toy_model, budget, scenarios[1:], include_nominal=True
+        ).solve()
+
+        best = -1.0
+        ids = sorted(toy_model.monitors)
+        for r in range(len(ids) + 1):
+            for combo in itertools.combinations(ids, r):
+                selected = frozenset(combo)
+                if not budget.allows(toy_model.deployment_cost(selected)):
+                    continue
+                worst = min(
+                    scenario_utility(toy_model, selected, s, WEIGHTS) for s in scenarios
+                )
+                best = max(best, worst)
+        assert result.utility == pytest.approx(best, abs=1e-6)
+
+    def test_robust_never_exceeds_nominal_optimum(self, toy_model):
+        budget = Budget.of(cpu=9)
+        scenarios = [ImportanceScenario("a-heavy", {"B": 0.05})]
+        robust = RobustMaxUtilityProblem(toy_model, budget, scenarios).solve()
+        nominal = MaxUtilityProblem(toy_model, budget, WEIGHTS).solve()
+        assert robust.utility <= nominal.utility + 1e-9
+
+    def test_budget_respected(self, toy_model):
+        budget = Budget.of(cpu=6)
+        result = RobustMaxUtilityProblem(
+            toy_model, budget, [ImportanceScenario("x", {"A": 0.3})]
+        ).solve()
+        assert budget.allows(result.deployment.cost())
+
+    def test_duplicate_scenario_names_rejected(self, toy_model):
+        scenarios = [ImportanceScenario("s"), ImportanceScenario("s")]
+        with pytest.raises(OptimizationError, match="duplicate"):
+            RobustMaxUtilityProblem(toy_model, Budget.of(cpu=6), scenarios,
+                                    include_nominal=False)
+
+    def test_no_scenarios_rejected(self, toy_model):
+        with pytest.raises(OptimizationError, match="at least one"):
+            RobustMaxUtilityProblem(toy_model, Budget.of(cpu=6), [], include_nominal=False)
+
+    def test_infeasible_budget(self, toy_model):
+        # Pin nothing; an impossible forced budget cannot happen here since
+        # empty deployment is feasible — construct infeasibility via an
+        # explicit zero-dimension budget plus forced cost is not supported,
+        # so check the empty-budget path instead.
+        result = RobustMaxUtilityProblem(
+            toy_model, Budget.of(cpu=0.0), [ImportanceScenario("x")],
+            include_nominal=False,
+        ).solve()
+        assert result.monitor_ids == frozenset()

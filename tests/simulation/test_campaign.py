@@ -1,0 +1,130 @@
+"""Tests for end-to-end attack campaigns."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.optimize.deployment import Deployment
+from repro.simulation.campaign import run_campaign
+
+
+class TestCampaign:
+    def test_deterministic_per_seed(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        a = run_campaign(toy_model, deployment, repetitions=3, seed=11)
+        b = run_campaign(toy_model, deployment, repetitions=3, seed=11)
+        assert a.detection_rate == b.detection_rate
+        assert a.observations == b.observations
+        assert [r.final_score for r in a.runs] == [r.final_score for r in b.runs]
+
+    def test_different_seeds_vary(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        a = run_campaign(toy_model, deployment, repetitions=5, seed=1)
+        b = run_campaign(toy_model, deployment, repetitions=5, seed=2)
+        # Continuous step timing almost surely differs between seeds.
+        assert a.duration != b.duration
+
+    def test_empty_deployment_detects_nothing(self, toy_model):
+        result = run_campaign(toy_model, Deployment.empty(toy_model), repetitions=3, seed=0)
+        assert result.detection_rate == 0.0
+        assert result.observations == 0
+        assert result.mean_step_completeness == 0.0
+
+    def test_full_deployment_detects_most(self, toy_model):
+        result = run_campaign(
+            toy_model, Deployment.full(toy_model), repetitions=20, seed=0
+        )
+        assert result.detection_rate > 0.8
+        assert result.mean_step_completeness > 0.7
+
+    def test_run_count(self, toy_model):
+        result = run_campaign(toy_model, Deployment.full(toy_model), repetitions=4, seed=0)
+        assert len(result.runs) == 4 * len(toy_model.attacks)
+
+    def test_per_attack_rates_cover_all_attacks(self, toy_model):
+        result = run_campaign(toy_model, Deployment.full(toy_model), repetitions=3, seed=0)
+        assert set(result.per_attack_detection) == set(toy_model.attacks)
+        for rate in result.per_attack_detection.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_detection_latency_positive(self, toy_model):
+        result = run_campaign(toy_model, Deployment.full(toy_model), repetitions=10, seed=0)
+        detected = [r for r in result.runs if r.detected]
+        assert detected
+        for run in detected:
+            assert run.detection_time is not None and run.detection_time > 0
+
+    def test_better_deployment_detects_more(self, web_model):
+        from repro.metrics.cost import Budget
+        from repro.optimize.problem import MaxUtilityProblem
+
+        weak = MaxUtilityProblem(web_model, Budget.fraction_of_total(web_model, 0.05)).solve()
+        strong = MaxUtilityProblem(web_model, Budget.fraction_of_total(web_model, 0.6)).solve()
+        weak_rate = run_campaign(web_model, weak.deployment, repetitions=3, seed=0).detection_rate
+        strong_rate = run_campaign(
+            web_model, strong.deployment, repetitions=3, seed=0
+        ).detection_rate
+        assert strong_rate >= weak_rate
+
+    def test_threshold_monotone(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        lax = run_campaign(toy_model, deployment, repetitions=10, seed=0, threshold=0.2)
+        strict = run_campaign(toy_model, deployment, repetitions=10, seed=0, threshold=0.9)
+        assert lax.detection_rate >= strict.detection_rate
+
+    def test_noise_volume_positive_for_nonempty(self, toy_model):
+        result = run_campaign(toy_model, Deployment.full(toy_model), repetitions=2, seed=0)
+        assert result.benign_noise_volume > 0
+
+    def test_invalid_repetitions(self, toy_model):
+        with pytest.raises(SimulationError):
+            run_campaign(toy_model, Deployment.full(toy_model), repetitions=0)
+
+    def test_foreign_deployment_rejected(self, toy_model):
+        from tests.conftest import build_toy_builder
+
+        other = build_toy_builder().build()
+        with pytest.raises(SimulationError, match="different model"):
+            run_campaign(toy_model, Deployment.full(other), repetitions=1)
+
+
+class TestFailureInjection:
+    def test_zero_rate_equals_default(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        base = run_campaign(toy_model, deployment, repetitions=5, seed=4)
+        explicit = run_campaign(
+            toy_model, deployment, repetitions=5, seed=4, monitor_failure_rate=0.0
+        )
+        assert base.detection_rate == explicit.detection_rate
+        assert base.observations == explicit.observations
+
+    def test_rate_one_observes_nothing(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        result = run_campaign(
+            toy_model, deployment, repetitions=5, seed=4, monitor_failure_rate=1.0
+        )
+        assert result.observations == 0
+        assert result.detection_rate == 0.0
+
+    def test_failures_degrade_detection(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        healthy = run_campaign(toy_model, deployment, repetitions=20, seed=4)
+        degraded = run_campaign(
+            toy_model, deployment, repetitions=20, seed=4, monitor_failure_rate=0.6
+        )
+        assert degraded.detection_rate < healthy.detection_rate
+        assert degraded.observations < healthy.observations
+
+    def test_deterministic_with_failures(self, toy_model):
+        deployment = Deployment.full(toy_model)
+        kwargs = dict(repetitions=5, seed=4, monitor_failure_rate=0.3)
+        a = run_campaign(toy_model, deployment, **kwargs)
+        b = run_campaign(toy_model, deployment, **kwargs)
+        assert a.detection_rate == b.detection_rate
+        assert a.observations == b.observations
+
+    def test_invalid_rate_rejected(self, toy_model):
+        with pytest.raises(SimulationError):
+            run_campaign(
+                toy_model, Deployment.full(toy_model), repetitions=1,
+                monitor_failure_rate=1.5,
+            )

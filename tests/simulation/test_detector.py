@@ -1,0 +1,153 @@
+"""Tests for the evidence-accumulation detector."""
+
+import pytest
+
+from repro.simulation.detector import EvidenceAccumulationDetector
+from repro.simulation.records import Observation
+
+
+def obs(event_id, weight, *, run_id=0, attack_id="A", monitor_id="m1", time=1.0):
+    return Observation(
+        run_id=run_id,
+        monitor_id=monitor_id,
+        data_type_id="dt",
+        event_id=event_id,
+        attack_id=attack_id,
+        time=time,
+        weight=weight,
+    )
+
+
+class TestScoring:
+    def test_score_is_weighted_realized_coverage(self, toy_model):
+        detector = EvidenceAccumulationDetector(toy_model, threshold=0.99)
+        detector.consume(obs("e1", 0.5))
+        # A = (e1, e2) equal weights: score = 0.5 / 2
+        assert detector.score_of(0, "A") == pytest.approx(0.25)
+
+    def test_best_weight_per_event_kept(self, toy_model):
+        detector = EvidenceAccumulationDetector(toy_model, threshold=0.99)
+        detector.consume(obs("e1", 0.5, monitor_id="weak"))
+        detector.consume(obs("e1", 1.0, monitor_id="strong"))
+        detector.consume(obs("e1", 0.3, monitor_id="weaker"))
+        assert detector.score_of(0, "A") == pytest.approx(0.5)
+
+    def test_unseen_run_scores_zero(self, toy_model):
+        detector = EvidenceAccumulationDetector(toy_model)
+        assert detector.score_of(99, "A") == 0.0
+
+
+class TestDetection:
+    def test_threshold_crossing_emits_once(self, toy_model):
+        detector = EvidenceAccumulationDetector(toy_model, threshold=0.5)
+        assert detector.consume(obs("e1", 0.6, time=5.0)) is None  # 0.3 < 0.5
+        verdict = detector.consume(obs("e2", 0.8, time=9.0))  # 0.7 >= 0.5
+        assert verdict is not None
+        assert verdict.time == 9.0
+        assert verdict.score >= 0.5
+        # further evidence does not re-trigger
+        assert detector.consume(obs("e2", 1.0, time=10.0)) is None
+        assert len(detector.detections) == 1
+
+    def test_contributing_monitors_recorded(self, toy_model):
+        detector = EvidenceAccumulationDetector(toy_model, threshold=0.5)
+        detector.consume(obs("e1", 0.6, monitor_id="alpha"))
+        verdict = detector.consume(obs("e2", 0.8, monitor_id="beta"))
+        assert verdict.contributing_monitors == frozenset({"alpha", "beta"})
+
+    def test_runs_tracked_independently(self, toy_model):
+        detector = EvidenceAccumulationDetector(toy_model, threshold=0.4)
+        detector.consume(obs("e1", 1.0, run_id=1))
+        assert detector.was_detected(1, "A")
+        assert not detector.was_detected(2, "A")
+
+    def test_step_weights_respected(self, toy_model):
+        # B = (e2 weight 2, e3 weight 1): e3 alone scores 1/3.
+        detector = EvidenceAccumulationDetector(toy_model, threshold=0.5)
+        detector.consume(obs("e3", 1.0, attack_id="B"))
+        assert detector.score_of(0, "B") == pytest.approx(1 / 3)
+        assert not detector.was_detected(0, "B")
+        detector.consume(obs("e2", 1.0, attack_id="B"))
+        assert detector.was_detected(0, "B")
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.01])
+    def test_invalid_threshold_rejected(self, toy_model, threshold):
+        with pytest.raises(ValueError):
+            EvidenceAccumulationDetector(toy_model, threshold)
+
+
+class TestSequencedDetector:
+    def _detector(self, toy_model, threshold=0.99):
+        from repro.simulation.detector import SequencedEvidenceDetector
+
+        return SequencedEvidenceDetector(toy_model, threshold)
+
+    def test_out_of_chain_evidence_not_credited(self, toy_model):
+        # A = (e1 required, e2 required): e2 alone scores 0 — the chain
+        # is not established without e1.
+        detector = self._detector(toy_model)
+        detector.consume(obs("e2", 1.0))
+        assert detector.score_of(0, "A") == 0.0
+
+    def test_in_order_evidence_credited(self, toy_model):
+        detector = self._detector(toy_model)
+        detector.consume(obs("e1", 1.0))
+        assert detector.score_of(0, "A") == pytest.approx(0.5)
+        detector.consume(obs("e2", 0.8))
+        assert detector.score_of(0, "A") == pytest.approx(0.9)
+
+    def test_late_early_step_restores_chain(self, toy_model):
+        """Observation order doesn't matter — only what has been seen."""
+        detector = self._detector(toy_model)
+        detector.consume(obs("e2", 0.8))
+        detector.consume(obs("e1", 1.0))
+        assert detector.score_of(0, "A") == pytest.approx(0.9)
+
+    def test_optional_step_does_not_block(self, toy_model):
+        # B = (e2 required w2, e3 optional w1): e2 alone scores 2/3;
+        # a missing optional step never breaks the chain.
+        detector = self._detector(toy_model)
+        detector.consume(obs("e2", 1.0, attack_id="B"))
+        assert detector.score_of(0, "B") == pytest.approx(2 / 3)
+
+    def test_never_more_sensitive_than_plain(self, toy_model):
+        from repro.simulation.detector import EvidenceAccumulationDetector
+
+        plain = EvidenceAccumulationDetector(toy_model, 0.99)
+        sequenced = self._detector(toy_model)
+        for event_id, weight in (("e2", 1.0), ("e1", 0.5), ("e3", 0.6)):
+            for attack_id in ("A", "B"):
+                observation = obs(event_id, weight, attack_id=attack_id)
+                plain.consume(observation)
+                sequenced.consume(observation)
+        for attack_id in ("A", "B"):
+            assert sequenced.score_of(0, attack_id) <= plain.score_of(0, attack_id) + 1e-12
+
+
+class TestSequencedCampaign:
+    def test_sequenced_flag_never_detects_more(self, toy_model):
+        from repro.optimize.deployment import Deployment
+        from repro.simulation.campaign import run_campaign
+
+        deployment = Deployment.full(toy_model)
+        plain = run_campaign(toy_model, deployment, repetitions=10, seed=3)
+        sequenced = run_campaign(
+            toy_model, deployment, repetitions=10, seed=3, sequenced=True
+        )
+        assert sequenced.detection_rate <= plain.detection_rate + 1e-12
+
+    def test_early_blind_spot_hurts_sequenced_more(self, toy_model):
+        from repro.optimize.deployment import Deployment
+        from repro.simulation.campaign import run_campaign
+
+        # Deploy only mdb@h2: sees e2 but never e1 — attack A's chain is
+        # never established for the sequenced detector.
+        deployment = Deployment.of(toy_model, ["mdb@h2"])
+        plain = run_campaign(
+            toy_model, deployment, repetitions=10, seed=3, threshold=0.3
+        )
+        sequenced = run_campaign(
+            toy_model, deployment, repetitions=10, seed=3, threshold=0.3, sequenced=True
+        )
+        assert plain.per_attack_detection["A"] > 0
+        assert sequenced.per_attack_detection["A"] == 0.0

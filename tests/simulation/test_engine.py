@@ -1,0 +1,98 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda s, p: order.append(p), "late")
+        sim.schedule(1.0, lambda s, p: order.append(p), "early")
+        sim.schedule(2.0, lambda s, p: order.append(p), "middle")
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda s, p: order.append(p), tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda s, p: times.append(s.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_handlers_can_schedule_more(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(s, depth):
+            seen.append(s.now)
+            if depth < 3:
+                s.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda s, p: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda s, p: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda s, p: None)
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda s, p: seen.append(1))
+        sim.schedule(10.0, lambda s, p: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda s, p: seen.append(1))
+        sim.schedule(10.0, lambda s, p: seen.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_until_advances_clock_even_when_idle(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(float(i), lambda s, p: seen.append(p), i)
+        sim.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda s, p: None)
+        sim.run()
+        assert sim.events_processed == 3

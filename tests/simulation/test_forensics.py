@@ -1,0 +1,68 @@
+"""Tests for forensic reconstruction scoring."""
+
+import pytest
+
+from repro.simulation.forensics import reconstruct
+from repro.simulation.records import Observation
+
+
+def obs(event_id, fields, *, run_id=0, attack_id="A"):
+    return Observation(
+        run_id=run_id,
+        monitor_id="m",
+        data_type_id="dt",
+        event_id=event_id,
+        attack_id=attack_id,
+        time=1.0,
+        weight=1.0,
+        fields=frozenset(fields),
+    )
+
+
+class TestReconstruct:
+    def test_no_observations(self, toy_model):
+        report = reconstruct(toy_model, 0, "A", [])
+        assert report.steps_observed == 0
+        assert report.step_completeness == 0.0
+        assert report.field_completeness == 0.0
+        assert not report.is_complete
+
+    def test_full_reconstruction(self, toy_model):
+        observations = [
+            obs("e1", {"f1", "f2", "f3"}),
+            obs("e2", {"f2", "f3", "f4"}),
+        ]
+        report = reconstruct(toy_model, 0, "A", observations)
+        assert report.is_complete
+        assert report.step_completeness == 1.0
+        assert report.field_completeness == 1.0
+        assert report.observations == 2
+
+    def test_partial_steps(self, toy_model):
+        report = reconstruct(toy_model, 0, "A", [obs("e1", {"f1"})])
+        assert report.steps_observed == 1
+        assert report.steps_total == 2
+        assert report.step_completeness == pytest.approx(0.5)
+
+    def test_step_weights_in_completeness(self, toy_model):
+        # B = (e2 weight 2, e3 weight 1); observing only e3 -> 1/3.
+        report = reconstruct(toy_model, 0, "B", [obs("e3", set(), attack_id="B")])
+        assert report.step_completeness == pytest.approx(1 / 3)
+
+    def test_field_completeness_counts_capturable_only(self, toy_model):
+        # e1 capturable fields: {f1, f2, f3}; e2: {f2, f3, f4} -> 6 total.
+        report = reconstruct(toy_model, 0, "A", [obs("e1", {"f1", "bogus"})])
+        assert report.field_completeness == pytest.approx(1 / 6)
+
+    def test_filters_other_runs_and_attacks(self, toy_model):
+        observations = [
+            obs("e1", {"f1"}, run_id=1),
+            obs("e1", {"f1"}, attack_id="B"),
+        ]
+        report = reconstruct(toy_model, 0, "A", observations)
+        assert report.observations == 0
+
+    def test_fields_union_across_observations(self, toy_model):
+        observations = [obs("e1", {"f1"}), obs("e1", {"f2", "f3"})]
+        report = reconstruct(toy_model, 0, "A", observations)
+        assert report.field_completeness == pytest.approx(3 / 6)

@@ -1,0 +1,106 @@
+"""Tests for the observation model."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.observation import ObservationModel
+from repro.simulation.records import StepOccurrence
+
+from tests.conftest import build_toy_builder
+
+
+def make_step(event_id="e1", asset_id="h1", time=10.0):
+    return StepOccurrence(
+        run_id=0, attack_id="A", event_id=event_id, asset_id=asset_id, time=time, step_index=0
+    )
+
+
+def perfect_toy_model():
+    """Toy model variant whose monitors never miss (quality 1)."""
+    builder = build_toy_builder()
+    model = builder.build()
+    from repro.core import model_from_dict, model_to_dict
+
+    document = model_to_dict(model)
+    for mt in document["monitor_types"]:
+        mt["quality"] = 1.0
+    return model_from_dict(document)
+
+
+class TestObserve:
+    def test_perfect_monitors_always_record(self):
+        model = perfect_toy_model()
+        observer = ObservationModel(
+            model, frozenset(model.monitors), np.random.default_rng(0)
+        )
+        observations = observer.observe(make_step())
+        assert {o.monitor_id for o in observations} == {"mlog@h1", "mnet@n1"}
+
+    def test_only_deployed_monitors_record(self):
+        model = perfect_toy_model()
+        observer = ObservationModel(model, frozenset({"mnet@n1"}), np.random.default_rng(0))
+        observations = observer.observe(make_step())
+        assert {o.monitor_id for o in observations} == {"mnet@n1"}
+
+    def test_unwatched_event_yields_nothing(self):
+        model = perfect_toy_model()
+        observer = ObservationModel(model, frozenset({"mdb@h2"}), np.random.default_rng(0))
+        assert observer.observe(make_step("e1", "h1")) == []
+
+    def test_observation_carries_weight_and_fields(self):
+        model = perfect_toy_model()
+        observer = ObservationModel(model, frozenset({"mnet@n1"}), np.random.default_rng(0))
+        (obs,) = observer.observe(make_step())
+        assert obs.weight == 0.5
+        assert obs.fields == frozenset({"f2", "f3"})
+        assert obs.data_type_id == "dnet"
+
+    def test_latency_added(self):
+        model = perfect_toy_model()
+        observer = ObservationModel(
+            model, frozenset({"mlog@h1"}), np.random.default_rng(0), mean_latency=1.0
+        )
+        (obs,) = observer.observe(make_step(time=100.0))
+        assert obs.time >= 100.0
+
+    def test_quality_controls_miss_rate(self, toy_model):
+        # mnet has quality 0.8: over many trials ~20% misses.
+        observer = ObservationModel(
+            toy_model, frozenset({"mnet@n1"}), np.random.default_rng(123)
+        )
+        recorded = sum(bool(observer.observe(make_step())) for _ in range(1000))
+        assert 700 < recorded < 900
+
+    def test_deterministic_given_rng_seed(self, toy_model):
+        def trace(seed):
+            observer = ObservationModel(
+                toy_model, frozenset(toy_model.monitors), np.random.default_rng(seed)
+            )
+            return [
+                (o.monitor_id, round(o.time, 9))
+                for _ in range(20)
+                for o in observer.observe(make_step())
+            ]
+
+        assert trace(7) == trace(7)
+
+
+class TestNoiseVolume:
+    def test_scales_with_duration(self, toy_model):
+        observer = ObservationModel(
+            toy_model, frozenset(toy_model.monitors), np.random.default_rng(0)
+        )
+        assert observer.benign_noise_volume(7200.0) == pytest.approx(
+            2 * observer.benign_noise_volume(3600.0)
+        )
+
+    def test_empty_deployment_no_noise(self, toy_model):
+        observer = ObservationModel(toy_model, frozenset(), np.random.default_rng(0))
+        assert observer.benign_noise_volume(3600.0) == 0.0
+
+    def test_volume_matches_hints(self, toy_model):
+        observer = ObservationModel(
+            toy_model, frozenset({"mlog@h1"}), np.random.default_rng(0)
+        )
+        expected = toy_model.data_type("dlog").volume_hint
+        assert observer.benign_noise_volume(3600.0) == pytest.approx(expected)

@@ -1,0 +1,90 @@
+"""Property-based tests of simulation invariants on random models."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.casestudy import synthetic_model
+from repro.metrics.coverage import overall_coverage
+from repro.optimize.deployment import Deployment
+from repro.simulation.campaign import run_campaign
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def campaign_case(draw):
+    seed = draw(st.integers(0, 2_000))
+    model = synthetic_model(
+        assets=5,
+        data_types=4,
+        monitor_types=3,
+        monitors=draw(st.integers(3, 10)),
+        attacks=draw(st.integers(1, 4)),
+        events=draw(st.integers(2, 6)),
+        seed=seed,
+    )
+    monitor_ids = sorted(model.monitors)
+    deployed = frozenset(m for m in monitor_ids if draw(st.booleans()))
+    campaign_seed = draw(st.integers(0, 1_000))
+    return model, Deployment.of(model, deployed), campaign_seed
+
+
+@given(campaign_case())
+@settings(**SETTINGS)
+def test_rates_and_scores_bounded(case):
+    model, deployment, seed = case
+    result = run_campaign(model, deployment, repetitions=2, seed=seed)
+    assert 0.0 <= result.detection_rate <= 1.0
+    assert 0.0 <= result.mean_step_completeness <= 1.0
+    assert 0.0 <= result.mean_field_completeness <= 1.0
+    for run in result.runs:
+        assert 0.0 <= run.final_score <= 1.0 + 1e-9
+
+
+@given(campaign_case())
+@settings(**SETTINGS)
+def test_realized_score_never_exceeds_static_coverage_potential(case):
+    """A monitor can only record events the coverage relation allows, so
+    a run's realized score is bounded by the attack's static coverage."""
+    from repro.metrics.coverage import attack_coverage
+
+    model, deployment, seed = case
+    result = run_campaign(model, deployment, repetitions=2, seed=seed)
+    for run in result.runs:
+        ceiling = attack_coverage(model, deployment.monitor_ids, run.attack_id)
+        assert run.final_score <= ceiling + 1e-9
+
+
+@given(campaign_case())
+@settings(**SETTINGS)
+def test_campaign_deterministic(case):
+    model, deployment, seed = case
+    a = run_campaign(model, deployment, repetitions=2, seed=seed)
+    b = run_campaign(model, deployment, repetitions=2, seed=seed)
+    assert [r.final_score for r in a.runs] == [r.final_score for r in b.runs]
+    assert a.observations == b.observations
+
+
+@given(campaign_case())
+@settings(**SETTINGS)
+def test_empty_deployment_sees_nothing(case):
+    model, _, seed = case
+    result = run_campaign(model, Deployment.empty(model), repetitions=1, seed=seed)
+    assert result.observations == 0
+    assert result.detection_rate == 0.0
+
+
+@given(campaign_case())
+@settings(**SETTINGS)
+def test_zero_coverage_means_zero_detection(case):
+    """If the deployment's static coverage is zero, no campaign can
+    detect anything — the simulation must respect the model."""
+    model, deployment, seed = case
+    if overall_coverage(model, deployment.monitor_ids) > 0:
+        return
+    result = run_campaign(model, deployment, repetitions=3, seed=seed)
+    assert result.detection_rate == 0.0

@@ -1,0 +1,92 @@
+"""Tests for campaign trace export/import."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.optimize.deployment import Deployment
+from repro.simulation.campaign import run_campaign
+from repro.simulation.forensics import reconstruct
+from repro.simulation.trace import (
+    jsonl_to_observations,
+    load_trace,
+    observations_to_jsonl,
+    save_trace,
+)
+
+
+@pytest.fixture()
+def campaign(toy_model):
+    return run_campaign(
+        toy_model,
+        Deployment.full(toy_model),
+        repetitions=3,
+        seed=5,
+        keep_observations=True,
+    )
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip(self, campaign):
+        text = observations_to_jsonl(campaign.records)
+        loaded = jsonl_to_observations(text)
+        assert sorted(loaded, key=lambda o: (o.time, o.run_id, o.monitor_id)) == sorted(
+            campaign.records, key=lambda o: (o.time, o.run_id, o.monitor_id)
+        )
+
+    def test_file_round_trip(self, campaign, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = save_trace(campaign, path)
+        assert written == len(campaign.records) == campaign.observations
+        assert len(load_trace(path)) == written
+
+    def test_trace_is_time_ordered(self, campaign):
+        loaded = jsonl_to_observations(observations_to_jsonl(campaign.records))
+        times = [o.time for o in loaded]
+        assert times == sorted(times)
+
+    def test_empty_trace(self):
+        assert observations_to_jsonl([]) == ""
+        assert jsonl_to_observations("") == []
+
+
+class TestRescoring:
+    def test_loaded_trace_rescoreable(self, toy_model, campaign, tmp_path):
+        """Forensic reconstruction from a saved trace matches the live one."""
+        path = tmp_path / "trace.jsonl"
+        save_trace(campaign, path)
+        loaded = load_trace(path)
+        for run in campaign.runs:
+            report = reconstruct(toy_model, run.run_id, run.attack_id, loaded)
+            assert report.step_completeness == pytest.approx(
+                run.forensics.step_completeness
+            )
+            assert report.field_completeness == pytest.approx(
+                run.forensics.field_completeness
+            )
+
+
+class TestErrors:
+    def test_campaign_without_records_refused(self, toy_model, tmp_path):
+        campaign = run_campaign(
+            toy_model, Deployment.full(toy_model), repetitions=1, seed=0
+        )
+        with pytest.raises(SerializationError, match="keep_observations"):
+            save_trace(campaign, tmp_path / "trace.jsonl")
+
+    def test_malformed_line_reports_number(self):
+        text = '{"time": 1.0}\nnot json\n'
+        with pytest.raises(SerializationError, match="line 1"):
+            jsonl_to_observations(text)
+
+    def test_blank_lines_skipped(self, campaign):
+        text = "\n" + observations_to_jsonl(campaign.records) + "\n\n"
+        assert len(jsonl_to_observations(text)) == len(campaign.records)
+
+
+class TestDefaultBehaviour:
+    def test_records_empty_by_default(self, toy_model):
+        campaign = run_campaign(
+            toy_model, Deployment.full(toy_model), repetitions=1, seed=0
+        )
+        assert campaign.records == ()
+        assert campaign.observations > 0  # the count is still reported

@@ -1,0 +1,97 @@
+"""Tests for LP-format model export."""
+
+import pytest
+
+from repro.solver import MilpModel, ObjectiveSense, model_to_lp_string
+
+
+@pytest.fixture()
+def model():
+    m = MilpModel("demo")
+    x = m.binary("x[nids@fw]")
+    y = m.integer("y", 0, 5)
+    z = m.continuous("z", 0, 1.5)
+    m.add_constraint(2 * x + y + 0.5 * z <= 4, name="budget[cpu]")
+    m.add_constraint(x + y >= 1)
+    m.add_constraint(z + 0.0 == 0.5, name="fix z")
+    m.set_objective(3 * x + y + z)
+    return m
+
+
+class TestStructure:
+    def test_sections_in_order(self, model):
+        text = model_to_lp_string(model)
+        positions = [text.index(section) for section in
+                     ("Maximize", "Subject To", "Bounds", "General", "Binary", "End")]
+        assert positions == sorted(positions)
+
+    def test_minimize_header(self):
+        m = MilpModel("min", ObjectiveSense.MINIMIZE)
+        x = m.binary("x")
+        m.set_objective(x + 0.0)
+        assert "Minimize" in model_to_lp_string(m)
+
+    def test_constraint_senses(self, model):
+        text = model_to_lp_string(model)
+        assert "<= 4" in text
+        assert ">= 1" in text
+        assert "= 0.5" in text
+
+    def test_named_and_default_labels(self, model):
+        text = model_to_lp_string(model)
+        assert "budget_cpu_:" in text
+        assert "c1:" in text  # unnamed constraint gets an index label
+
+    def test_binary_not_in_bounds(self, model):
+        text = model_to_lp_string(model)
+        bounds = text.split("Bounds")[1].split("General")[0]
+        assert "x_nids" not in bounds
+        assert "0 <= y <= 5" in bounds
+        assert "0 <= z <= 1.5" in bounds
+
+    def test_objective_offset_comment(self):
+        m = MilpModel("offset")
+        x = m.binary("x")
+        m.set_objective(x + 7.0)
+        assert "objective offset" in model_to_lp_string(m)
+        assert "7" in model_to_lp_string(m)
+
+    def test_ends_with_end(self, model):
+        assert model_to_lp_string(model).rstrip().endswith("End")
+
+
+class TestNameSanitization:
+    def test_invalid_characters_replaced(self, model):
+        text = model_to_lp_string(model)
+        assert "x[nids@fw]" not in text
+        assert "x_nids_fw_" in text
+
+    def test_collisions_get_suffixes(self):
+        m = MilpModel("collide")
+        a = m.binary("x@1")
+        b = m.binary("x 1")  # sanitizes to the same "x_1"
+        m.add_constraint(a + b <= 1)
+        m.set_objective(a + b)
+        text = model_to_lp_string(m)
+        assert "x_1 " in text or "x_1\n" in text
+        assert "x_1_2" in text
+
+    def test_leading_digit_prefixed(self):
+        m = MilpModel("digit")
+        x = m.binary("1st")
+        m.set_objective(x + 0.0)
+        assert "v_1st" in model_to_lp_string(m)
+
+
+class TestRealFormulation:
+    def test_case_study_exports(self, web_model):
+        from repro.metrics.cost import Budget
+        from repro.optimize.problem import MaxUtilityProblem
+
+        milp, _ = MaxUtilityProblem(
+            web_model, Budget.fraction_of_total(web_model, 0.2)
+        ).build()
+        text = model_to_lp_string(milp)
+        assert text.count("\n") > milp.num_constraints  # every row emitted
+        assert "Binary" in text
+        assert "budget_cpu_" in text.replace("budget_cpu_:", "budget_cpu_:")

@@ -1,0 +1,116 @@
+"""Public API surface tests: what `import repro` promises."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_names_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_core_types_reachable(self):
+        assert repro.SystemModel
+        assert repro.ModelBuilder
+        assert repro.Budget
+        assert repro.UtilityWeights
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            InfeasibleError,
+            MetricError,
+            ModelError,
+            OptimizationError,
+            ReproError,
+            SerializationError,
+            SimulationError,
+            SolverError,
+        )
+
+        for exc in (
+            ModelError,
+            MetricError,
+            SolverError,
+            OptimizationError,
+            SerializationError,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(InfeasibleError, SolverError)
+
+
+class TestSubpackageSurfaces:
+    def test_metrics_all_resolves(self):
+        import repro.metrics as m
+
+        for name in m.__all__:
+            assert getattr(m, name) is not None
+
+    def test_optimize_all_resolves(self):
+        import repro.optimize as o
+
+        for name in o.__all__:
+            assert getattr(o, name) is not None
+
+    def test_solver_all_resolves(self):
+        import repro.solver as s
+
+        for name in s.__all__:
+            assert getattr(s, name) is not None
+
+    def test_simulation_all_resolves(self):
+        import repro.simulation as sim
+
+        for name in sim.__all__:
+            assert getattr(sim, name) is not None
+
+    def test_analysis_all_resolves(self):
+        import repro.analysis as a
+
+        for name in a.__all__:
+            assert getattr(a, name) is not None
+
+    def test_casestudy_all_resolves(self):
+        import repro.casestudy as c
+
+        for name in c.__all__:
+            assert getattr(c, name) is not None
+
+    def test_export_all_resolves(self):
+        import repro.export as e
+
+        for name in e.__all__:
+            assert getattr(e, name) is not None
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.core",
+            "repro.metrics",
+            "repro.solver",
+            "repro.optimize",
+            "repro.simulation",
+            "repro.casestudy",
+            "repro.analysis",
+            "repro.export",
+            "repro.cli",
+        ],
+    )
+    def test_every_package_documented(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,139 @@
+"""Tests for DOT and CSV exports."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.evaluation import evaluate_deployment
+from repro.export import (
+    deployment_to_dot,
+    report_to_csv,
+    sweep_to_csv,
+    topology_to_dot,
+    write_csv,
+)
+from repro.optimize.deployment import Deployment
+from repro.optimize.pareto import budget_sweep
+
+
+class TestTopologyDot:
+    def test_all_assets_and_links_present(self, toy_model):
+        dot = topology_to_dot(toy_model)
+        for asset_id in toy_model.assets:
+            assert f'"{asset_id}"' in dot
+        assert dot.count(" -- ") == len(toy_model.topology.links)
+
+    def test_graph_header_and_footer(self, toy_model):
+        dot = topology_to_dot(toy_model, name="net")
+        assert dot.startswith('graph "net" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_kind_shapes(self, toy_model):
+        dot = topology_to_dot(toy_model)
+        assert "shape=cylinder" in dot  # database asset
+        assert "shape=hexagon" in dot  # network device
+
+    def test_quote_escaping(self):
+        from repro.core import ModelBuilder
+
+        model = ModelBuilder().asset("a", name='the "special" host').build()
+        dot = topology_to_dot(model)
+        assert '\\"special\\"' in dot
+
+
+class TestDeploymentDot:
+    def test_deployed_assets_highlighted(self, toy_model):
+        dot = deployment_to_dot(Deployment.of(toy_model, ["mdb@h2"]))
+        assert "fillcolor" in dot
+        assert "[mdb]" in dot
+
+    def test_network_monitor_taps_links(self, toy_model):
+        dot = deployment_to_dot(Deployment.of(toy_model, ["mnet@n1"]))
+        assert "color=blue" in dot
+
+    def test_host_monitor_taps_nothing(self, toy_model):
+        dot = deployment_to_dot(Deployment.of(toy_model, ["mlog@h1"]))
+        assert "color=blue" not in dot
+
+    def test_empty_deployment_plain_topology(self, toy_model):
+        dot = deployment_to_dot(Deployment.empty(toy_model))
+        assert "fillcolor" not in dot
+
+
+class TestCsvExports:
+    def test_report_csv_shape(self, toy_model):
+        report = evaluate_deployment(toy_model, Deployment.full(toy_model))
+        rows = list(csv.reader(io.StringIO(report_to_csv(report))))
+        assert rows[0][0] == "attack_id"
+        assert len(rows) == 1 + len(toy_model.attacks)
+        assert {row[0] for row in rows[1:]} == set(toy_model.attacks)
+
+    def test_report_csv_values_parse(self, toy_model):
+        report = evaluate_deployment(toy_model, Deployment.full(toy_model))
+        rows = list(csv.DictReader(io.StringIO(report_to_csv(report))))
+        for row in rows:
+            assert 0.0 <= float(row["coverage"]) <= 1.0
+            assert row["fully_covered"] in ("0", "1")
+
+    def test_sweep_csv(self, toy_model):
+        points = budget_sweep(toy_model, [0.5, 1.0])
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(points))))
+        assert [float(r["budget_fraction"]) for r in rows] == [0.5, 1.0]
+        assert all(r["optimal"] == "1" for r in rows)
+
+    def test_write_csv(self, toy_model, tmp_path):
+        points = budget_sweep(toy_model, [1.0])
+        path = tmp_path / "sweep.csv"
+        write_csv(sweep_to_csv(points), path)
+        assert path.read_text().startswith("budget_fraction")
+
+
+class TestHtmlReport:
+    @pytest.fixture()
+    def report(self, toy_model):
+        return evaluate_deployment(toy_model, Deployment.of(toy_model, ["mnet@n1"]))
+
+    def test_complete_document(self, report):
+        from repro.export import report_to_html
+
+        html = report_to_html(report)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        assert "<style>" in html
+
+    def test_sections_present(self, report):
+        from repro.export import report_to_html
+
+        html = report_to_html(report)
+        for section in ("Metrics", "Cost", "Deployed monitors", "Per-attack assessment"):
+            assert section in html
+        assert "Simulated campaign" not in html
+
+    def test_campaign_section_when_simulated(self, toy_model):
+        from repro.export import report_to_html
+
+        report = evaluate_deployment(
+            toy_model, Deployment.full(toy_model), simulate=True, repetitions=2, seed=1
+        )
+        assert "Simulated campaign" in report_to_html(report)
+
+    def test_monitor_and_attack_rows(self, report):
+        from repro.export import report_to_html
+
+        html = report_to_html(report)
+        assert "mnet@n1" in html
+        assert ">A<" in html or "A</td>" in html
+
+    def test_escaping(self, toy_model):
+        from repro.export import report_to_html
+
+        report = evaluate_deployment(toy_model, Deployment.empty(toy_model))
+        html = report_to_html(report, title='<script>alert("x")</script>')
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_custom_title(self, report):
+        from repro.export import report_to_html
+
+        assert "Quarterly review" in report_to_html(report, title="Quarterly review")

@@ -1,0 +1,101 @@
+"""End-to-end integration tests across module boundaries.
+
+Each test walks a complete user workflow — model → metrics → optimize →
+validate — the way the examples do, asserting the cross-module
+invariants that unit tests cannot see.
+"""
+
+import pytest
+
+from repro.analysis import evaluate_deployment
+from repro.casestudy import enterprise_web_service, scada_substation, synthetic_model
+from repro.core import load_model, model_from_dict, model_to_dict, save_model
+from repro.metrics import Budget, UtilityWeights, utility
+from repro.optimize import (
+    Deployment,
+    MaxUtilityProblem,
+    MinCostProblem,
+    budget_sweep,
+    solve_greedy,
+)
+from repro.simulation import run_campaign
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("factory", [enterprise_web_service, scada_substation])
+    def test_model_optimize_simulate(self, factory):
+        model = factory()
+        budget = Budget.fraction_of_total(model, 0.3)
+        result = MaxUtilityProblem(model, budget).solve()
+        assert result.optimal
+        assert budget.allows(result.deployment.cost())
+
+        report = evaluate_deployment(
+            model, result.deployment, simulate=True, repetitions=3, seed=1
+        )
+        assert report.utility == pytest.approx(result.utility)
+        assert report.campaign is not None
+        # A deployment with substantial utility must detect something.
+        if result.utility > 0.5:
+            assert report.campaign.detection_rate > 0.3
+
+    def test_serialized_model_optimizes_identically(self, tmp_path, web_model):
+        path = tmp_path / "model.json"
+        save_model(web_model, path)
+        clone = load_model(path)
+        budget_a = Budget.fraction_of_total(web_model, 0.2)
+        budget_b = Budget.fraction_of_total(clone, 0.2)
+        a = MaxUtilityProblem(web_model, budget_a).solve()
+        b = MaxUtilityProblem(clone, budget_b).solve()
+        assert a.utility == pytest.approx(b.utility)
+
+    def test_max_utility_then_min_cost_consistency(self, web_model):
+        """Solving min-cost at the utility the max-utility optimum reached
+        must not need more than that optimum spent."""
+        budget = Budget.fraction_of_total(web_model, 0.15)
+        max_result = MaxUtilityProblem(web_model, budget).solve()
+        spent = max_result.deployment.cost().scalarize()
+        min_result = MinCostProblem(
+            web_model, min_utility=max_result.utility - 1e-6
+        ).solve()
+        assert min_result.objective <= spent + 1e-6
+
+    def test_sweep_brackets_single_solves(self, web_model):
+        points = budget_sweep(web_model, [0.1, 0.3])
+        single = MaxUtilityProblem(
+            web_model, Budget.fraction_of_total(web_model, 0.2)
+        ).solve()
+        assert points[0].utility <= single.utility <= points[1].utility
+
+
+class TestCrossModelIsolation:
+    def test_deployments_do_not_leak_between_models(self):
+        a = synthetic_model(monitors=10, attacks=5, seed=1)
+        b = synthetic_model(monitors=10, attacks=5, seed=2)
+        deployment = Deployment.full(a)
+        with pytest.raises(Exception):
+            run_campaign(b, deployment, repetitions=1)
+
+    def test_model_round_trip_preserves_optimum(self):
+        model = synthetic_model(monitors=15, attacks=10, seed=3)
+        clone = model_from_dict(model_to_dict(model))
+        weights = UtilityWeights()
+        budget_model = Budget.fraction_of_total(model, 0.4)
+        budget_clone = Budget.fraction_of_total(clone, 0.4)
+        assert MaxUtilityProblem(model, budget_model, weights).solve().utility == pytest.approx(
+            MaxUtilityProblem(clone, budget_clone, weights).solve().utility
+        )
+
+
+class TestGreedyVersusExactAcrossScales:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gap_never_negative_and_often_positive(self, seed):
+        model = synthetic_model(monitors=25, attacks=15, seed=seed)
+        budget = Budget.fraction_of_total(model, 0.25)
+        weights = UtilityWeights()
+        exact = MaxUtilityProblem(model, budget, weights).solve()
+        greedy = solve_greedy(model, budget, weights)
+        assert greedy.utility <= exact.utility + 1e-9
+        # both agree with the reference metric
+        assert exact.utility == pytest.approx(utility(model, exact.monitor_ids, weights))
+        assert greedy.utility == pytest.approx(utility(model, greedy.monitor_ids, weights))
