@@ -13,6 +13,7 @@ or with ``-s``; every experiment also appends its rendered table to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -39,3 +40,13 @@ def publish(results_dir: Path, experiment: str, text: str) -> None:
     banner = f"\n=== {experiment} ===\n"
     print(banner + text)
     (results_dir / f"{experiment}.txt").write_text(text + "\n")
+
+
+def publish_json(results_dir: Path, experiment: str, payload: dict) -> None:
+    """Persist an experiment's machine-readable results under results/.
+
+    Written alongside the rendered ``.txt`` table so wall-clock series
+    can be diffed/plotted across runs without re-parsing tables.
+    """
+    path = results_dir / f"{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -12,6 +12,8 @@ from repro.casestudy import synthetic_model
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights, utility
 from repro.optimize.formulation import FormulationBuilder
+from repro.runtime.cache import DeploymentCache, cached_utility
+from repro.runtime.engine import EvaluationEngine, engine_for
 from repro.simulation.campaign import run_campaign
 from repro.optimize.deployment import Deployment
 from repro.solver.model import MilpModel, ObjectiveSense
@@ -69,6 +71,34 @@ def test_bench_standard_form_compile(benchmark, medium_model):
     builder.add_budget_constraints(Budget.fraction_of_total(medium_model, 0.3))
     form = benchmark(milp.compile)
     assert form.num_variables == milp.num_variables
+
+
+def test_bench_engine_build(benchmark, medium_model):
+    engine = benchmark(EvaluationEngine, medium_model)
+    assert len(engine.monitor_ids) == 100
+
+
+def test_bench_engine_full_evaluation(benchmark, medium_model, half_deployment):
+    engine = engine_for(medium_model)
+    value = benchmark(engine.utility, half_deployment, WEIGHTS)
+    assert 0.0 <= value <= 1.0
+    assert value == pytest.approx(utility(medium_model, half_deployment, WEIGHTS), abs=1e-9)
+
+
+def test_bench_cursor_peek_add(benchmark, medium_model, half_deployment):
+    cursor = engine_for(medium_model).cursor(WEIGHTS, initial=half_deployment)
+    candidate = next(m for m in sorted(medium_model.monitors) if m not in cursor)
+    value = benchmark(cursor.peek_add, candidate)
+    assert value >= cursor.utility()
+
+
+def test_bench_cached_utility_hit(benchmark, medium_model, half_deployment):
+    cache = DeploymentCache(64)
+    cached_utility(medium_model, half_deployment, WEIGHTS, cache=cache)  # warm
+
+    value = benchmark(cached_utility, medium_model, half_deployment, WEIGHTS, cache=cache)
+    assert 0.0 <= value <= 1.0
+    assert cache.hits >= 1
 
 
 def test_bench_campaign_simulation(benchmark, medium_model, half_deployment):

@@ -15,6 +15,14 @@ This module decomposes a deployment's utility into per-monitor terms:
 Leave-one-out undervalues redundant monitors (dropping one of a
 corroborating pair loses little, dropping both loses the step), which
 is precisely what the Shapley decomposition corrects.
+
+Evaluations run on the runtime substrate: leave-one-out and add-one-in
+probes go through the shared per-model evaluation cache, and Shapley
+sampling walks each permutation on an incremental
+:class:`~repro.runtime.engine.DeploymentCursor`.  Sampling is organised
+in fixed-size chunks, each seeded from its own spawned
+:class:`numpy.random.SeedSequence`, so the estimate is identical
+whether the chunks run serially or across a process pool.
 """
 
 from __future__ import annotations
@@ -25,8 +33,11 @@ import numpy as np
 
 from repro.core.model import SystemModel
 from repro.errors import MetricError
-from repro.metrics.utility import UtilityWeights, utility
+from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment
+from repro.runtime.cache import cached_utility
+from repro.runtime.engine import engine_for
+from repro.runtime.parallel import parallel_map, spawn_seeds
 
 __all__ = [
     "MonitorValue",
@@ -35,6 +46,11 @@ __all__ = [
     "shapley_values",
     "contribution_report",
 ]
+
+#: Samples per Shapley chunk.  Fixed (not derived from the worker count)
+#: so the chunk boundaries — and therefore every chunk's random stream —
+#: are a function of ``(samples, seed)`` alone.
+SHAPLEY_CHUNK = 32
 
 
 @dataclass(frozen=True)
@@ -64,11 +80,12 @@ def leave_one_out(
     that monitor at all (fully shadowed by the rest).
     """
     weights = weights or UtilityWeights()
-    base = utility(model, deployment.monitor_ids, weights)
+    base = cached_utility(model, deployment.monitor_ids, weights)
     values = [
         MonitorValue(
             monitor_id=monitor_id,
-            value=base - utility(model, deployment.monitor_ids - {monitor_id}, weights),
+            value=base
+            - cached_utility(model, deployment.monitor_ids - {monitor_id}, weights),
             scalar_cost=model.monitor_cost(monitor_id).scalarize(),
         )
         for monitor_id in deployment.monitor_ids
@@ -83,17 +100,43 @@ def add_one_in(
 ) -> list[MonitorValue]:
     """Utility gained by adding each *unselected* monitor, descending."""
     weights = weights or UtilityWeights()
-    base = utility(model, deployment.monitor_ids, weights)
+    base = cached_utility(model, deployment.monitor_ids, weights)
     values = [
         MonitorValue(
             monitor_id=monitor_id,
-            value=utility(model, deployment.monitor_ids | {monitor_id}, weights) - base,
+            value=cached_utility(model, deployment.monitor_ids | {monitor_id}, weights)
+            - base,
             scalar_cost=model.monitor_cost(monitor_id).scalarize(),
         )
         for monitor_id in model.monitors
         if monitor_id not in deployment.monitor_ids
     ]
     return sorted(values, key=lambda v: (-v.value, v.monitor_id))
+
+
+def _shapley_chunk(
+    task: tuple[SystemModel, tuple[str, ...], UtilityWeights, int, np.random.SeedSequence],
+) -> list[float]:
+    """Summed marginal contributions over one chunk of permutations.
+
+    Returns per-monitor totals aligned with the ``monitor_ids`` tuple.
+    Runs in worker processes, so everything arrives through the task
+    tuple and the engine is (re)built from the pickled model copy.
+    """
+    model, monitor_ids, weights, chunk_samples, seed_seq = task
+    engine = engine_for(model)
+    rng = np.random.default_rng(seed_seq)
+    totals = np.zeros(len(monitor_ids))
+    for _ in range(chunk_samples):
+        order = rng.permutation(len(monitor_ids))
+        cursor = engine.cursor(weights)
+        previous = 0.0
+        for index in order:
+            cursor.add(monitor_ids[index])
+            current = cursor.utility()
+            totals[index] += current - previous
+            previous = current
+    return totals.tolist()
 
 
 def shapley_values(
@@ -103,41 +146,46 @@ def shapley_values(
     *,
     samples: int = 200,
     seed: int = 0,
+    workers: int | None = None,
 ) -> list[MonitorValue]:
     """Monte-Carlo Shapley decomposition of the deployment's utility.
 
     Averages each monitor's marginal contribution over ``samples``
     random orderings of the deployment.  The values sum (up to sampling
     noise) to the deployment's total utility — an identity the test
-    suite checks.
+    suite checks.  Sampling happens in fixed chunks of
+    :data:`SHAPLEY_CHUNK` permutations with per-chunk spawned seeds and
+    the chunk totals are summed in chunk order, so the result depends
+    only on ``(samples, seed)`` — never on ``workers``.
     """
     if samples < 1:
         raise MetricError(f"samples must be >= 1, got {samples!r}")
     weights = weights or UtilityWeights()
-    monitor_ids = sorted(deployment.monitor_ids)
+    monitor_ids = tuple(sorted(deployment.monitor_ids))
     if not monitor_ids:
         return []
-    rng = np.random.default_rng(seed)
-    totals = {monitor_id: 0.0 for monitor_id in monitor_ids}
 
-    for _ in range(samples):
-        order = rng.permutation(len(monitor_ids))
-        selected: set[str] = set()
-        previous = 0.0
-        for index in order:
-            monitor_id = monitor_ids[index]
-            selected.add(monitor_id)
-            current = utility(model, selected, weights)
-            totals[monitor_id] += current - previous
-            previous = current
+    chunk_sizes = [SHAPLEY_CHUNK] * (samples // SHAPLEY_CHUNK)
+    if samples % SHAPLEY_CHUNK:
+        chunk_sizes.append(samples % SHAPLEY_CHUNK)
+    seed_seqs = spawn_seeds(seed, len(chunk_sizes))
+    tasks = [
+        (model, monitor_ids, weights, size, seq)
+        for size, seq in zip(chunk_sizes, seed_seqs)
+    ]
+    chunk_totals = parallel_map(_shapley_chunk, tasks, workers=workers)
+
+    totals = np.zeros(len(monitor_ids))
+    for chunk in chunk_totals:
+        totals += np.asarray(chunk)
 
     values = [
         MonitorValue(
             monitor_id=monitor_id,
-            value=totals[monitor_id] / samples,
+            value=totals[index] / samples,
             scalar_cost=model.monitor_cost(monitor_id).scalarize(),
         )
-        for monitor_id in monitor_ids
+        for index, monitor_id in enumerate(monitor_ids)
     ]
     return sorted(values, key=lambda v: (-v.value, v.monitor_id))
 
@@ -149,6 +197,7 @@ def contribution_report(
     *,
     shapley_samples: int = 200,
     seed: int = 0,
+    workers: int | None = None,
 ) -> str:
     """Text report combining leave-one-out and Shapley views."""
     from repro.analysis.tables import render_table
@@ -156,7 +205,7 @@ def contribution_report(
     weights = weights or UtilityWeights()
     loo = {v.monitor_id: v for v in leave_one_out(model, deployment, weights)}
     shapley = shapley_values(
-        model, deployment, weights, samples=shapley_samples, seed=seed
+        model, deployment, weights, samples=shapley_samples, seed=seed, workers=workers
     )
     rows = [
         [

@@ -15,6 +15,11 @@ are supposed to observe.  This module quantifies that story statically:
 Experiment F8 pairs these with the campaign simulator's failure
 injection to show that redundancy-aware optimal deployments degrade
 more gracefully than coverage-only ones at equal budget.
+
+All subset evaluations run on the runtime substrate's vectorized
+:class:`~repro.runtime.engine.EvaluationEngine`; the exact adversary
+enumerates thousands of k-subsets, so the array path dominates its
+wall-clock.
 """
 
 from __future__ import annotations
@@ -26,8 +31,9 @@ import numpy as np
 
 from repro.core.model import SystemModel
 from repro.errors import MetricError
-from repro.metrics.utility import UtilityWeights, utility
+from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment
+from repro.runtime.engine import engine_for
 
 __all__ = [
     "expected_utility_under_failures",
@@ -54,15 +60,16 @@ def expected_utility_under_failures(
     if samples < 1:
         raise MetricError(f"samples must be >= 1, got {samples!r}")
     weights = weights or UtilityWeights()
+    engine = engine_for(model)
     monitor_ids = sorted(deployment.monitor_ids)
     if not monitor_ids or failure_rate == 0.0:
-        return utility(model, deployment.monitor_ids, weights)
+        return engine.utility(deployment.monitor_ids, weights)
     rng = np.random.default_rng(seed)
     total = 0.0
     for _ in range(samples):
         up = rng.random(len(monitor_ids)) >= failure_rate
         alive = {m for m, alive_flag in zip(monitor_ids, up) if alive_flag}
-        total += utility(model, alive, weights)
+        total += engine.utility(alive, weights)
     return total / samples
 
 
@@ -82,17 +89,18 @@ def worst_case_utility(
     if k < 0:
         raise MetricError(f"k must be >= 0, got {k!r}")
     weights = weights or UtilityWeights()
+    engine = engine_for(model)
     monitor_ids = sorted(deployment.monitor_ids)
     k = min(k, len(monitor_ids))
     if k == 0:
-        return utility(model, deployment.monitor_ids, weights), frozenset()
+        return engine.utility(deployment.monitor_ids, weights), frozenset()
 
     if math.comb(len(monitor_ids), k) <= _EXACT_SUBSET_LIMIT:
         worst_value = float("inf")
         worst_set: frozenset[str] = frozenset()
         base = set(monitor_ids)
         for disabled in itertools.combinations(monitor_ids, k):
-            value = utility(model, base - set(disabled), weights)
+            value = engine.utility(base - set(disabled), weights)
             if value < worst_value:
                 worst_value = value
                 worst_set = frozenset(disabled)
@@ -104,11 +112,11 @@ def worst_case_utility(
     for _ in range(k):
         victim = min(
             sorted(alive),
-            key=lambda m: utility(model, alive - {m}, weights),
+            key=lambda m: engine.utility(alive - {m}, weights),
         )
         alive.remove(victim)
         disabled.add(victim)
-    return utility(model, alive, weights), frozenset(disabled)
+    return engine.utility(alive, weights), frozenset(disabled)
 
 
 def robustness_curve(

@@ -62,6 +62,18 @@ def _add_weight_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers for independent sub-tasks "
+        "(default: the REPRO_WORKERS environment variable, else serial); "
+        "results are identical at any worker count",
+    )
+
+
 def _load_model(args: argparse.Namespace) -> SystemModel:
     if args.casestudy:
         return enterprise_web_service()
@@ -196,7 +208,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     model = _load_model(args)
     weights = _parse_weights(args)
     fractions = [float(x) for x in args.fractions.split(",")]
-    points = budget_sweep(model, fractions, weights, backend=args.backend)
+    points = budget_sweep(
+        model, fractions, weights, backend=args.backend, workers=args.workers
+    )
     rows = [
         [p.fraction, len(p.result.deployment), p.result.utility, p.scalar_cost]
         for p in points
@@ -253,7 +267,12 @@ def _cmd_contrib(args: argparse.Namespace) -> int:
     weights = _parse_weights(args)
     print(
         contribution_report(
-            model, deployment, weights, shapley_samples=args.samples, seed=args.seed
+            model,
+            deployment,
+            weights,
+            shapley_samples=args.samples,
+            seed=args.seed,
+            workers=args.workers,
         )
     )
     return 0
@@ -360,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--backend", default="scipy",
                        choices=["scipy", "branch-and-bound"])
     sweep.add_argument("--csv", type=Path, help="write sweep CSV here")
+    _add_workers_argument(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     simulate = commands.add_parser("simulate", help="attack campaign against a deployment")
@@ -380,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="deployment JSON (list of monitor ids)")
     contrib.add_argument("--samples", type=int, default=200)
     contrib.add_argument("--seed", type=int, default=0)
+    _add_workers_argument(contrib)
     contrib.set_defaults(handler=_cmd_contrib)
 
     frontier = commands.add_parser(

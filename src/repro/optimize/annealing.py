@@ -10,6 +10,11 @@ iterations.
 Deterministic for a fixed ``seed``; used by experiments F1/F7 as a
 stronger heuristic baseline than greedy on instances where greedy's
 myopia bites (redundancy-heavy weights).
+
+Candidate moves are priced through the runtime substrate's
+:class:`~repro.runtime.engine.DeploymentCursor`: a flip touches only
+the events the flipped monitor evidences, so each Metropolis step costs
+O(affected events) instead of a full metric re-evaluation.
 """
 
 from __future__ import annotations
@@ -22,8 +27,9 @@ import numpy as np
 from repro.core.model import SystemModel
 from repro.errors import OptimizationError
 from repro.metrics.cost import Budget
-from repro.metrics.utility import UtilityWeights, utility
+from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.runtime.engine import engine_for
 
 __all__ = ["solve_annealing"]
 
@@ -72,7 +78,8 @@ def solve_annealing(
         )
 
     current: set[str] = set()
-    current_utility = utility(model, current, weights)
+    cursor = engine_for(model).cursor(weights)
+    current_utility = cursor.utility()
     best: frozenset[str] = frozenset()
     best_utility = current_utility
     temperature = initial_temperature
@@ -95,7 +102,15 @@ def solve_annealing(
                 temperature *= cooling
                 continue  # the flipped monitor alone exceeds the budget
 
-        candidate_utility = utility(model, candidate, weights)
+        # Apply the move on the cursor; undo (in reverse) on rejection.
+        applied: list[tuple[str, str]] = []
+        for monitor_id in sorted(current - candidate):
+            cursor.remove(monitor_id)
+            applied.append(("add", monitor_id))
+        for monitor_id in sorted(candidate - current):
+            cursor.add(monitor_id)
+            applied.append(("remove", monitor_id))
+        candidate_utility = cursor.utility()
         delta = candidate_utility - current_utility
         if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-12)):
             current = candidate
@@ -104,6 +119,12 @@ def solve_annealing(
             if current_utility > best_utility:
                 best_utility = current_utility
                 best = frozenset(current)
+        else:
+            for action, monitor_id in reversed(applied):
+                if action == "add":
+                    cursor.add(monitor_id)
+                else:
+                    cursor.remove(monitor_id)
         temperature *= cooling
 
     return OptimizationResult(

@@ -109,6 +109,9 @@ class OptimizationResult:
     method: str
     optimal: bool
     stats: dict[str, float] = field(default_factory=dict)
+    #: Monitors in the order the method selected them (heuristics only;
+    #: empty for solvers that decide the whole set at once).
+    selection_order: tuple[str, ...] = ()
 
     @property
     def monitor_ids(self) -> frozenset[str]:

@@ -22,9 +22,10 @@ from dataclasses import dataclass
 
 from repro.core.model import SystemModel
 from repro.errors import OptimizationError
-from repro.metrics.utility import UtilityWeights, utility
+from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment
 from repro.optimize.formulation import FormulationBuilder
+from repro.runtime.cache import cached_utility
 from repro.solver import solve
 from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
 
@@ -136,7 +137,7 @@ def exact_frontier(
         points.append(
             FrontierPoint(
                 scalar_cost=trimmed_cost,
-                utility=utility(model, trimmed, weights),
+                utility=cached_utility(model, trimmed, weights),
                 deployment=Deployment.of(model, trimmed),
                 solve_seconds=elapsed,
             )

@@ -10,6 +10,12 @@ exactly what experiment F1 shows.
 A lazy-evaluation queue keeps re-evaluations to a minimum: marginal
 gains only shrink as the deployment grows, so a candidate whose cached
 gain still tops the queue after re-evaluation is guaranteed best.
+
+Candidate probes price additions through the runtime substrate's
+:class:`~repro.runtime.engine.DeploymentCursor` (delta evaluation over
+just the events a monitor evidences) instead of re-evaluating the full
+deployment; ``incremental=False`` keeps the reference-metrics path for
+equivalence testing and benchmarking.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.core.model import SystemModel
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights, utility
 from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.runtime.engine import engine_for
 
 __all__ = ["solve_greedy"]
 
@@ -33,27 +40,49 @@ def solve_greedy(
     weights: UtilityWeights | None = None,
     *,
     forced_monitors: Iterable[str] = (),
+    incremental: bool = True,
 ) -> OptimizationResult:
     """Greedy max-utility deployment under ``budget``.
 
     Zero-cost monitors with positive gain are always taken (their ratio
     is infinite); ties between finite ratios break on monitor id for
-    determinism.
+    determinism.  ``incremental`` switches between cursor-based delta
+    evaluation (default) and the reference full re-evaluation; both
+    pick the same monitors (regression-tested on the case study).
     """
     weights = weights or UtilityWeights()
     started = time.perf_counter()
 
     selected: set[str] = set(forced_monitors)
     spend = model.deployment_cost(selected)
-    current_utility = utility(model, selected, weights)
+    order: list[str] = []
+
+    if incremental:
+        cursor = engine_for(model).cursor(weights, initial=selected)
+        current_utility = cursor.utility()
+
+        def probe(monitor_id: str) -> float:
+            return cursor.peek_add(monitor_id)
+
+        def commit(monitor_id: str) -> float:
+            cursor.add(monitor_id)
+            return cursor.utility()
+
+    else:
+        current_utility = utility(model, selected, weights)
+
+        def probe(monitor_id: str) -> float:
+            return utility(model, selected | {monitor_id}, weights)
+
+        def commit(monitor_id: str) -> float:
+            return utility(model, selected, weights)
 
     def scalar_cost(monitor_id: str) -> float:
         return model.monitor_cost(monitor_id).scalarize()
 
     def gain_ratio(monitor_id: str) -> tuple[float, float]:
         """(marginal utility, utility-per-cost ratio) of adding a monitor."""
-        new_utility = utility(model, selected | {monitor_id}, weights)
-        gain = new_utility - current_utility
+        gain = probe(monitor_id) - current_utility
         cost = scalar_cost(monitor_id)
         ratio = gain / cost if cost > 0 else (float("inf") if gain > 0 else 0.0)
         return gain, ratio
@@ -86,8 +115,9 @@ def solve_greedy(
         if -neg_ratio <= 0:
             break  # best candidate adds nothing; so does everything below it
         selected.add(monitor_id)
+        order.append(monitor_id)
         spend = spend + model.monitor_cost(monitor_id)
-        current_utility = utility(model, selected, weights)
+        current_utility = commit(monitor_id)
         round_number += 1
 
     deployment = Deployment.of(model, selected)
@@ -99,4 +129,5 @@ def solve_greedy(
         method="greedy",
         optimal=False,
         stats={"evaluations": float(evaluations)},
+        selection_order=tuple(order),
     )

@@ -5,18 +5,27 @@ budget — is produced here: :func:`budget_sweep` solves a sequence of
 :class:`~repro.optimize.problem.MaxUtilityProblem` instances at scaled
 budgets, and :func:`pareto_frontier` extracts the non-dominated
 (cost, utility) points from any collection of evaluated deployments.
+
+Sweep points are independent solves, so both sweep functions accept a
+``workers`` count and fan out over the runtime substrate's
+:func:`~repro.runtime.parallel.parallel_map`; results are rebound to
+the caller's model instance and are positionally identical to a serial
+run.  Frontier extraction evaluates candidate deployments through the
+shared per-model evaluation cache.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.model import SystemModel
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment, OptimizationResult
 from repro.optimize.problem import MaxUtilityProblem
+from repro.runtime.cache import cached_utility
+from repro.runtime.parallel import parallel_map
 
 __all__ = ["SweepPoint", "budget_sweep", "heuristic_sweep", "pareto_frontier", "solve_time_profile"]
 
@@ -39,6 +48,29 @@ class SweepPoint:
         return self.result.deployment.cost().scalarize()
 
 
+def _rebind(point: SweepPoint, model: SystemModel) -> SweepPoint:
+    """Tie a (possibly unpickled) sweep point back to the caller's model.
+
+    Worker processes return deployments referencing their own unpickled
+    model copy; downstream consumers (the campaign simulator, deployment
+    unions) require identity with the model they were handed.
+    """
+    if point.result.deployment.model is model:
+        return point
+    deployment = Deployment.of(model, point.result.deployment.monitor_ids)
+    return replace(point, result=replace(point.result, deployment=deployment))
+
+
+def _budget_sweep_job(
+    task: tuple[SystemModel, float, UtilityWeights, str, float | None],
+) -> SweepPoint:
+    model, fraction, weights, backend, time_limit = task
+    budget = Budget.fraction_of_total(model, fraction)
+    problem = MaxUtilityProblem(model, budget, weights)
+    result = problem.solve(backend, time_limit=time_limit)
+    return SweepPoint(fraction=fraction, budget=budget, result=result)
+
+
 def budget_sweep(
     model: SystemModel,
     fractions: Sequence[float],
@@ -46,21 +78,36 @@ def budget_sweep(
     *,
     backend: str = "scipy",
     time_limit: float | None = None,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Optimal utility at each budget fraction of the total monitor cost.
 
     ``fractions`` are relative to the cost of deploying *every* monitor,
     so 0.0 affords nothing (beyond zero-cost monitors) and 1.0 affords
-    the full deployment.
+    the full deployment.  ``workers > 1`` solves the fractions across a
+    process pool; the returned points match a serial run exactly.
     """
     weights = weights or UtilityWeights()
-    points: list[SweepPoint] = []
-    for fraction in fractions:
-        budget = Budget.fraction_of_total(model, fraction)
-        problem = MaxUtilityProblem(model, budget, weights)
-        result = problem.solve(backend, time_limit=time_limit)
-        points.append(SweepPoint(fraction=fraction, budget=budget, result=result))
-    return points
+    points = parallel_map(
+        _budget_sweep_job,
+        [(model, fraction, weights, backend, time_limit) for fraction in fractions],
+        workers=workers,
+    )
+    return [_rebind(point, model) for point in points]
+
+
+def _heuristic_sweep_job(
+    task: tuple[
+        SystemModel,
+        float,
+        Callable[[SystemModel, Budget, UtilityWeights], OptimizationResult],
+        UtilityWeights,
+    ],
+) -> SweepPoint:
+    model, fraction, solver, weights = task
+    budget = Budget.fraction_of_total(model, fraction)
+    result = solver(model, budget, weights)
+    return SweepPoint(fraction=fraction, budget=budget, result=result)
 
 
 def heuristic_sweep(
@@ -68,17 +115,21 @@ def heuristic_sweep(
     fractions: Sequence[float],
     solver: Callable[[SystemModel, Budget, UtilityWeights], OptimizationResult],
     weights: UtilityWeights | None = None,
+    *,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Run any ``(model, budget, weights) -> OptimizationResult`` solver
     over the same budget fractions as :func:`budget_sweep`, for
-    optimal-vs-heuristic comparisons on identical budgets."""
+    optimal-vs-heuristic comparisons on identical budgets.  Solvers must
+    be module-level callables to actually parallelize; closures fall
+    back to a serial run."""
     weights = weights or UtilityWeights()
-    points: list[SweepPoint] = []
-    for fraction in fractions:
-        budget = Budget.fraction_of_total(model, fraction)
-        result = solver(model, budget, weights)
-        points.append(SweepPoint(fraction=fraction, budget=budget, result=result))
-    return points
+    points = parallel_map(
+        _heuristic_sweep_job,
+        [(model, fraction, solver, weights) for fraction in fractions],
+        workers=workers,
+    )
+    return [_rebind(point, model) for point in points]
 
 
 def pareto_frontier(
@@ -89,10 +140,17 @@ def pareto_frontier(
     A deployment is dominated if another costs no more and yields at
     least as much utility (with one inequality strict).  The result is
     sorted by cost ascending; utilities are then strictly increasing.
+    Utilities come from the shared per-model evaluation cache, so
+    frontiers over sweep outputs reuse the sweeps' evaluations.
     """
     weights = weights or UtilityWeights()
     evaluated = [
-        (d.cost().scalarize(), d.utility(weights), d) for d in deployments
+        (
+            d.cost().scalarize(),
+            cached_utility(d.model, d.monitor_ids, weights),
+            d,
+        )
+        for d in deployments
     ]
     evaluated.sort(key=lambda item: (item[0], -item[1]))
     frontier: list[tuple[float, float, Deployment]] = []

@@ -15,6 +15,11 @@ continuous epigraph variable ``t`` plus one constraint per scenario.
 
 Scenario builders for the common cases (reweighting attack classes,
 dropping attacks, flat importance) live here too.
+
+:func:`per_scenario_optima` complements the max-min solve: it optimizes
+each scenario *in isolation* (the clairvoyant benchmark the robust
+deployment is measured against).  The scenario solves are independent,
+so they fan out over :func:`~repro.runtime.parallel.parallel_map`.
 """
 
 from __future__ import annotations
@@ -28,11 +33,17 @@ from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment, OptimizationResult
 from repro.optimize.formulation import FormulationBuilder
+from repro.runtime.parallel import parallel_map
 from repro.solver import solve
 from repro.solver.expressions import LinearExpression
 from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
 
-__all__ = ["ImportanceScenario", "RobustMaxUtilityProblem", "scenario_utility"]
+__all__ = [
+    "ImportanceScenario",
+    "RobustMaxUtilityProblem",
+    "per_scenario_optima",
+    "scenario_utility",
+]
 
 
 class ImportanceScenario:
@@ -140,6 +151,78 @@ def scenario_utility(
         if weights.richness > 0:
             value += weights.richness * base * event_richness(model, deployed_set, event_id)
     return value
+
+
+def _scenario_optimum_job(
+    task: tuple[SystemModel, Budget, ImportanceScenario, UtilityWeights, str, float | None],
+) -> OptimizationResult:
+    model, budget, scenario, weights, backend, time_limit = task
+    started = time.perf_counter()
+    milp = MilpModel(f"scenario[{model.name}/{scenario.name}]", ObjectiveSense.MAXIMIZE)
+    builder = FormulationBuilder(milp, model)
+    milp.set_objective(_scenario_utility_expression(builder, scenario, weights))
+    builder.add_budget_constraints(budget)
+    solution = solve(milp, backend, time_limit=time_limit)
+    if solution.status is SolutionStatus.INFEASIBLE:
+        raise InfeasibleError(f"no deployment fits the budget in scenario {scenario.name!r}")
+    selected = builder.selected_ids(solution.values)
+    achieved = scenario_utility(model, selected, scenario, weights)
+    return OptimizationResult(
+        deployment=Deployment.of(model, selected),
+        objective=solution.objective,
+        utility=achieved,
+        solve_seconds=time.perf_counter() - started,
+        method=f"scenario-ilp/{solution.backend}",
+        optimal=solution.is_optimal,
+        stats={"scenario_utility": achieved},
+    )
+
+
+def per_scenario_optima(
+    model: SystemModel,
+    budget: Budget,
+    scenarios: Sequence[ImportanceScenario],
+    weights: UtilityWeights | None = None,
+    *,
+    backend: str = "scipy",
+    time_limit: float | None = None,
+    workers: int | None = None,
+) -> dict[str, OptimizationResult]:
+    """Optimal deployment for each scenario solved in isolation.
+
+    The clairvoyant benchmark: ``per_scenario_optima(...)[s].utility``
+    is the best any deployment could do if scenario ``s`` were known in
+    advance, so the gap to the robust deployment's utility under ``s``
+    is the price of robustness.  Results are keyed by scenario name and
+    rebound to the caller's ``model``; ``workers > 1`` distributes the
+    independent solves over a process pool without changing any result.
+    """
+    weights = weights or UtilityWeights()
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise OptimizationError(f"duplicate scenario names: {names}")
+    for scenario in scenarios:
+        scenario.validate_against(model)
+    results = parallel_map(
+        _scenario_optimum_job,
+        [(model, budget, scenario, weights, backend, time_limit) for scenario in scenarios],
+        workers=workers,
+    )
+    rebound = []
+    for result in results:
+        if result.deployment.model is not model:
+            result = OptimizationResult(
+                deployment=Deployment.of(model, result.deployment.monitor_ids),
+                objective=result.objective,
+                utility=result.utility,
+                solve_seconds=result.solve_seconds,
+                method=result.method,
+                optimal=result.optimal,
+                stats=result.stats,
+                selection_order=result.selection_order,
+            )
+        rebound.append(result)
+    return dict(zip(names, rebound))
 
 
 class RobustMaxUtilityProblem:

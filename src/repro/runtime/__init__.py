@@ -1,0 +1,49 @@
+"""Shared evaluation substrate: fast metrics, caching, parallelism.
+
+Three layers every hot path in the repository leans on:
+
+* :mod:`repro.runtime.engine` — the incremental metrics engine:
+  per-monitor evidence bitsets precomputed from the
+  :class:`~repro.core.model.SystemModel`, vectorized full evaluation,
+  and O(affected events) delta evaluation through
+  :class:`~repro.runtime.engine.DeploymentCursor`;
+* :mod:`repro.runtime.cache` — a bounded LRU deployment-evaluation
+  cache shared across sweeps, frontier enumeration, and contribution
+  sampling;
+* :mod:`repro.runtime.parallel` — an order-preserving process-pool map
+  with deterministic seed spawning and a graceful serial fallback.
+
+See ``docs/performance.md`` for layout details and measured impact.
+"""
+
+from repro.runtime.cache import (
+    DeploymentCache,
+    cache_for,
+    cached_breakdown,
+    cached_utility,
+    evaluation_key,
+)
+from repro.runtime.engine import DeploymentCursor, EvaluationEngine, engine_for
+from repro.runtime.parallel import (
+    WORKERS_ENV,
+    parallel_map,
+    resolve_workers,
+    spawn_generators,
+    spawn_seeds,
+)
+
+__all__ = [
+    "DeploymentCache",
+    "DeploymentCursor",
+    "EvaluationEngine",
+    "WORKERS_ENV",
+    "cache_for",
+    "cached_breakdown",
+    "cached_utility",
+    "engine_for",
+    "evaluation_key",
+    "parallel_map",
+    "resolve_workers",
+    "spawn_generators",
+    "spawn_seeds",
+]

@@ -14,17 +14,24 @@ times each) against a monitor deployment on the discrete-event kernel:
 The resulting :class:`CampaignResult` reports detection rate, detection
 latency, and reconstruction completeness — the operational quantities
 that experiment F5 correlates with the static utility metric.
+
+Multi-seed studies go through :func:`run_campaigns`, which replays the
+same campaign under a list of seeds and can fan the independent replays
+out over :func:`~repro.runtime.parallel.parallel_map`; each seed's
+result is identical however many workers run it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.model import SystemModel
 from repro.errors import SimulationError
 from repro.optimize.deployment import Deployment
+from repro.runtime.parallel import parallel_map
 from repro.simulation.detector import (
     DEFAULT_DETECTION_THRESHOLD,
     EvidenceAccumulationDetector,
@@ -35,7 +42,7 @@ from repro.simulation.forensics import ForensicReport, reconstruct
 from repro.simulation.observation import ObservationModel
 from repro.simulation.records import Detection, Observation, StepOccurrence
 
-__all__ = ["CampaignResult", "RunOutcome", "run_campaign"]
+__all__ = ["CampaignResult", "RunOutcome", "run_campaign", "run_campaigns"]
 
 
 @dataclass(frozen=True)
@@ -229,4 +236,45 @@ def run_campaign(
         seed=seed,
         per_attack_detection=per_attack,
         records=tuple(observations) if keep_observations else (),
+    )
+
+
+def _campaign_job(
+    task: tuple[SystemModel, frozenset[str], int, dict[str, object]],
+) -> CampaignResult:
+    """One seed's campaign, self-contained for worker processes.
+
+    The deployment travels as a bare monitor-id set and is rebuilt
+    against the (possibly unpickled) model copy, restoring the identity
+    :func:`run_campaign` insists on.
+    """
+    model, monitor_ids, seed, kwargs = task
+    deployment = Deployment.of(model, monitor_ids)
+    return run_campaign(model, deployment, seed=seed, **kwargs)
+
+
+def run_campaigns(
+    model: SystemModel,
+    deployment: Deployment,
+    *,
+    seeds: Sequence[int],
+    workers: int | None = None,
+    **kwargs: object,
+) -> list[CampaignResult]:
+    """Run the same campaign under each seed, optionally in parallel.
+
+    Every keyword accepted by :func:`run_campaign` (except ``seed``)
+    passes through unchanged.  Results come back in ``seeds`` order and
+    each one is bit-identical to ``run_campaign(model, deployment,
+    seed=s, ...)`` run serially — replays only share the model, never
+    random state, so worker scheduling cannot leak between them.
+    """
+    if not seeds:
+        raise SimulationError("run_campaigns needs at least one seed")
+    if deployment.model is not model:
+        raise SimulationError("deployment was built for a different model")
+    return parallel_map(
+        _campaign_job,
+        [(model, deployment.monitor_ids, int(seed), dict(kwargs)) for seed in seeds],
+        workers=workers,
     )

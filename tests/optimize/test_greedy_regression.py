@@ -1,0 +1,80 @@
+"""Regression pins for greedy's selection sequence on the case study.
+
+The greedy heuristic was rebuilt on the incremental evaluation cursor;
+these pins freeze the exact monitor-by-monitor choices the reference
+implementation made on the enterprise Web service, so any future change
+to the substrate (or the lazy queue) that silently alters greedy's
+behaviour fails loudly rather than shifting experiment F1's curves.
+"""
+
+import pytest
+
+from repro.metrics.cost import Budget
+from repro.optimize.greedy import solve_greedy
+
+# Captured from the reference (pre-substrate) implementation.
+PINNED = {
+    0.2: (
+        0.7005519751783414,
+        (
+            "web_logger@web-1",
+            "web_logger@web-2",
+            "syslog_agent@web-1",
+            "syslog_agent@web-2",
+            "auth_logger@app-1",
+            "auth_logger@web-1",
+            "auth_logger@web-2",
+            "firewall_logger@fw-edge",
+            "auth_logger@auth-1",
+            "flow_collector@sw-core",
+            "audit_daemon@web-1",
+            "syslog_agent@app-1",
+            "app_logger@app-1",
+            "fim@web-2",
+            "auth_logger@db-1",
+        ),
+    ),
+    0.3: (
+        0.8832402293974617,
+        (
+            "web_logger@web-1",
+            "web_logger@web-2",
+            "syslog_agent@web-1",
+            "syslog_agent@web-2",
+            "auth_logger@app-1",
+            "auth_logger@web-1",
+            "auth_logger@web-2",
+            "firewall_logger@fw-edge",
+            "auth_logger@auth-1",
+            "flow_collector@sw-core",
+            "audit_daemon@web-1",
+            "audit_daemon@web-2",
+            "syslog_agent@app-1",
+            "app_logger@app-1",
+            "auth_logger@db-1",
+            "waf@lb-1",
+            "db_audit@db-1",
+            "firewall_logger@fw-int",
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("fraction", sorted(PINNED))
+@pytest.mark.parametrize("incremental", [True, False])
+def test_greedy_selection_sequence_is_pinned(web_model, fraction, incremental):
+    expected_utility, expected_order = PINNED[fraction]
+    budget = Budget.fraction_of_total(web_model, fraction)
+    result = solve_greedy(web_model, budget, incremental=incremental)
+    assert result.selection_order == expected_order
+    assert result.monitor_ids == frozenset(expected_order)
+    assert result.utility == pytest.approx(expected_utility, abs=1e-12)
+
+
+@pytest.mark.parametrize("fraction", sorted(PINNED))
+def test_incremental_and_reference_paths_agree(web_model, fraction):
+    budget = Budget.fraction_of_total(web_model, fraction)
+    incremental = solve_greedy(web_model, budget, incremental=True)
+    reference = solve_greedy(web_model, budget, incremental=False)
+    assert incremental.selection_order == reference.selection_order
+    assert incremental.utility == pytest.approx(reference.utility, abs=1e-12)

@@ -1,0 +1,117 @@
+"""Unit tests for the bounded deployment-evaluation cache."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.utility import UtilityWeights, utility, utility_breakdown
+from repro.runtime.cache import (
+    DeploymentCache,
+    cache_for,
+    cached_breakdown,
+    cached_utility,
+    evaluation_key,
+)
+
+
+class TestDeploymentCache:
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(MetricError):
+            DeploymentCache(0)
+
+    def test_miss_then_hit(self):
+        cache = DeploymentCache(4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0, "size": 1}
+
+    def test_evicts_least_recently_used(self):
+        cache = DeploymentCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key_without_growth(self):
+        cache = DeploymentCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_get_or_compute_computes_once(self):
+        cache = DeploymentCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_clear_keeps_counters(self):
+        cache = DeploymentCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestEvaluationKey:
+    def test_key_is_order_insensitive(self):
+        weights = UtilityWeights()
+        assert evaluation_key(["m1", "m2"], weights) == evaluation_key(
+            ["m2", "m1"], weights
+        )
+
+    def test_key_distinguishes_weights(self):
+        a = UtilityWeights(coverage=0.6, redundancy=0.25, richness=0.15)
+        b = UtilityWeights(coverage=0.5, redundancy=0.3, richness=0.2)
+        assert evaluation_key(["m1"], a) != evaluation_key(["m1"], b)
+
+    def test_key_distinguishes_redundancy_cap(self):
+        a = UtilityWeights(redundancy_cap=2)
+        b = UtilityWeights(redundancy_cap=3)
+        assert evaluation_key(["m1"], a) != evaluation_key(["m1"], b)
+
+
+class TestCachedEvaluation:
+    def test_cached_utility_matches_reference(self, web_model):
+        weights = UtilityWeights()
+        deployed = frozenset(sorted(web_model.monitors)[:6])
+        assert cached_utility(web_model, deployed, weights) == pytest.approx(
+            utility(web_model, deployed, weights), abs=1e-9
+        )
+
+    def test_cached_breakdown_matches_reference(self, web_model):
+        weights = UtilityWeights()
+        deployed = frozenset(sorted(web_model.monitors)[:4])
+        reference = utility_breakdown(web_model, deployed, weights)
+        computed = cached_breakdown(web_model, deployed, weights)
+        for key, value in reference.items():
+            assert computed[key] == pytest.approx(value, abs=1e-9), key
+
+    def test_second_lookup_hits(self, web_model):
+        cache = DeploymentCache(16)
+        deployed = frozenset(sorted(web_model.monitors)[:2])
+        cached_utility(web_model, deployed, cache=cache)
+        hits_before = cache.hits
+        cached_utility(web_model, deployed, cache=cache)
+        assert cache.hits == hits_before + 1
+
+    def test_shared_cache_is_per_model_singleton(self, web_model):
+        assert cache_for(web_model) is cache_for(web_model)
+
+    def test_returned_breakdown_is_a_copy(self, web_model):
+        cache = DeploymentCache(16)
+        deployed = frozenset(sorted(web_model.monitors)[:2])
+        first = cached_breakdown(web_model, deployed, cache=cache)
+        first["utility"] = -1.0
+        second = cached_breakdown(web_model, deployed, cache=cache)
+        assert second["utility"] != -1.0

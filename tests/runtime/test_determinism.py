@@ -1,0 +1,112 @@
+"""Parallel runs must be bit-identical to serial runs.
+
+The substrate's contract is that ``workers`` is a pure throughput knob:
+every seeded computation partitions its randomness via spawned
+``SeedSequence`` children keyed by position, so the fan-out across 2 or
+4 workers reproduces the serial stream exactly — not approximately.
+"""
+
+import pytest
+
+from repro.analysis.contribution import shapley_values
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.deployment import Deployment
+from repro.optimize.greedy import solve_greedy
+from repro.optimize.pareto import budget_sweep, heuristic_sweep
+from repro.simulation.campaign import run_campaigns
+
+FRACTIONS = [0.1, 0.2, 0.3, 0.4]
+
+
+def _sweep_signature(points):
+    return [
+        (p.fraction, p.result.utility, tuple(sorted(p.result.monitor_ids)))
+        for p in points
+    ]
+
+
+def _nan_safe(value):
+    return None if value != value else value
+
+
+def _campaign_signature(results):
+    return [
+        (
+            r.seed,
+            r.detection_rate,
+            _nan_safe(r.mean_detection_latency),
+            r.mean_step_completeness,
+            r.mean_field_completeness,
+            r.observations,
+            r.duration,
+        )
+        for r in results
+    ]
+
+
+class TestBudgetSweepDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_equals_serial(self, web_model, workers):
+        serial = budget_sweep(web_model, FRACTIONS, workers=1)
+        parallel = budget_sweep(web_model, FRACTIONS, workers=workers)
+        assert _sweep_signature(parallel) == _sweep_signature(serial)
+
+    def test_parallel_points_are_rebound_to_caller_model(self, web_model):
+        points = budget_sweep(web_model, FRACTIONS[:2], workers=2)
+        for point in points:
+            assert point.result.deployment.model is web_model
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_heuristic_sweep_parallel_equals_serial(self, web_model, workers):
+        serial = heuristic_sweep(web_model, FRACTIONS, solve_greedy, workers=1)
+        parallel = heuristic_sweep(web_model, FRACTIONS, solve_greedy, workers=workers)
+        assert _sweep_signature(parallel) == _sweep_signature(serial)
+
+
+class TestCampaignDeterminism:
+    SEEDS = [0, 1, 2, 3, 4, 5]
+
+    @pytest.fixture(scope="class")
+    def deployment(self, web_model):
+        from repro.metrics.cost import Budget
+
+        budget = Budget.fraction_of_total(web_model, 0.3)
+        return solve_greedy(web_model, budget).deployment
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_equals_serial(self, web_model, deployment, workers):
+        serial = run_campaigns(
+            web_model, deployment, seeds=self.SEEDS, workers=1, repetitions=2
+        )
+        parallel = run_campaigns(
+            web_model, deployment, seeds=self.SEEDS, workers=workers, repetitions=2
+        )
+        assert _campaign_signature(parallel) == _campaign_signature(serial)
+
+    def test_multi_seed_matches_single_seed_runs(self, web_model, deployment):
+        from repro.simulation.campaign import run_campaign
+
+        results = run_campaigns(
+            web_model, deployment, seeds=[3, 7], workers=2, repetitions=2
+        )
+        for seed, result in zip([3, 7], results):
+            direct = run_campaign(web_model, deployment, seed=seed, repetitions=2)
+            assert result.detection_rate == direct.detection_rate
+            assert result.duration == direct.duration
+            assert result.observations == direct.observations
+
+
+class TestShapleyDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_equals_serial(self, web_model, workers):
+        deployment = Deployment.of(web_model, sorted(web_model.monitors)[:6])
+        weights = UtilityWeights()
+        serial = shapley_values(
+            web_model, deployment, weights, samples=96, seed=5, workers=1
+        )
+        parallel = shapley_values(
+            web_model, deployment, weights, samples=96, seed=5, workers=workers
+        )
+        assert [(v.monitor_id, v.value) for v in parallel] == [
+            (v.monitor_id, v.value) for v in serial
+        ]

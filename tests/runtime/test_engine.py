@@ -1,0 +1,154 @@
+"""Unit tests for the vectorized evaluation engine and its cursor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownIdError
+from repro.metrics.confidence import overall_confidence
+from repro.metrics.coverage import overall_coverage
+from repro.metrics.redundancy import overall_redundancy
+from repro.metrics.richness import overall_richness
+from repro.metrics.utility import UtilityWeights, utility, utility_breakdown
+from repro.runtime.engine import DeploymentCursor, EvaluationEngine, engine_for
+
+TOL = 1e-9
+
+
+class TestEngineFullEvaluation:
+    def test_components_match_reference_on_full_deployment(self, web_model):
+        engine = EvaluationEngine(web_model)
+        deployed = frozenset(web_model.monitors)
+        parts = engine.components(deployed)
+        assert parts["coverage"] == pytest.approx(
+            overall_coverage(web_model, deployed), abs=TOL
+        )
+        assert parts["redundancy"] == pytest.approx(
+            overall_redundancy(web_model, deployed), abs=TOL
+        )
+        assert parts["richness"] == pytest.approx(
+            overall_richness(web_model, deployed), abs=TOL
+        )
+        assert parts["confidence"] == pytest.approx(
+            overall_confidence(web_model, deployed), abs=TOL
+        )
+
+    def test_empty_deployment_is_all_zero(self, web_model):
+        engine = engine_for(web_model)
+        parts = engine.components(frozenset())
+        assert parts == {
+            "coverage": 0.0,
+            "redundancy": 0.0,
+            "richness": 0.0,
+            "confidence": 0.0,
+        }
+
+    def test_utility_and_breakdown_match_reference(self, web_model):
+        engine = engine_for(web_model)
+        deployed = frozenset(sorted(web_model.monitors)[::2])
+        weights = UtilityWeights(coverage=0.5, redundancy=0.3, richness=0.2)
+        assert engine.utility(deployed, weights) == pytest.approx(
+            utility(web_model, deployed, weights), abs=TOL
+        )
+        reference = utility_breakdown(web_model, deployed, weights)
+        computed = engine.breakdown(deployed, weights)
+        assert set(computed) == set(reference)
+        for key, value in reference.items():
+            assert computed[key] == pytest.approx(value, abs=TOL), key
+
+    def test_redundancy_cap_is_respected(self, web_model):
+        engine = engine_for(web_model)
+        deployed = frozenset(web_model.monitors)
+        shallow = engine.components(deployed, cap=1)["redundancy"]
+        deep = engine.components(deployed, cap=4)["redundancy"]
+        assert shallow == pytest.approx(
+            overall_redundancy(web_model, deployed, cap=1), abs=TOL
+        )
+        assert deep == pytest.approx(
+            overall_redundancy(web_model, deployed, cap=4), abs=TOL
+        )
+        assert shallow >= deep  # a deeper cap is harder to saturate
+
+    def test_unknown_monitor_raises(self, web_model):
+        engine = engine_for(web_model)
+        with pytest.raises(UnknownIdError):
+            engine.utility({"nonexistent@nowhere"})
+
+    def test_engine_for_returns_singleton(self, web_model):
+        assert engine_for(web_model) is engine_for(web_model)
+
+
+class TestDeploymentCursor:
+    def test_add_tracks_reference_utility(self, web_model):
+        weights = UtilityWeights()
+        cursor = engine_for(web_model).cursor(weights)
+        deployed: set[str] = set()
+        for monitor_id in sorted(web_model.monitors):
+            cursor.add(monitor_id)
+            deployed.add(monitor_id)
+            assert cursor.utility() == pytest.approx(
+                utility(web_model, deployed, weights), abs=TOL
+            )
+
+    def test_remove_tracks_reference_utility(self, web_model):
+        weights = UtilityWeights()
+        deployed = set(web_model.monitors)
+        cursor = engine_for(web_model).cursor(weights, initial=deployed)
+        for monitor_id in sorted(web_model.monitors, reverse=True):
+            cursor.remove(monitor_id)
+            deployed.discard(monitor_id)
+            assert cursor.utility() == pytest.approx(
+                utility(web_model, deployed, weights), abs=TOL
+            )
+
+    def test_peek_add_matches_commit_and_does_not_mutate(self, web_model):
+        cursor = engine_for(web_model).cursor(UtilityWeights())
+        before = cursor.utility()
+        monitor_id = sorted(web_model.monitors)[0]
+        peeked = cursor.peek_add(monitor_id)
+        assert cursor.utility() == before
+        assert monitor_id not in cursor
+        cursor.add(monitor_id)
+        assert cursor.utility() == pytest.approx(peeked, abs=1e-12)
+
+    def test_peek_add_of_deployed_monitor_is_identity(self, web_model):
+        monitor_id = sorted(web_model.monitors)[0]
+        cursor = engine_for(web_model).cursor(UtilityWeights(), initial={monitor_id})
+        assert cursor.peek_add(monitor_id) == cursor.utility()
+
+    def test_double_add_and_absent_remove_raise(self, web_model):
+        monitor_id = sorted(web_model.monitors)[0]
+        cursor = engine_for(web_model).cursor(UtilityWeights(), initial={monitor_id})
+        with pytest.raises(ValueError):
+            cursor.add(monitor_id)
+        cursor.remove(monitor_id)
+        with pytest.raises(ValueError):
+            cursor.remove(monitor_id)
+
+    def test_monitor_ids_len_and_contains(self, web_model):
+        ids = set(sorted(web_model.monitors)[:3])
+        cursor = engine_for(web_model).cursor(UtilityWeights(), initial=ids)
+        assert isinstance(cursor, DeploymentCursor)
+        assert cursor.monitor_ids == frozenset(ids)
+        assert len(cursor) == 3
+        for monitor_id in ids:
+            assert monitor_id in cursor
+        assert "nonexistent@nowhere" not in cursor
+
+    def test_breakdown_matches_engine_full_evaluation(self, web_model):
+        weights = UtilityWeights()
+        ids = frozenset(sorted(web_model.monitors)[1::3])
+        cursor = engine_for(web_model).cursor(weights, initial=ids)
+        full = engine_for(web_model).breakdown(ids, weights)
+        incremental = cursor.breakdown()
+        for key, value in full.items():
+            assert incremental[key] == pytest.approx(value, abs=TOL), key
+
+    def test_initial_order_does_not_matter(self, web_model):
+        weights = UtilityWeights()
+        ids = sorted(web_model.monitors)[:5]
+        rng = np.random.default_rng(3)
+        shuffled = list(ids)
+        rng.shuffle(shuffled)
+        a = engine_for(web_model).cursor(weights, initial=ids)
+        b = engine_for(web_model).cursor(weights, initial=shuffled)
+        assert a.utility() == pytest.approx(b.utility(), abs=1e-12)

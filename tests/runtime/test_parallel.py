@@ -1,0 +1,94 @@
+"""Unit tests for the parallel map and deterministic seed spawning."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.parallel import (
+    WORKERS_ENV,
+    parallel_map,
+    resolve_workers,
+    spawn_generators,
+    spawn_seeds,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(seed_seq):
+    return float(np.random.default_rng(seed_seq).random())
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(3) == 3
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers() == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_garbage_environment_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        assert resolve_workers() == 1
+
+    def test_never_below_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-5) == 1
+
+
+class TestSpawnSeeds:
+    def test_deterministic_per_position(self):
+        first = spawn_seeds(7, 5)
+        second = spawn_seeds(7, 5)
+        assert [s.entropy for s in first] == [s.entropy for s in second]
+        assert [_draw(s) for s in first] == [_draw(s) for s in second]
+
+    def test_prefix_stability(self):
+        # Asking for more children must not change the earlier ones.
+        short = spawn_seeds(7, 2)
+        long = spawn_seeds(7, 6)
+        assert [_draw(s) for s in short] == [_draw(s) for s in long[:2]]
+
+    def test_children_are_independent(self):
+        draws = [_draw(s) for s in spawn_seeds(0, 10)]
+        assert len(set(draws)) == 10
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_spawn_generators(self):
+        gens = spawn_generators(3, 4)
+        assert len(gens) == 4
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+
+class TestParallelMap:
+    def test_serial_map_preserves_order(self):
+        assert parallel_map(_square, range(10), workers=1) == [x * x for x in range(10)]
+
+    def test_pool_map_preserves_order(self):
+        assert parallel_map(_square, range(10), workers=2) == [x * x for x in range(10)]
+
+    def test_unpicklable_job_falls_back_to_serial(self):
+        offset = 100
+        assert parallel_map(lambda x: x + offset, range(5), workers=2) == [
+            x + 100 for x in range(5)
+        ]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [3], workers=4) == [9]
+
+    def test_chunksize_does_not_change_results(self):
+        assert parallel_map(_square, range(20), workers=2, chunksize=5) == [
+            x * x for x in range(20)
+        ]
