@@ -50,3 +50,22 @@ def publish_json(results_dir: Path, experiment: str, payload: dict) -> None:
     """
     path = results_dir / f"{experiment}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def registry_snapshot():
+    """Persist the ambient metrics registry after the benchmark session.
+
+    Every solver/engine/cache/simulation call in the session increments
+    the ambient registry; dumping it once at teardown gives a free
+    aggregate view (solve-time histograms, cache hit rates, node
+    counts) next to the per-experiment JSON.  ``repro stats
+    benchmarks/results/registry_snapshot.json`` renders it.
+    """
+    from repro import obs
+
+    obs.registry().reset()
+    yield
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "registry_snapshot.json"
+    path.write_text(json.dumps(obs.registry().snapshot(), indent=2, sort_keys=True) + "\n")

@@ -9,11 +9,18 @@ files (or the built-in case study):
 * ``mincost`` — cheapest deployment meeting requirements;
 * ``sweep`` — utility vs. budget curve (optionally CSV);
 * ``simulate`` — attack campaign against a deployment;
+* ``stats`` — render the metrics carried by a ``--trace`` file;
 * ``export-casestudy`` — write the built-in case study to JSON.
 
 Every command accepts either ``--model path/to/model.json`` or
 ``--casestudy`` (the enterprise Web service).  Deployments are
 exchanged as JSON lists of monitor ids.
+
+The work-running commands also accept ``--trace out.json``: the whole
+command executes under :func:`repro.obs.capture` and writes one
+combined file — a Chrome trace (open it at https://ui.perfetto.dev)
+that also carries the run's metrics registry, which ``repro stats
+out.json`` renders as tables.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.analysis.evaluation import evaluate_deployment
 from repro.analysis.tables import render_table
 from repro.casestudy import enterprise_web_service
@@ -34,8 +42,10 @@ from repro.export.csv_export import sweep_to_csv
 from repro.export.dot import deployment_to_dot
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
+from repro.obs import load_trace, write_trace
+from repro.runtime.cache import cached_utility
 from repro.optimize.deployment import Deployment
-from repro.optimize.pareto import budget_sweep
+from repro.optimize.pareto import budget_sweep, pareto_frontier
 from repro.optimize.problem import MaxUtilityProblem, MinCostProblem
 from repro.simulation.campaign import run_campaign
 
@@ -59,6 +69,17 @@ def _add_weight_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="COV,RED,RICH",
         help="utility weights, three comma-separated numbers summing to 1 "
         "(default 0.6,0.25,0.15)",
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="capture the run's spans and metrics into a Chrome-trace JSON "
+        "file (view at ui.perfetto.dev; inspect with `repro stats`)",
     )
 
 
@@ -220,6 +241,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         rows,
         title="Utility vs. budget",
     ))
+    # Non-dominated summary; evaluations route through the shared
+    # per-model cache, so the knee re-lookup below is a guaranteed hit.
+    frontier = pareto_frontier([p.result.deployment for p in points], weights)
+    if frontier:
+        knee_cost, knee_utility, knee = frontier[-1]
+        knee_utility = cached_utility(model, knee.monitor_ids, weights)
+        print(
+            f"\n{len(frontier)}/{len(points)} points are non-dominated; "
+            f"best utility {knee_utility:.4f} at scalar cost {knee_cost:.2f}"
+        )
     if args.csv:
         args.csv.write_text(sweep_to_csv(points))
         print(f"\nCSV written to {args.csv}")
@@ -322,6 +353,74 @@ def _cmd_gaps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _histogram_rows(state: dict) -> list[list[object]]:
+    """Human-readable bucket rows of one histogram snapshot."""
+    rows: list[list[object]] = []
+    previous = None
+    for bound, count in zip(state["bounds"], state["bucket_counts"]):
+        label = f"<= {bound:g}" if previous is None else f"({previous:g}, {bound:g}]"
+        rows.append([label, count])
+        previous = bound
+    rows.append([f"> {state['bounds'][-1]:g}", state["overflow"]])
+    return rows
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    payload = load_trace(args.trace_file)
+    # A combined trace file carries the registry under "metrics"; a bare
+    # registry snapshot (benchmark artifact) is accepted as-is.
+    metrics = payload.get("metrics", payload)
+    counters = dict(metrics.get("counters", {}))
+    gauges = dict(metrics.get("gauges", {}))
+    histograms = dict(metrics.get("histograms", {}))
+
+    events = payload.get("traceEvents")
+    if events is not None:
+        print(f"{len(events)} trace events in {args.trace_file}\n")
+
+    if counters:
+        print(render_table(
+            ["counter", "total"],
+            [[name, f"{value:g}"] for name, value in sorted(counters.items())],
+            title="Counters",
+        ))
+    else:
+        print("no counters recorded")
+
+    hits = counters.get("cache.hits", 0.0)
+    misses = counters.get("cache.misses", 0.0)
+    lookups = hits + misses
+    if lookups:
+        print(
+            f"\ncache hit rate: {hits / lookups:.1%} "
+            f"({hits:g} hits / {lookups:g} lookups, "
+            f"{counters.get('cache.evictions', 0.0):g} evictions)"
+        )
+
+    if gauges:
+        print()
+        print(render_table(
+            ["gauge", "value"],
+            [[name, f"{value:g}"] for name, value in sorted(gauges.items())],
+            title="Gauges",
+        ))
+
+    for name, state in sorted(histograms.items()):
+        if not state["count"]:
+            continue
+        mean = state["sum"] / state["count"]
+        print()
+        print(render_table(
+            ["bucket", "count"],
+            _histogram_rows(state),
+            title=(
+                f"{name}: n={state['count']}, mean={mean:g}, "
+                f"min={state['min']:g}, max={state['max']:g}"
+            ),
+        ))
+    return 0
+
+
 def _cmd_export_casestudy(args: argparse.Namespace) -> int:
     save_model(enterprise_web_service(), args.path)
     print(f"case study written to {args.path}")
@@ -359,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--out", type=Path, help="write deployment JSON here")
     optimize.add_argument("--dot", type=Path, help="write Graphviz DOT here")
     optimize.add_argument("--html", type=Path, help="write a self-contained HTML report here")
+    _add_trace_argument(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
     mincost = commands.add_parser("mincost", help="cheapest deployment meeting requirements")
@@ -370,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     mincost.add_argument("--backend", default="scipy",
                          choices=["scipy", "branch-and-bound"])
     mincost.add_argument("--out", type=Path, help="write deployment JSON here")
+    _add_trace_argument(mincost)
     mincost.set_defaults(handler=_cmd_mincost)
 
     sweep = commands.add_parser("sweep", help="utility vs. budget curve")
@@ -380,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["scipy", "branch-and-bound"])
     sweep.add_argument("--csv", type=Path, help="write sweep CSV here")
     _add_workers_argument(sweep)
+    _add_trace_argument(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     simulate = commands.add_parser("simulate", help="attack campaign against a deployment")
@@ -389,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--repetitions", type=int, default=10)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--failure-rate", type=float, default=0.0)
+    _add_trace_argument(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     contrib = commands.add_parser(
@@ -401,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     contrib.add_argument("--samples", type=int, default=200)
     contrib.add_argument("--seed", type=int, default=0)
     _add_workers_argument(contrib)
+    _add_trace_argument(contrib)
     contrib.set_defaults(handler=_cmd_contrib)
 
     frontier = commands.add_parser(
@@ -410,7 +514,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_weight_arguments(frontier)
     frontier.add_argument("--max-points", type=int, default=1000)
     frontier.add_argument("--csv", type=Path, help="write the frontier CSV here")
+    _add_trace_argument(frontier)
     frontier.set_defaults(handler=_cmd_frontier)
+
+    stats = commands.add_parser(
+        "stats", help="render the metrics carried by a --trace file"
+    )
+    # dest must not collide with the --trace capture flag: main() treats
+    # a non-None ``args.trace`` as "record this run", which would
+    # overwrite the very file stats is reading.
+    stats.add_argument(
+        "trace_file", metavar="trace",
+        type=Path, help="trace/metrics JSON written by --trace",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     compare = commands.add_parser(
         "compare", help="diff two deployments: monitors, cost, per-attack coverage"
@@ -444,7 +561,14 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        trace_path = getattr(args, "trace", None)
+        if trace_path is None:
+            return args.handler(args)
+        with obs.capture() as cap:
+            code = args.handler(args)
+        write_trace(trace_path, cap.tracer, cap.registry)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,171 @@
+"""Observability: metrics registry + span tracer for every hot path.
+
+The paper's headline claim is operational ("optimal deployments for
+hundreds of monitors compute within minutes"); this package is how the
+repository *shows* it.  Solvers, the evaluation engine, the cache, the
+process pool, and the simulation all report into one ambient pair of
+instruments:
+
+* a :class:`~repro.obs.registry.MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms) that is always on and cheap, and
+* a :class:`~repro.obs.tracer.Tracer` that always *times* spans but
+  only *retains* them when tracing is enabled (``keep=True``).
+
+Instrumented code never holds direct references to either — it calls
+the module-level accessors (:func:`counter`, :func:`histogram`,
+:func:`span`, ...), which read the ambient state swapped by
+:func:`use` and :func:`capture`.  That indirection is what makes the
+overhead guard, the no-op baseline, worker-process capture, and the
+CLI's ``--trace`` all composable without touching call sites.
+
+Typical shapes::
+
+    from repro import obs
+
+    # always-on metrics
+    obs.counter("cache.hits").inc()
+    obs.histogram("solver.solve_seconds").observe(dt)
+
+    # timed region (retained only when tracing is enabled)
+    with obs.span("optimize.greedy", monitors=n) as sp:
+        ...
+    seconds = sp.duration
+
+    # a fully captured run (fresh registry + retaining tracer)
+    with obs.capture() as cap:
+        run()
+    write_trace("trace.json", cap.tracer, cap.registry)
+
+Everything here is standard library only and imports nothing from the
+rest of ``repro``, so any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.clock import Clock, ManualClock, SystemClock
+from repro.obs.export import chrome_trace_events, load_trace, trace_payload, write_trace
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    DETECTION_LATENCY_BUCKETS,
+    SCORE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Capture",
+    "Clock",
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DETECTION_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SCORE_BUCKETS",
+    "Span",
+    "SystemClock",
+    "Tracer",
+    "capture",
+    "chrome_trace_events",
+    "counter",
+    "gauge",
+    "histogram",
+    "load_trace",
+    "registry",
+    "span",
+    "trace_payload",
+    "tracer",
+    "use",
+    "write_trace",
+]
+
+#: Ambient instruments.  Metrics are on by default (cheap); the default
+#: tracer times spans but retains nothing until tracing is enabled.
+_REGISTRY: MetricsRegistry = MetricsRegistry()
+_TRACER: Tracer = Tracer(keep=False)
+
+
+def registry() -> MetricsRegistry:
+    """The ambient metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The ambient tracer."""
+    return _TRACER
+
+
+def counter(name: str) -> Counter:
+    """Shorthand for ``registry().counter(name)``."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Shorthand for ``registry().gauge(name)``."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds: Sequence[float] | None = None) -> Histogram:
+    """Shorthand for ``registry().histogram(name, bounds)``."""
+    return _REGISTRY.histogram(name, bounds)
+
+
+def span(name: str, **args: Any) -> Span:
+    """Shorthand for ``tracer().span(name, **args)``."""
+    return _TRACER.span(name, **args)
+
+
+@contextmanager
+def use(
+    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> Iterator[tuple[MetricsRegistry, Tracer]]:
+    """Temporarily swap the ambient registry and/or tracer.
+
+    Restores the previous instruments on exit, exception or not.  Not
+    safe across threads (the ambient state is process-global by
+    design — worker *processes* each get their own).
+    """
+    global _REGISTRY, _TRACER
+    previous = (_REGISTRY, _TRACER)
+    if registry is not None:
+        _REGISTRY = registry
+    if tracer is not None:
+        _TRACER = tracer
+    try:
+        yield (_REGISTRY, _TRACER)
+    finally:
+        _REGISTRY, _TRACER = previous
+
+
+@dataclass(frozen=True)
+class Capture:
+    """The instruments a :func:`capture` block recorded into."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+
+
+@contextmanager
+def capture(clock: Clock | None = None) -> Iterator[Capture]:
+    """Observe one region in isolation: fresh registry, retaining tracer.
+
+    This is the primitive behind the CLI's ``--trace`` and the
+    process-pool worker wrapper: everything recorded inside the block
+    lands in the yielded :class:`Capture` and nowhere else, ready to be
+    written out (:func:`write_trace`) or shipped back and merged into a
+    parent (:meth:`Tracer.attach` / :meth:`MetricsRegistry.merge`).
+    """
+    captured = Capture(MetricsRegistry(), Tracer(clock=clock, keep=True))
+    with use(registry=captured.registry, tracer=captured.tracer):
+        yield captured

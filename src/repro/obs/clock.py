@@ -1,0 +1,66 @@
+"""Injectable clocks for deterministic instrumentation.
+
+Every timestamp the observability layer records flows through a clock
+object, never through a direct ``time`` call.  Production code uses
+:class:`SystemClock` (``time.perf_counter``: monotonic, sub-microsecond
+resolution, arbitrary origin); tests inject :class:`ManualClock`, whose
+readings are a pure function of how often it has been read — so span
+trees, durations, and solve-time histograms become bit-reproducible
+artifacts the determinism suite can compare across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "ManualClock", "SystemClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` method, in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class SystemClock:
+    """Monotonic wall-clock readings from ``time.perf_counter``."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A clock that only moves when told to (or a fixed step per reading).
+
+    Parameters
+    ----------
+    start:
+        Initial reading.
+    autostep:
+        Amount the clock advances *after* every ``now()`` call.  A
+        nonzero autostep gives every span distinct, deterministic begin
+        and end times without any explicit ``advance`` calls — the mode
+        the tracer determinism tests run in.
+    """
+
+    __slots__ = ("_now", "autostep")
+
+    def __init__(self, start: float = 0.0, autostep: float = 0.0) -> None:
+        self._now = float(start)
+        self.autostep = float(autostep)
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.autostep
+        return value
+
+    def advance(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError(f"cannot move a clock backwards (delta={delta!r})")
+        self._now += delta

@@ -1,0 +1,91 @@
+"""Chrome-trace export and the combined trace/metrics file format.
+
+``repro ... --trace out.json`` writes a single JSON object that is both
+
+* a **loadable Chrome trace** — open it at ``chrome://tracing`` or
+  https://ui.perfetto.dev; the spans appear as nested "complete" (ph
+  ``X``) events, worker tasks on their own rows — and
+* a **metrics snapshot** — the same object carries the run's registry
+  under a ``"metrics"`` key (the Chrome trace format explicitly allows
+  extra top-level keys), which ``repro stats`` renders as tables.
+
+One file, one run, two views.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["chrome_trace_events", "load_trace", "trace_payload", "write_trace"]
+
+
+def _walk(span: Span, tid: str | int, origin: float, events: list[dict[str, Any]]) -> None:
+    end = span.end if span.end is not None else span.begin
+    events.append(
+        {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span.begin - origin) * 1e6,  # Chrome wants microseconds
+            "dur": (end - span.begin) * 1e6,
+            "pid": 0,
+            "tid": span.tid if span.tid is not None else tid,
+            "args": {k: _jsonable(v) for k, v in span.args.items()},
+        }
+    )
+    for child in span.children:
+        _walk(child, span.tid if span.tid is not None else tid, origin, events)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _earliest(spans: Iterable[Span]) -> float:
+    begins = [span.begin for span in spans]
+    return min(begins) if begins else 0.0
+
+
+def chrome_trace_events(roots: Iterable[Span]) -> list[dict[str, Any]]:
+    """Flatten a span forest into Chrome "complete" events.
+
+    Timestamps are rebased so the earliest span starts at 0; spans
+    tagged with a ``tid`` (attached worker tasks) keep it, everything
+    else renders on thread 0 of process 0.
+    """
+    roots = list(roots)
+    origin = _earliest(roots)
+    events: list[dict[str, Any]] = []
+    for span in roots:
+        _walk(span, 0, origin, events)
+    return events
+
+
+def trace_payload(tracer: Tracer, registry: MetricsRegistry) -> dict[str, Any]:
+    """The combined trace-file object for one run."""
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(tracer.roots),
+        "metrics": registry.snapshot(),
+        "otherData": {"tool": "repro", "format": "chrome-trace+metrics"},
+    }
+
+
+def write_trace(path: str | Path, tracer: Tracer, registry: MetricsRegistry) -> Path:
+    """Write the combined trace/metrics JSON to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_payload(tracer, registry), indent=2) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> dict[str, Any]:
+    """Read a trace file back (also accepts a bare metrics snapshot)."""
+    return json.loads(Path(path).read_text())

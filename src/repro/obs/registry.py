@@ -1,0 +1,283 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the machine-readable side of observability: hot paths
+increment counters and observe histograms, and a run ends with one
+:meth:`MetricsRegistry.snapshot` — a plain, JSON-serializable dict that
+benchmarks persist next to their wall-time series and ``repro stats``
+renders for humans.
+
+Design constraints, in order:
+
+* **Cheap when active** — a counter increment is a dict lookup plus a
+  float add; nothing allocates per event.  Hot loops that cannot afford
+  even that (cursor probes inside greedy) accumulate plain ints locally
+  and flush once per solve.
+* **No-op when asked** — :class:`NullRegistry` implements the same API
+  with shared do-nothing instruments, so instrumented code needs no
+  ``if`` guards and the overhead-guard test can measure instrumentation
+  cost as a simple A/B.
+* **Mergeable** — worker processes run with a fresh registry and ship
+  its snapshot back; :meth:`MetricsRegistry.merge` folds those deltas
+  into the parent, making parallel runs observable end to end.
+
+Histogram buckets are **fixed at creation** (explicit upper bounds plus
+an implicit overflow bucket).  Fixed boundaries keep snapshots mergeable
+and runs comparable; the module ships boundary sets tuned for solver
+wall-times and simulated detection latencies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DETECTION_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SCORE_BUCKETS",
+]
+
+#: Upper bounds (seconds) for solve/evaluation wall-time histograms:
+#: sub-millisecond engine passes up to the paper's "within minutes".
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+#: Upper bounds (simulated seconds) for detection-latency histograms;
+#: campaigns space attack steps ~30 s apart, so latencies land between
+#: one step gap and one hour.
+DETECTION_LATENCY_BUCKETS: tuple[float, ...] = (
+    1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+
+#: Upper bounds for scores and other quantities normalized to [0, 1].
+SCORE_BUCKETS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount!r})")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution over fixed bucket boundaries.
+
+    ``bounds`` are strictly increasing upper bounds; an observation
+    lands in the first bucket whose bound is >= the value, or in the
+    implicit overflow bucket past the last bound.  ``sum``/``count``/
+    ``min``/``max`` are tracked exactly alongside the bucketed shape.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (nan when empty)."""
+        return self.sum / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serializable state (per-bucket counts, not cumulative)."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "overflow": self.overflow,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics and one snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float] | None = None) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        ``bounds`` applies only at creation (default: the solve-time
+        boundaries); asking again with *different* bounds is an error —
+        silently returning mismatched buckets would corrupt merges.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_SECONDS_BUCKETS
+            )
+        elif bounds is not None and tuple(float(b) for b in bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds {instrument.bounds}, "
+                f"requested {tuple(bounds)}"
+            )
+        return instrument
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """The registry's full state as a plain, JSON-serializable dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram buckets add; gauges take the snapshot's
+        value (last write wins).  Histogram bound mismatches raise.
+        """
+        for name, value in dict(snapshot.get("counters", {})).items():  # type: ignore[arg-type]
+            self.counter(name).inc(float(value))
+        for name, value in dict(snapshot.get("gauges", {})).items():  # type: ignore[arg-type]
+            self.gauge(name).set(float(value))
+        for name, state in dict(snapshot.get("histograms", {})).items():  # type: ignore[arg-type]
+            incoming_bounds = tuple(float(b) for b in state["bounds"])
+            histogram = self.histogram(name, incoming_bounds)
+            for index, bucket_count in enumerate(state["bucket_counts"]):
+                histogram.bucket_counts[index] += int(bucket_count)
+            histogram.overflow += int(state["overflow"])
+            histogram.count += int(state["count"])
+            histogram.sum += float(state["sum"])
+            if state["min"] is not None:
+                histogram.min = min(histogram.min, float(state["min"]))
+            if state["max"] is not None:
+                histogram.max = max(histogram.max, float(state["max"]))
+
+    def reset(self) -> None:
+        """Drop every instrument (names and values)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Same API, records nothing: the overhead-guard baseline.
+
+    Every accessor returns a shared do-nothing instrument, so call
+    sites pay only the method dispatch — the closest honest "zero" an
+    instrumented code path can be compared against.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null", (1.0,))
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str, bounds: Sequence[float] | None = None) -> Histogram:
+        return self._null_histogram
+
+    def snapshot(self) -> dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        pass

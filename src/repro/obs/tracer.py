@@ -1,0 +1,197 @@
+"""Span-based tracing with explicit clocks.
+
+A :class:`Span` is one timed, named region of work with optional
+key/value arguments and child spans; a :class:`Tracer` maintains the
+ambient span stack and collects completed root spans into a forest that
+exports to Chrome trace format (see :mod:`repro.obs.export`).
+
+Two properties matter more than features:
+
+* **Explicit clocks** — a tracer never reads time directly; it asks its
+  injected :class:`~repro.obs.clock.Clock`.  With a
+  :class:`~repro.obs.clock.ManualClock` the whole span tree (names,
+  nesting, begin/end times, durations) is a deterministic function of
+  the code path, which is what the determinism suite asserts.
+* **Timing without retention** — a tracer built with ``keep=False``
+  (the ambient default) still times every span, so call sites can use
+  ``span.stop()`` as their single source of wall-time, but it builds no
+  tree and holds no references.  Enabling tracing is therefore purely
+  additive: the timed values do not change, they just get recorded.
+
+Worker processes trace into their own tracer and ship
+:meth:`Tracer.export_spans` payloads (plain dicts) back to the parent,
+which grafts them into its tree via :meth:`Tracer.attach` — rebasing
+worker-local clock origins so the merged trace stays viewable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.obs.clock import Clock, SystemClock
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region; usable as a context manager.
+
+    Entering starts the clock and pushes the span on its tracer's
+    stack; exiting (or an explicit, idempotent :meth:`stop`) ends it
+    and files it under its parent.  ``duration`` is valid after stop.
+    """
+
+    __slots__ = ("name", "args", "begin", "end", "tid", "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
+        self.name = name
+        self.args = args
+        self.begin = 0.0
+        self.end: float | None = None
+        self.tid: str | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        self.begin = self._tracer.clock.now()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def stop(self) -> float:
+        """End the span (first call wins) and return its duration."""
+        if self.end is None:
+            self.end = self._tracer.clock.now()
+            self._tracer._pop(self)
+        return self.end - self.begin
+
+    @property
+    def duration(self) -> float:
+        """Seconds between begin and end (0 while still running)."""
+        return 0.0 if self.end is None else self.end - self.begin
+
+    def set(self, **args: Any) -> None:
+        """Attach/overwrite argument values after the span started."""
+        self.args.update(args)
+
+    # -- transport ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (picklable/JSON-able) including children."""
+        return {
+            "name": self.name,
+            "begin": self.begin,
+            "end": self.end if self.end is not None else self.begin,
+            "args": dict(self.args),
+            "tid": self.tid,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, tracer: "Tracer", payload: Mapping[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        span = cls(tracer, str(payload["name"]), dict(payload.get("args", {})))
+        span.begin = float(payload["begin"])
+        span.end = float(payload["end"])
+        span.tid = payload.get("tid")
+        span.children = [cls.from_dict(tracer, child) for child in payload.get("children", [])]
+        return span
+
+    def _shift(self, offset: float) -> None:
+        self.begin += offset
+        if self.end is not None:
+            self.end += offset
+        for child in self.children:
+            child._shift(offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f} ms" if self.end is not None else "running"
+        return f"Span({self.name!r}, {state}, {len(self.children)} children)"
+
+
+class Tracer:
+    """Span factory, ambient stack, and completed-span forest.
+
+    Parameters
+    ----------
+    clock:
+        Time source for every span (default: the system clock).
+    keep:
+        When ``False``, spans are timed but never retained — the cheap
+        always-on mode instrumented code runs under by default.
+    """
+
+    def __init__(self, clock: Clock | None = None, *, keep: bool = True) -> None:
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.keep = keep
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **args: Any) -> Span:
+        """A new span; use as ``with tracer.span("name", k=v) as sp:``."""
+        return Span(self, name, args)
+
+    # -- stack maintenance (called by Span) --------------------------------
+
+    def _push(self, span: Span) -> None:
+        if self.keep:
+            self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if not self.keep:
+            return
+        # Tolerate out-of-order stops (a child outliving its parent's
+        # ``with`` block): unwind to the span being closed.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._file(span)
+
+    def _file(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- merging -----------------------------------------------------------
+
+    def export_spans(self) -> list[dict[str, Any]]:
+        """The completed forest as plain dicts (for worker transport)."""
+        return [span.to_dict() for span in self.roots]
+
+    def attach(
+        self,
+        payload: Iterable[Mapping[str, Any]],
+        *,
+        tid: str | None = None,
+        at: float | None = None,
+    ) -> None:
+        """Graft foreign span trees (from :meth:`export_spans`) here.
+
+        Foreign spans carry their origin process's clock readings, which
+        are not comparable with ours; the whole payload is shifted so
+        its earliest ``begin`` lands at ``at`` (default: now).  ``tid``
+        tags every attached root (exported as a separate trace row).
+        Attached trees keep their internal structure and durations.
+        """
+        if not self.keep:
+            return
+        spans = [Span.from_dict(self, item) for item in payload]
+        if not spans:
+            return
+        base = at if at is not None else self.clock.now()
+        origin = min(span.begin for span in spans)
+        for span in spans:
+            span._shift(base - origin)
+            if tid is not None:
+                span.tid = tid
+            self._file(span)
+
+    def reset(self) -> None:
+        """Drop all completed and in-flight spans."""
+        self.roots.clear()
+        self._stack.clear()

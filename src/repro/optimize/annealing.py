@@ -20,10 +20,11 @@ O(affected events) instead of a full metric re-evaluation.
 from __future__ import annotations
 
 import math
-import time
+from dataclasses import replace
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import OptimizationError
 from repro.metrics.cost import Budget
@@ -61,9 +62,26 @@ def solve_annealing(
     if not 0.0 < cooling <= 1.0:
         raise OptimizationError(f"cooling must lie in (0, 1], got {cooling!r}")
     weights = weights or UtilityWeights()
+    with obs.span(
+        "optimize.annealing", monitors=len(model.monitors), iterations=iterations
+    ) as sp:
+        result = _anneal(model, budget, weights, iterations, initial_temperature, cooling, seed, sp)
+    obs.histogram("optimize.solve_seconds").observe(sp.duration)
+    return replace(result, solve_seconds=sp.duration)
+
+
+def _anneal(
+    model: SystemModel,
+    budget: Budget,
+    weights: UtilityWeights,
+    iterations: int,
+    initial_temperature: float,
+    cooling: float,
+    seed: int,
+    sp: obs.Span,
+) -> OptimizationResult:
     rng = np.random.default_rng(seed)
     monitor_ids = list(model.monitors)
-    started = time.perf_counter()
 
     if not monitor_ids:
         empty = Deployment.empty(model)
@@ -71,7 +89,7 @@ def solve_annealing(
             deployment=empty,
             objective=0.0,
             utility=0.0,
-            solve_seconds=time.perf_counter() - started,
+            solve_seconds=0.0,  # overwritten by the caller from the span
             method="annealing",
             optimal=False,
             stats={"iterations": 0.0, "accepted": 0.0},
@@ -85,53 +103,60 @@ def solve_annealing(
     temperature = initial_temperature
     accepted = 0
 
-    for _ in range(iterations):
-        flip = monitor_ids[int(rng.integers(len(monitor_ids)))]
-        candidate = set(current)
-        if flip in candidate:
-            candidate.remove(flip)
-        else:
-            candidate.add(flip)
-            # Repair: evict random members until the candidate fits.
-            while not budget.allows(model.deployment_cost(candidate)) and len(candidate) > 1:
-                evictable = sorted(candidate - {flip})
-                if not evictable:
-                    break
-                candidate.remove(evictable[int(rng.integers(len(evictable)))])
-            if not budget.allows(model.deployment_cost(candidate)):
-                temperature *= cooling
-                continue  # the flipped monitor alone exceeds the budget
+    for iteration in range(iterations):
+        with obs.span("annealing.iteration", i=iteration):
+            flip = monitor_ids[int(rng.integers(len(monitor_ids)))]
+            candidate = set(current)
+            if flip in candidate:
+                candidate.remove(flip)
+            else:
+                candidate.add(flip)
+                # Repair: evict random members until the candidate fits.
+                while not budget.allows(model.deployment_cost(candidate)) and len(candidate) > 1:
+                    evictable = sorted(candidate - {flip})
+                    if not evictable:
+                        break
+                    candidate.remove(evictable[int(rng.integers(len(evictable)))])
+                if not budget.allows(model.deployment_cost(candidate)):
+                    temperature *= cooling
+                    continue  # the flipped monitor alone exceeds the budget
 
-        # Apply the move on the cursor; undo (in reverse) on rejection.
-        applied: list[tuple[str, str]] = []
-        for monitor_id in sorted(current - candidate):
-            cursor.remove(monitor_id)
-            applied.append(("add", monitor_id))
-        for monitor_id in sorted(candidate - current):
-            cursor.add(monitor_id)
-            applied.append(("remove", monitor_id))
-        candidate_utility = cursor.utility()
-        delta = candidate_utility - current_utility
-        if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-12)):
-            current = candidate
-            current_utility = candidate_utility
-            accepted += 1
-            if current_utility > best_utility:
-                best_utility = current_utility
-                best = frozenset(current)
-        else:
-            for action, monitor_id in reversed(applied):
-                if action == "add":
-                    cursor.add(monitor_id)
-                else:
-                    cursor.remove(monitor_id)
-        temperature *= cooling
+            # Apply the move on the cursor; undo (in reverse) on rejection.
+            applied: list[tuple[str, str]] = []
+            for monitor_id in sorted(current - candidate):
+                cursor.remove(monitor_id)
+                applied.append(("add", monitor_id))
+            for monitor_id in sorted(candidate - current):
+                cursor.add(monitor_id)
+                applied.append(("remove", monitor_id))
+            candidate_utility = cursor.utility()
+            delta = candidate_utility - current_utility
+            if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-12)):
+                current = candidate
+                current_utility = candidate_utility
+                accepted += 1
+                if current_utility > best_utility:
+                    best_utility = current_utility
+                    best = frozenset(current)
+            else:
+                for action, monitor_id in reversed(applied):
+                    if action == "add":
+                        cursor.add(monitor_id)
+                    else:
+                        cursor.remove(monitor_id)
+            temperature *= cooling
+
+    ops = cursor.drain_op_counts()
+    obs.counter("engine.cursor_peeks").inc(ops["peek"])
+    obs.counter("engine.cursor_adds").inc(ops["add"])
+    obs.counter("engine.cursor_removes").inc(ops["remove"])
+    sp.set(accepted=accepted)
 
     return OptimizationResult(
         deployment=Deployment.of(model, best),
         objective=best_utility,
         utility=best_utility,
-        solve_seconds=time.perf_counter() - started,
+        solve_seconds=0.0,  # overwritten by the caller from the span
         method="annealing",
         optimal=False,
         stats={"iterations": float(iterations), "accepted": float(accepted)},

@@ -17,9 +17,9 @@ like", with proof of completeness.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import OptimizationError
 from repro.metrics.utility import UtilityWeights
@@ -119,32 +119,34 @@ def exact_frontier(
     points: list[FrontierPoint] = []
     cost_cap: float | None = None  # start unconstrained: the max-utility end
 
-    for _ in range(max_points):
-        started = time.perf_counter()
-        outcome = _solve_at_cost_cap(model, weights, cost_cap, backend)
-        if outcome is None:
-            break  # cap below zero spend with forced cost: nothing feasible
-        _, achieved = outcome
-        if points and achieved >= points[-1].utility - 1e-9:
-            # No strict utility decrease despite the tighter cap: the
-            # remaining cost steps are inside solver tolerance.  Stop
-            # rather than record a duplicate/dominated point.
-            break
-        # Trim slack spend: cheapest deployment at this utility level.
-        trimmed = _cheapest_at_utility(model, weights, achieved - 1e-9, backend)
-        trimmed_cost = model.deployment_cost(trimmed).scalarize()
-        elapsed = time.perf_counter() - started
-        points.append(
-            FrontierPoint(
-                scalar_cost=trimmed_cost,
-                utility=cached_utility(model, trimmed, weights),
-                deployment=Deployment.of(model, trimmed),
-                solve_seconds=elapsed,
+    with obs.span("optimize.exact_frontier", backend=backend) as frontier_span:
+        for index in range(max_points):
+            with obs.span("frontier.point", i=index) as sp:
+                outcome = _solve_at_cost_cap(model, weights, cost_cap, backend)
+                if outcome is None:
+                    break  # cap below zero spend with forced cost: nothing feasible
+                _, achieved = outcome
+                if points and achieved >= points[-1].utility - 1e-9:
+                    # No strict utility decrease despite the tighter cap:
+                    # the remaining cost steps are inside solver
+                    # tolerance.  Stop rather than record a duplicate/
+                    # dominated point.
+                    break
+                # Trim slack spend: cheapest deployment at this utility level.
+                trimmed = _cheapest_at_utility(model, weights, achieved - 1e-9, backend)
+                trimmed_cost = model.deployment_cost(trimmed).scalarize()
+            points.append(
+                FrontierPoint(
+                    scalar_cost=trimmed_cost,
+                    utility=cached_utility(model, trimmed, weights),
+                    deployment=Deployment.of(model, trimmed),
+                    solve_seconds=sp.stop(),
+                )
             )
-        )
-        if trimmed_cost <= 0.0 or achieved <= 0.0:
-            break
-        cost_cap = trimmed_cost - epsilon
+            if trimmed_cost <= 0.0 or achieved <= 0.0:
+                break
+            cost_cap = trimmed_cost - epsilon
+        frontier_span.set(points=len(points))
 
     points.reverse()  # cheapest first
     return points

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from collections.abc import Iterable
+from dataclasses import replace
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights, utility
@@ -51,8 +52,22 @@ def solve_greedy(
     pick the same monitors (regression-tested on the case study).
     """
     weights = weights or UtilityWeights()
-    started = time.perf_counter()
+    with obs.span(
+        "optimize.greedy", monitors=len(model.monitors), incremental=incremental
+    ) as sp:
+        result = _greedy(model, budget, weights, forced_monitors, incremental, sp)
+    obs.histogram("optimize.solve_seconds").observe(sp.duration)
+    return replace(result, solve_seconds=sp.duration)
 
+
+def _greedy(
+    model: SystemModel,
+    budget: Budget,
+    weights: UtilityWeights,
+    forced_monitors: Iterable[str],
+    incremental: bool,
+    sp: obs.Span,
+) -> OptimizationResult:
     selected: set[str] = set(forced_monitors)
     spend = model.deployment_cost(selected)
     order: list[str] = []
@@ -114,18 +129,27 @@ def solve_greedy(
             continue
         if -neg_ratio <= 0:
             break  # best candidate adds nothing; so does everything below it
-        selected.add(monitor_id)
-        order.append(monitor_id)
-        spend = spend + model.monitor_cost(monitor_id)
-        current_utility = commit(monitor_id)
+        with obs.span("greedy.select", monitor=monitor_id):
+            selected.add(monitor_id)
+            order.append(monitor_id)
+            spend = spend + model.monitor_cost(monitor_id)
+            current_utility = commit(monitor_id)
         round_number += 1
+
+    if incremental:
+        ops = cursor.drain_op_counts()
+        obs.counter("engine.cursor_peeks").inc(ops["peek"])
+        obs.counter("engine.cursor_adds").inc(ops["add"])
+        obs.counter("engine.cursor_removes").inc(ops["remove"])
+    obs.counter("optimize.evaluations").inc(evaluations)
+    sp.set(selected=len(order), evaluations=evaluations)
 
     deployment = Deployment.of(model, selected)
     return OptimizationResult(
         deployment=deployment,
         objective=current_utility,
         utility=current_utility,
-        solve_seconds=time.perf_counter() - started,
+        solve_seconds=0.0,  # overwritten by the caller from the span
         method="greedy",
         optimal=False,
         stats={"evaluations": float(evaluations)},

@@ -10,8 +10,9 @@ to show what exactness buys on the cost side.
 
 from __future__ import annotations
 
-import time
+from dataclasses import replace
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import InfeasibleError, OptimizationError
 from repro.metrics.utility import UtilityWeights, utility
@@ -35,8 +36,17 @@ def solve_greedy_cover(
     if not 0.0 <= min_utility <= 1.0:
         raise OptimizationError(f"min_utility must lie in [0, 1], got {min_utility!r}")
     weights = weights or UtilityWeights()
-    started = time.perf_counter()
+    with obs.span(
+        "optimize.greedy_cover", monitors=len(model.monitors), min_utility=min_utility
+    ) as sp:
+        result = _cover(model, min_utility, weights, sp)
+    obs.histogram("optimize.solve_seconds").observe(sp.duration)
+    return replace(result, solve_seconds=sp.duration)
 
+
+def _cover(
+    model: SystemModel, min_utility: float, weights: UtilityWeights, sp: obs.Span
+) -> OptimizationResult:
     ceiling = utility(model, model.monitors, weights)
     if min_utility > ceiling + 1e-12:
         raise InfeasibleError(
@@ -85,12 +95,14 @@ def solve_greedy_cover(
             selected = without
     current = utility(model, selected, weights)
 
+    obs.counter("optimize.evaluations").inc(evaluations)
+    sp.set(selected=len(selected), evaluations=evaluations)
     deployment = Deployment.of(model, selected)
     return OptimizationResult(
         deployment=deployment,
         objective=deployment.cost().scalarize(),
         utility=current,
-        solve_seconds=time.perf_counter() - started,
+        solve_seconds=0.0,  # overwritten by the caller from the span
         method="greedy-cover",
         optimal=False,
         stats={"evaluations": float(evaluations)},

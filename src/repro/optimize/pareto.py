@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
@@ -88,11 +89,12 @@ def budget_sweep(
     process pool; the returned points match a serial run exactly.
     """
     weights = weights or UtilityWeights()
-    points = parallel_map(
-        _budget_sweep_job,
-        [(model, fraction, weights, backend, time_limit) for fraction in fractions],
-        workers=workers,
-    )
+    with obs.span("optimize.budget_sweep", points=len(fractions), backend=backend):
+        points = parallel_map(
+            _budget_sweep_job,
+            [(model, fraction, weights, backend, time_limit) for fraction in fractions],
+            workers=workers,
+        )
     return [_rebind(point, model) for point in points]
 
 
@@ -124,11 +126,12 @@ def heuristic_sweep(
     be module-level callables to actually parallelize; closures fall
     back to a serial run."""
     weights = weights or UtilityWeights()
-    points = parallel_map(
-        _heuristic_sweep_job,
-        [(model, fraction, solver, weights) for fraction in fractions],
-        workers=workers,
-    )
+    with obs.span("optimize.heuristic_sweep", points=len(fractions)):
+        points = parallel_map(
+            _heuristic_sweep_job,
+            [(model, fraction, solver, weights) for fraction in fractions],
+            workers=workers,
+        )
     return [_rebind(point, model) for point in points]
 
 
@@ -144,14 +147,16 @@ def pareto_frontier(
     frontiers over sweep outputs reuse the sweeps' evaluations.
     """
     weights = weights or UtilityWeights()
-    evaluated = [
-        (
-            d.cost().scalarize(),
-            cached_utility(d.model, d.monitor_ids, weights),
-            d,
-        )
-        for d in deployments
-    ]
+    with obs.span("optimize.pareto_frontier") as sp:
+        evaluated = [
+            (
+                d.cost().scalarize(),
+                cached_utility(d.model, d.monitor_ids, weights),
+                d,
+            )
+            for d in deployments
+        ]
+        sp.set(candidates=len(evaluated))
     evaluated.sort(key=lambda item: (item[0], -item[1]))
     frontier: list[tuple[float, float, Deployment]] = []
     best_utility = float("-inf")

@@ -16,9 +16,9 @@ re-evaluated with the reference metrics.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Mapping
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import InfeasibleError, OptimizationError
 from repro.metrics.cost import Budget
@@ -94,10 +94,12 @@ class MaxUtilityProblem:
             monitors exceeding it — the empty deployment is otherwise
             always feasible).
         """
-        started = time.perf_counter()
-        milp, builder = self.build()
-        solution = solve(milp, backend, time_limit=time_limit)
-        elapsed = time.perf_counter() - started
+        with obs.span("optimize.max_utility", backend=backend) as sp:
+            with obs.span("optimize.formulate"):
+                milp, builder = self.build()
+            sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
+            solution = solve(milp, backend, time_limit=time_limit)
+        obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError(
                 f"no deployment fits the budget {dict(self.budget.limits)!r} "
@@ -109,7 +111,7 @@ class MaxUtilityProblem:
             deployment=deployment,
             objective=solution.objective,
             utility=utility(self.model, selected, self.weights),
-            solve_seconds=elapsed,
+            solve_seconds=sp.duration,
             method=f"ilp/{solution.backend}",
             optimal=solution.is_optimal,
             stats={
@@ -247,10 +249,12 @@ class MinCostProblem:
             If the requirements are unattainable with the model's
             monitors (e.g. a required step no monitor can evidence).
         """
-        started = time.perf_counter()
-        milp, builder = self.build()
-        solution = solve(milp, backend, time_limit=time_limit)
-        elapsed = time.perf_counter() - started
+        with obs.span("optimize.min_cost", backend=backend) as sp:
+            with obs.span("optimize.formulate"):
+                milp, builder = self.build()
+            sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
+            solution = solve(milp, backend, time_limit=time_limit)
+        obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError(
                 "security requirements are unattainable with the available monitors "
@@ -263,7 +267,7 @@ class MinCostProblem:
             deployment=deployment,
             objective=solution.objective,
             utility=utility(self.model, selected, self.weights),
-            solve_seconds=elapsed,
+            solve_seconds=sp.duration,
             method=f"ilp/{solution.backend}",
             optimal=solution.is_optimal,
             stats={

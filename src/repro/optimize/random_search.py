@@ -13,10 +13,9 @@ pass per sample instead of a per-event dict walk.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import OptimizationError
 from repro.metrics.cost import Budget
@@ -44,32 +43,34 @@ def solve_random(
     weights = weights or UtilityWeights()
     rng = np.random.default_rng(seed)
     monitor_ids = list(model.monitors)
-    started = time.perf_counter()
 
-    engine = engine_for(model)
-    best_ids: frozenset[str] = frozenset()
-    best_utility = engine.utility(best_ids, weights)
+    with obs.span("optimize.random", monitors=len(monitor_ids), samples=samples) as sp:
+        engine = engine_for(model)
+        best_ids: frozenset[str] = frozenset()
+        best_utility = engine.utility(best_ids, weights)
 
-    for _ in range(samples):
-        order = rng.permutation(len(monitor_ids))
-        selected: set[str] = set()
-        spend = model.deployment_cost(())
-        for index in order:
-            monitor_id = monitor_ids[index]
-            candidate_spend = spend + model.monitor_cost(monitor_id)
-            if budget.allows(candidate_spend):
-                selected.add(monitor_id)
-                spend = candidate_spend
-        candidate_utility = engine.utility(selected, weights)
-        if candidate_utility > best_utility:
-            best_utility = candidate_utility
-            best_ids = frozenset(selected)
+        for sample in range(samples):
+            with obs.span("random.sample", i=sample):
+                order = rng.permutation(len(monitor_ids))
+                selected: set[str] = set()
+                spend = model.deployment_cost(())
+                for index in order:
+                    monitor_id = monitor_ids[index]
+                    candidate_spend = spend + model.monitor_cost(monitor_id)
+                    if budget.allows(candidate_spend):
+                        selected.add(monitor_id)
+                        spend = candidate_spend
+                candidate_utility = engine.utility(selected, weights)
+                if candidate_utility > best_utility:
+                    best_utility = candidate_utility
+                    best_ids = frozenset(selected)
 
+    obs.histogram("optimize.solve_seconds").observe(sp.duration)
     return OptimizationResult(
         deployment=Deployment.of(model, best_ids),
         objective=best_utility,
         utility=best_utility,
-        solve_seconds=time.perf_counter() - started,
+        solve_seconds=sp.duration,
         method="random",
         optimal=False,
         stats={"samples": float(samples)},

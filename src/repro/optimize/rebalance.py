@@ -21,9 +21,9 @@ the ``removal_penalty = inf`` limit, available directly through
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import InfeasibleError, OptimizationError
 from repro.metrics.cost import Budget
@@ -95,10 +95,12 @@ class RebalanceProblem:
 
     def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
         """Solve; ``stats`` reports the change set sizes and penalties paid."""
-        started = time.perf_counter()
-        milp, builder = self.build()
-        solution = solve(milp, backend, time_limit=time_limit)
-        elapsed = time.perf_counter() - started
+        with obs.span("optimize.rebalance", current=len(self.current)) as sp:
+            with obs.span("optimize.formulate"):
+                milp, builder = self.build()
+            sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
+            solution = solve(milp, backend, time_limit=time_limit)
+        obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError("no deployment fits the budget")
         selected = builder.selected_ids(solution.values)
@@ -109,7 +111,7 @@ class RebalanceProblem:
             deployment=Deployment.of(self.model, selected),
             objective=solution.objective,
             utility=achieved,
-            solve_seconds=elapsed,
+            solve_seconds=sp.duration,
             method=f"rebalance-ilp/{solution.backend}",
             optimal=solution.is_optimal,
             stats={

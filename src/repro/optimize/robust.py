@@ -24,9 +24,9 @@ so they fan out over :func:`~repro.runtime.parallel.parallel_map`.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping, Sequence
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import InfeasibleError, OptimizationError
 from repro.metrics.cost import Budget
@@ -157,21 +157,21 @@ def _scenario_optimum_job(
     task: tuple[SystemModel, Budget, ImportanceScenario, UtilityWeights, str, float | None],
 ) -> OptimizationResult:
     model, budget, scenario, weights, backend, time_limit = task
-    started = time.perf_counter()
-    milp = MilpModel(f"scenario[{model.name}/{scenario.name}]", ObjectiveSense.MAXIMIZE)
-    builder = FormulationBuilder(milp, model)
-    milp.set_objective(_scenario_utility_expression(builder, scenario, weights))
-    builder.add_budget_constraints(budget)
-    solution = solve(milp, backend, time_limit=time_limit)
-    if solution.status is SolutionStatus.INFEASIBLE:
-        raise InfeasibleError(f"no deployment fits the budget in scenario {scenario.name!r}")
-    selected = builder.selected_ids(solution.values)
-    achieved = scenario_utility(model, selected, scenario, weights)
+    with obs.span("optimize.scenario_optimum", scenario=scenario.name) as sp:
+        milp = MilpModel(f"scenario[{model.name}/{scenario.name}]", ObjectiveSense.MAXIMIZE)
+        builder = FormulationBuilder(milp, model)
+        milp.set_objective(_scenario_utility_expression(builder, scenario, weights))
+        builder.add_budget_constraints(budget)
+        solution = solve(milp, backend, time_limit=time_limit)
+        if solution.status is SolutionStatus.INFEASIBLE:
+            raise InfeasibleError(f"no deployment fits the budget in scenario {scenario.name!r}")
+        selected = builder.selected_ids(solution.values)
+        achieved = scenario_utility(model, selected, scenario, weights)
     return OptimizationResult(
         deployment=Deployment.of(model, selected),
         objective=solution.objective,
         utility=achieved,
-        solve_seconds=time.perf_counter() - started,
+        solve_seconds=sp.duration,
         method=f"scenario-ilp/{solution.backend}",
         optimal=solution.is_optimal,
         stats={"scenario_utility": achieved},
@@ -271,10 +271,12 @@ class RobustMaxUtilityProblem:
 
     def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
         """Solve and report per-scenario utilities in ``stats``."""
-        started = time.perf_counter()
-        milp, builder = self.build()
-        solution = solve(milp, backend, time_limit=time_limit)
-        elapsed = time.perf_counter() - started
+        with obs.span("optimize.robust", scenarios=len(self.scenarios)) as sp:
+            with obs.span("optimize.formulate"):
+                milp, builder = self.build()
+            sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
+            solution = solve(milp, backend, time_limit=time_limit)
+        obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError("no deployment fits the budget")
         selected = builder.selected_ids(solution.values)
@@ -287,7 +289,7 @@ class RobustMaxUtilityProblem:
             deployment=Deployment.of(self.model, selected),
             objective=solution.objective,
             utility=worst,
-            solve_seconds=elapsed,
+            solve_seconds=sp.duration,
             method=f"robust-ilp/{solution.backend}",
             optimal=solution.is_optimal,
             stats={

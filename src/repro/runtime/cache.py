@@ -20,6 +20,7 @@ import weakref
 from collections import OrderedDict
 from collections.abc import Callable, Hashable, Iterable
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import MetricError
 from repro.metrics.utility import UtilityWeights
@@ -61,9 +62,11 @@ class DeploymentCache:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
+            obs.counter("cache.misses").inc()
             return default
         self._entries.move_to_end(key)
         self.hits += 1
+        obs.counter("cache.hits").inc()
         return value
 
     def put(self, key: Hashable, value: object) -> None:
@@ -71,9 +74,11 @@ class DeploymentCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
+        obs.counter("cache.puts").inc()
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            obs.counter("cache.evictions").inc()
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], object]) -> object:
         """Cached value for ``key``, computing and storing it on a miss."""
@@ -130,10 +135,13 @@ def cached_breakdown(
     weights = weights or UtilityWeights()
     deployed = frozenset(deployed)
     cache = cache if cache is not None else cache_for(model)
-    result = cache.get_or_compute(
-        evaluation_key(deployed, weights),
-        lambda: engine_for(model).breakdown(deployed, weights),
-    )
+    with obs.span("cache.lookup", monitors=len(deployed)) as sp:
+        hits_before = cache.hits
+        result = cache.get_or_compute(
+            evaluation_key(deployed, weights),
+            lambda: engine_for(model).breakdown(deployed, weights),
+        )
+        sp.set(hit=cache.hits > hits_before)
     return dict(result)  # type: ignore[arg-type]
 
 

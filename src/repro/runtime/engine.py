@@ -36,6 +36,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import UnknownIdError
 from repro.metrics.redundancy import DEFAULT_REDUNDANCY_CAP
@@ -65,10 +66,15 @@ class EvaluationEngine:
         self.event_ids: tuple[str, ...] = tuple(sorted(model.events))
         self._midx = {m: i for i, m in enumerate(self.monitor_ids)}
         self._eidx = {e: i for i, e in enumerate(self.event_ids)}
-        self._build_field_universe(model)
-        self._build_csr(model)
-        self._build_monitor_views(model)
-        self._build_alpha(model)
+        with obs.span(
+            "engine.build", monitors=len(self.monitor_ids), events=len(self.event_ids)
+        ) as sp:
+            self._build_field_universe(model)
+            self._build_csr(model)
+            self._build_monitor_views(model)
+            self._build_alpha(model)
+        obs.counter("engine.builds").inc()
+        obs.histogram("engine.build_seconds").observe(sp.duration)
 
     # ------------------------------------------------------------------
     # construction
@@ -179,6 +185,11 @@ class EvaluationEngine:
         Each value matches its reference counterpart in
         :mod:`repro.metrics` up to aggregation round-off.
         """
+        obs.counter("engine.full_evaluations").inc()
+        with obs.span("engine.evaluate", events=len(self.event_ids)):
+            return self._components(deployed, cap)
+
+    def _components(self, deployed: Iterable[str], cap: int) -> dict[str, float]:
         mask = self._deployed_mask(deployed)
         n_events = len(self.event_ids)
         nnz = self._prov_monitor.size
@@ -282,6 +293,12 @@ class DeploymentCursor:
         self._s_cov = 0.0
         self._s_red = 0.0
         self._s_rich = 0.0
+        # Op tallies stay plain ints: cursor probes are the innermost
+        # loop of greedy, too hot for per-event registry lookups.  The
+        # solver drains them into the registry once per solve.
+        self.ops_peek = 0
+        self.ops_add = 0
+        self.ops_remove = 0
         for monitor_id in sorted(set(initial)):
             self.add(monitor_id)
 
@@ -341,8 +358,15 @@ class DeploymentCursor:
         d_rich = float(alpha @ ((new_pop - self._pop[events]) * engine._inv_capturable[events]))
         return events, new_cov, new_cnt, new_union, d_cov, d_red, d_rich, new_pop
 
+    def drain_op_counts(self) -> dict[str, int]:
+        """Return and reset the peek/add/remove tallies (registry flush)."""
+        counts = {"peek": self.ops_peek, "add": self.ops_add, "remove": self.ops_remove}
+        self.ops_peek = self.ops_add = self.ops_remove = 0
+        return counts
+
     def peek_add(self, monitor_id: str) -> float:
         """Utility if ``monitor_id`` were added, without committing."""
+        self.ops_peek += 1
         index = self._index_of(monitor_id)
         if self._deployed[index]:
             return self.utility()
@@ -356,6 +380,7 @@ class DeploymentCursor:
 
     def add(self, monitor_id: str) -> None:
         """Deploy one more monitor (error if already deployed)."""
+        self.ops_add += 1
         index = self._index_of(monitor_id)
         if self._deployed[index]:
             raise ValueError(f"monitor {monitor_id!r} is already deployed")
@@ -371,6 +396,7 @@ class DeploymentCursor:
 
     def remove(self, monitor_id: str) -> None:
         """Withdraw a deployed monitor (error if not deployed)."""
+        self.ops_remove += 1
         index = self._index_of(monitor_id)
         if not self._deployed[index]:
             raise ValueError(f"monitor {monitor_id!r} is not deployed")

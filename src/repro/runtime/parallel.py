@@ -30,6 +30,8 @@ from typing import TypeVar
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["WORKERS_ENV", "parallel_map", "resolve_workers", "spawn_generators", "spawn_seeds"]
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -69,6 +71,32 @@ def spawn_generators(seed: int, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
 
 
+class _ObservedJob:
+    """One job run under its own capture, shipping observability home.
+
+    Worker processes cannot write to the parent's ambient instruments,
+    so when the caller is tracing each job runs inside a fresh
+    :func:`repro.obs.capture` and returns ``(result, spans, metrics)``;
+    the parent grafts the spans into its trace as a ``task-<i>`` row
+    and folds the metrics snapshot into its registry.  The wrapper is a
+    module-level class so instances pickle into the pool whenever the
+    wrapped ``fn`` does.  The capture inherits the ambient clock of the
+    *executing* process: in-process parity runs keep an injected test
+    clock; pool workers read their own system clock (the parent rebases
+    those foreign timestamps on attach).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_T], _R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: _T) -> tuple[_R, list[dict], dict]:
+        with obs.capture(clock=obs.tracer().clock) as cap:
+            result = self.fn(item)
+        return result, cap.tracer.export_spans(), cap.registry.snapshot()
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
@@ -82,17 +110,42 @@ def parallel_map(
     on any pool failure (fork unavailable, unpicklable payloads, a
     worker dying) the whole map is re-run serially, so side effects
     could be applied twice.  Results always come back in input order.
+
+    When the ambient tracer is retaining spans, every job — pooled or
+    serial, so the trace shape is the same either way — is wrapped in
+    :class:`_ObservedJob`; its spans land on per-task rows of the
+    parent trace and its metrics merge into the parent registry, both
+    in input order.
     """
     materialized: Sequence[_T] = list(items)
     count = resolve_workers(workers)
-    if count <= 1 or len(materialized) <= 1:
-        return [fn(item) for item in materialized]
-    try:
-        with ProcessPoolExecutor(max_workers=min(count, len(materialized))) as pool:
-            return list(pool.map(fn, materialized, chunksize=max(1, chunksize)))
-    except Exception:
-        # Pool setup or transport failed (pickling, OS limits, dead
-        # worker).  The jobs themselves are deterministic, so rerunning
-        # serially yields the result the parallel path would have — and
-        # any error genuinely raised by ``fn`` surfaces unchanged here.
-        return [fn(item) for item in materialized]
+    observed = obs.tracer().keep
+    job: Callable = _ObservedJob(fn) if observed else fn
+    with obs.span("parallel.map", items=len(materialized), workers=count):
+        obs.counter("parallel.maps").inc()
+        obs.counter("parallel.tasks").inc(len(materialized))
+        if count <= 1 or len(materialized) <= 1:
+            raw = [job(item) for item in materialized]
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=min(count, len(materialized))) as pool:
+                    raw = list(pool.map(job, materialized, chunksize=max(1, chunksize)))
+            except Exception:
+                # Pool setup or transport failed (pickling, OS limits,
+                # a dead worker).  The jobs themselves are
+                # deterministic, so rerunning serially yields the
+                # result the parallel path would have — and any error
+                # genuinely raised by ``fn`` surfaces unchanged here.
+                raw = [job(item) for item in materialized]
+        if not observed:
+            return raw
+        # Graft each task's observability while the parallel.map span
+        # is still open, so task rows nest under it in the trace.
+        tracer = obs.tracer()
+        registry = obs.registry()
+        results: list[_R] = []
+        for index, (result, spans, snapshot) in enumerate(raw):
+            tracer.attach(spans, tid=f"task-{index}")
+            registry.merge(snapshot)
+            results.append(result)
+    return results

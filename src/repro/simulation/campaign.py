@@ -28,6 +28,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.errors import SimulationError
 from repro.optimize.deployment import Deployment
@@ -149,6 +150,46 @@ def run_campaign(
             f"monitor_failure_rate must lie in [0, 1], got {monitor_failure_rate!r}"
         )
 
+    with obs.span(
+        "simulation.campaign", seed=seed, attacks=len(model.attacks), repetitions=repetitions
+    ) as sp:
+        result = _run(
+            model,
+            deployment,
+            repetitions,
+            seed,
+            threshold,
+            mean_step_gap,
+            mean_observation_latency,
+            monitor_failure_rate,
+            keep_observations,
+            sequenced,
+        )
+        sp.set(runs=len(result.runs), detections=len(result.detections))
+    obs.counter("simulation.campaigns").inc()
+    obs.counter("simulation.runs").inc(len(result.runs))
+    obs.counter("simulation.detections").inc(len(result.detections))
+    latency_histogram = obs.histogram(
+        "simulation.detection_latency_seconds", obs.DETECTION_LATENCY_BUCKETS
+    )
+    for run in result.runs:
+        if run.detection_time is not None:
+            latency_histogram.observe(run.detection_time)
+    return result
+
+
+def _run(
+    model: SystemModel,
+    deployment: Deployment,
+    repetitions: int,
+    seed: int,
+    threshold: float,
+    mean_step_gap: float,
+    mean_observation_latency: float,
+    monitor_failure_rate: float,
+    keep_observations: bool,
+    sequenced: bool,
+) -> CampaignResult:
     rng = np.random.default_rng(seed)
     simulator = Simulator()
     observer = ObservationModel(

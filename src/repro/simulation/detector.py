@@ -10,6 +10,7 @@ is emitted — once per run.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.model import SystemModel
 from repro.simulation.records import Detection, Observation
 
@@ -57,6 +58,10 @@ class EvidenceAccumulationDetector:
                 contributing_monitors=frozenset(self._contributors[key]),
             )
             self._detections[key] = detection
+            # Emission only — per-observation registry traffic would
+            # dominate this otherwise dict-bound hot path.
+            obs.counter("detector.detections").inc()
+            obs.histogram("detector.score", obs.SCORE_BUCKETS).observe(score)
             return detection
         return None
 

@@ -21,6 +21,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.errors import UnboundedError
 from repro.solver.lp import solve_lp
 from repro.solver.model import MilpModel, Solution, SolutionStatus
@@ -67,7 +68,20 @@ def solve_branch_and_bound(
         Relative optimality gap ``|bound - incumbent| / max(1, |incumbent|)``
         at which the incumbent is accepted as optimal.
     """
+    with obs.span("solver.branch_and_bound", model=model.name) as sp:
+        solution = _search(model, time_limit, max_nodes, gap, sp)
+    sp.set(nodes=solution.nodes_explored)
+    obs.counter("solver.solves").inc()
+    obs.counter("solver.nodes").inc(solution.nodes_explored)
+    obs.histogram("solver.solve_seconds").observe(sp.duration)
+    return solution
+
+
+def _search(
+    model: MilpModel, time_limit: float | None, max_nodes: int, gap: float, sp: obs.Span
+) -> Solution:
     form = model.compile()
+    sp.set(variables=int(form.c.size), rows=int(len(form.b_ub) + len(form.b_eq)))
     names = [v.name for v in model.variables]
     integral_indices = np.flatnonzero(form.integrality)
     deadline = None if time_limit is None else time.monotonic() + time_limit

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro import obs
 from repro.errors import SolverError, UnboundedError
 from repro.solver.model import MilpModel, Solution, SolutionStatus
 
@@ -23,7 +24,16 @@ def solve_scipy_milp(model: MilpModel, *, time_limit: float | None = None) -> So
     ``time_limit`` maps to HiGHS's wall-clock limit; when it triggers,
     the best incumbent (if any) is returned with status ``FEASIBLE``.
     """
+    with obs.span("solver.scipy_milp", model=model.name) as sp:
+        solution = _solve(model, time_limit, sp)
+    obs.counter("solver.solves").inc()
+    obs.histogram("solver.solve_seconds").observe(sp.duration)
+    return solution
+
+
+def _solve(model: MilpModel, time_limit: float | None, sp: obs.Span) -> Solution:
     form = model.compile()
+    sp.set(variables=int(form.c.size), rows=int(len(form.b_ub) + len(form.b_eq)))
     constraints = []
     if form.A_ub.size:
         constraints.append(LinearConstraint(form.A_ub, -np.inf, form.b_ub))

@@ -1,0 +1,104 @@
+"""Property tests for metric invariants over seeded random models.
+
+The reference metrics promise three structural properties that every
+downstream layer (engine deltas, solver objectives, CLI reports) leans
+on: all components live in ``[0, 1]``, utility is monotone
+non-decreasing under monitor addition, and redundancy degrades
+truthfully on singleton deployments — one monitor can evidence steps
+(``count = 1``) but can never corroborate, so its redundancy is exactly
+its cap-1 support scaled by ``1 / cap``, bounded by ``1 / cap``.
+
+Models reuse the seeded synthetic generator, sweeping 50 structurally
+different coverage relations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.scaling import synthetic_model
+from repro.metrics.coverage import overall_coverage
+from repro.metrics.redundancy import DEFAULT_REDUNDANCY_CAP, overall_redundancy
+from repro.metrics.richness import overall_richness
+from repro.metrics.utility import UtilityWeights, utility
+
+MODEL_SEEDS = range(50)
+
+WEIGHT_CHOICES = [
+    UtilityWeights(),
+    UtilityWeights(coverage=0.4, redundancy=0.4, richness=0.2, redundancy_cap=3),
+    UtilityWeights(coverage=1.0, redundancy=0.0, richness=0.0),
+]
+
+
+def _small_model(seed: int):
+    return synthetic_model(
+        assets=5,
+        data_types=6,
+        monitor_types=4,
+        monitors=12,
+        attacks=8,
+        seed=seed,
+    )
+
+
+def _random_deployment(rng, monitor_ids):
+    size = int(rng.integers(0, len(monitor_ids) + 1))
+    return frozenset(rng.choice(monitor_ids, size=size, replace=False))
+
+
+@pytest.mark.parametrize("model_seed", MODEL_SEEDS)
+def test_components_bounded_in_unit_interval(model_seed):
+    """Coverage, redundancy, richness, and utility all live in [0, 1]."""
+    model = _small_model(model_seed)
+    monitor_ids = np.array(sorted(model.monitors))
+    rng = np.random.default_rng(4000 + model_seed)
+    weights = WEIGHT_CHOICES[model_seed % len(WEIGHT_CHOICES)]
+    for deployed in (
+        frozenset(),
+        frozenset(monitor_ids),
+        *(_random_deployment(rng, monitor_ids) for _ in range(4)),
+    ):
+        assert 0.0 <= overall_coverage(model, deployed) <= 1.0
+        assert 0.0 <= overall_redundancy(model, deployed) <= 1.0
+        assert 0.0 <= overall_richness(model, deployed) <= 1.0
+        assert 0.0 <= utility(model, deployed, weights) <= 1.0
+
+
+@pytest.mark.parametrize("model_seed", MODEL_SEEDS)
+def test_utility_monotone_under_monitor_addition(model_seed):
+    """Adding a monitor never decreases utility (or any component)."""
+    model = _small_model(model_seed)
+    monitor_ids = sorted(model.monitors)
+    rng = np.random.default_rng(5000 + model_seed)
+    weights = WEIGHT_CHOICES[model_seed % len(WEIGHT_CHOICES)]
+
+    deployed: set[str] = set()
+    previous_utility = utility(model, deployed, weights)
+    previous_coverage = overall_coverage(model, deployed)
+    for monitor_id in rng.permutation(monitor_ids):
+        deployed.add(str(monitor_id))
+        current_utility = utility(model, deployed, weights)
+        current_coverage = overall_coverage(model, deployed)
+        assert current_utility >= previous_utility - 1e-12
+        assert current_coverage >= previous_coverage - 1e-12
+        previous_utility, previous_coverage = current_utility, current_coverage
+
+
+@pytest.mark.parametrize("model_seed", MODEL_SEEDS)
+def test_singleton_redundancy_is_support_over_cap(model_seed):
+    """A lone monitor cannot corroborate: evidence counts stay <= 1.
+
+    Under the cap semantics that makes its redundancy exactly its cap-1
+    support divided by ``cap`` — bounded by ``1 / cap``, and zero only
+    when the monitor evidences nothing.  The empty deployment is the
+    true zero.
+    """
+    model = _small_model(model_seed)
+    cap = DEFAULT_REDUNDANCY_CAP
+    assert overall_redundancy(model, frozenset()) == 0.0
+    for monitor_id in sorted(model.monitors):
+        singleton = frozenset({monitor_id})
+        value = overall_redundancy(model, singleton, cap)
+        support = overall_redundancy(model, singleton, 1)
+        assert value <= 1.0 / cap + 1e-12
+        assert value == pytest.approx(support / cap, abs=1e-12)

@@ -1,0 +1,86 @@
+"""Unit tests for the Chrome-trace exporter and the combined file format."""
+
+import json
+
+from repro.obs import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    load_trace,
+    trace_payload,
+    write_trace,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(clock=ManualClock(start=100.0, autostep=1.0))
+    with tracer.span("root", items=2):
+        with tracer.span("child"):
+            pass
+    return tracer
+
+
+class TestChromeTraceEvents:
+    def test_complete_events_with_microsecond_rebase(self):
+        events = chrome_trace_events(_sample_tracer().roots)
+        assert [event["name"] for event in events] == ["root", "child"]
+        root, child = events
+        # Clock ticks: root.begin=100, child.begin=101, child.end=102,
+        # root.end=103; rebased so the earliest begin is ts=0, in µs.
+        assert (root["ts"], root["dur"]) == (0.0, 3e6)
+        assert (child["ts"], child["dur"]) == (1e6, 1e6)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 0
+
+    def test_args_survive_and_nonjson_values_stringify(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("s", count=3, ids=frozenset({"m1"})):
+            pass
+        (event,) = chrome_trace_events(tracer.roots)
+        assert event["args"]["count"] == 3
+        assert isinstance(event["args"]["ids"], str)
+
+    def test_tid_propagates_from_attached_roots_to_children(self):
+        parent = Tracer(clock=ManualClock(autostep=1.0))
+        worker = Tracer(clock=ManualClock(autostep=1.0))
+        with worker.span("task"):
+            with worker.span("task.child"):
+                pass
+        with parent.span("map"):
+            parent.attach(worker.export_spans(), tid="task-0")
+        events = {event["name"]: event for event in chrome_trace_events(parent.roots)}
+        assert events["map"]["tid"] == 0
+        assert events["task"]["tid"] == "task-0"
+        assert events["task.child"]["tid"] == "task-0"
+
+    def test_empty_forest_exports_no_events(self):
+        assert chrome_trace_events([]) == []
+
+
+class TestTraceFile:
+    def test_payload_carries_both_views(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(4)
+        payload = trace_payload(_sample_tracer(), registry)
+        assert payload["displayTimeUnit"] == "ms"
+        assert [event["name"] for event in payload["traceEvents"]] == ["root", "child"]
+        assert payload["metrics"]["counters"] == {"cache.hits": 4.0}
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("t").observe(0.25)
+        path = write_trace(tmp_path / "trace.json", _sample_tracer(), registry)
+        loaded = load_trace(path)
+        assert loaded == trace_payload(_sample_tracer(), registry)
+        # The file is plain JSON a Chrome-trace viewer can open directly.
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_load_accepts_a_bare_metrics_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        loaded = load_trace(path)
+        assert loaded["counters"] == {"c": 1.0}

@@ -1,0 +1,81 @@
+"""Overhead guard: ambient instrumentation must stay within 5% of no-op.
+
+The obs package promises that always-on instrumentation (ambient
+``MetricsRegistry`` counters/histograms plus a ``keep=False`` tracer) is
+cheap enough to leave enabled everywhere.  This test times an F3-style
+greedy solve on a 200-monitor synthetic model both ways — instrumented
+defaults vs. an explicit ``NullRegistry`` + non-retaining tracer — and
+fails if the instrumented path is more than 5% slower.
+
+Timing discipline: one warmup per mode, then interleaved samples (so
+drift hits both modes equally), each sample timing a small batch of
+solves, and best-of-N on both sides (minima are robust to scheduler
+noise; means are not).
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.casestudy.scaling import synthetic_model
+from repro.metrics.cost import Budget
+from repro.obs import NullRegistry, Tracer
+from repro.optimize.greedy import solve_greedy
+
+SAMPLES = 7
+SOLVES_PER_SAMPLE = 3
+MAX_OVERHEAD = 0.05
+
+
+@pytest.fixture(scope="module")
+def workload():
+    model = synthetic_model(
+        assets=40, data_types=12, monitor_types=6, monitors=200, attacks=100, seed=7
+    )
+    budget = Budget.fraction_of_total(model, 0.3)
+    return model, budget
+
+
+def _time_batch(model, budget) -> float:
+    started = time.perf_counter()
+    for _ in range(SOLVES_PER_SAMPLE):
+        solve_greedy(model, budget)
+    return time.perf_counter() - started
+
+
+def test_instrumented_solve_within_5_percent_of_noop(workload):
+    model, budget = workload
+    noop_registry = NullRegistry()
+    noop_tracer = Tracer(keep=False)
+
+    # Warm both paths (engine construction, caches, JIT-ish numpy setup).
+    _time_batch(model, budget)
+    with obs.use(registry=noop_registry, tracer=noop_tracer):
+        _time_batch(model, budget)
+
+    instrumented: list[float] = []
+    baseline: list[float] = []
+    for _ in range(SAMPLES):
+        instrumented.append(_time_batch(model, budget))
+        with obs.use(registry=noop_registry, tracer=noop_tracer):
+            baseline.append(_time_batch(model, budget))
+
+    best_instrumented = min(instrumented)
+    best_baseline = min(baseline)
+    overhead = best_instrumented / best_baseline - 1.0
+    assert overhead <= MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(instrumented {best_instrumented * 1e3:.2f} ms vs "
+        f"baseline {best_baseline * 1e3:.2f} ms per {SOLVES_PER_SAMPLE} solves)"
+    )
+
+
+def test_instrumented_and_noop_runs_agree_on_results(workload):
+    """The guard would be vacuous if the two modes computed different things."""
+    model, budget = workload
+    instrumented = solve_greedy(model, budget)
+    with obs.use(registry=NullRegistry(), tracer=Tracer(keep=False)):
+        noop = solve_greedy(model, budget)
+    assert noop.deployment.monitor_ids == instrumented.deployment.monitor_ids
+    assert noop.utility == instrumented.utility

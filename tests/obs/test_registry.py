@@ -1,0 +1,147 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.registry import Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_observation_lands_in_first_bucket_with_bound_gte_value(self):
+        histogram = Histogram("h", (1.0, 10.0))
+        histogram.observe(0.5)  # <= 1.0
+        histogram.observe(1.0)  # boundary counts in its own bucket
+        histogram.observe(5.0)  # (1, 10]
+        histogram.observe(100.0)  # overflow
+        assert histogram.bucket_counts == [2, 1]
+        assert histogram.overflow == 1
+        assert histogram.count == 4
+
+    def test_exact_statistics_alongside_buckets(self):
+        histogram = Histogram("h", (1.0,))
+        for value in (0.5, 2.0, 4.0):
+            histogram.observe(value)
+        assert histogram.sum == pytest.approx(6.5)
+        assert histogram.mean == pytest.approx(6.5 / 3)
+        assert histogram.min == 0.5
+        assert histogram.max == 4.0
+
+    def test_snapshot_of_empty_histogram_has_null_extremes(self):
+        snapshot = Histogram("h", (1.0,)).snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None
+        assert snapshot["max"] is None
+
+    def test_default_bounds_are_the_seconds_buckets(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.bounds == DEFAULT_SECONDS_BUCKETS
+
+    def test_bounds_mismatch_on_existing_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        assert registry.histogram("h", (1.0, 2.0)) is registry.histogram("h")
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 3.0))
+
+
+class TestSnapshotAndMerge:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("evals").inc(3)
+        registry.gauge("size").set(7.0)
+        histogram = registry.histogram("t", (1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(20.0)
+        return registry
+
+    def test_snapshot_is_json_shaped_and_sorted(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["counters"] == {"evals": 3.0}
+        assert snapshot["gauges"] == {"size": 7.0}
+        assert snapshot["histograms"]["t"]["bucket_counts"] == [1, 0]
+        assert snapshot["histograms"]["t"]["overflow"] == 1
+
+    def test_merge_adds_counters_and_buckets(self):
+        parent = self._populated()
+        parent.merge(self._populated().snapshot())
+        assert parent.counter("evals").value == 6.0
+        histogram = parent.histogram("t", (1.0, 10.0))
+        assert histogram.bucket_counts == [2, 0]
+        assert histogram.overflow == 2
+        assert histogram.count == 4
+        assert histogram.min == 0.5
+        assert histogram.max == 20.0
+
+    def test_merge_into_empty_registry_recreates_instruments(self):
+        parent = MetricsRegistry()
+        parent.merge(self._populated().snapshot())
+        assert parent.snapshot() == self._populated().snapshot()
+
+    def test_merge_rejects_bound_mismatch(self):
+        parent = MetricsRegistry()
+        parent.histogram("t", (5.0,))
+        with pytest.raises(ValueError):
+            parent.merge(self._populated().snapshot())
+
+    def test_reset_drops_instruments(self):
+        registry = self._populated()
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        registry = NullRegistry()
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(5.0)
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_shares_instruments_across_names(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b")
+
+    def test_merge_is_a_no_op(self):
+        registry = NullRegistry()
+        populated = MetricsRegistry()
+        populated.counter("c").inc()
+        registry.merge(populated.snapshot())
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,163 @@
+"""Unit tests for the span tracer and its injected clocks."""
+
+import pytest
+
+from repro.obs import ManualClock, SystemClock, Tracer
+
+
+def manual_tracer(autostep: float = 1.0) -> Tracer:
+    return Tracer(clock=ManualClock(autostep=autostep))
+
+
+class TestClocks:
+    def test_system_clock_is_monotone(self):
+        clock = SystemClock()
+        assert clock.now() <= clock.now()
+
+    def test_manual_clock_autosteps(self):
+        clock = ManualClock(start=10.0, autostep=2.0)
+        assert clock.now() == 10.0
+        assert clock.now() == 12.0
+
+    def test_manual_clock_advance(self):
+        clock = ManualClock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestSpanLifecycle:
+    def test_nesting_builds_a_tree(self):
+        tracer = manual_tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "root"
+        assert [child.name for child in root.children] == ["a", "b"]
+        assert [leaf.name for leaf in root.children[0].children] == ["leaf"]
+
+    def test_durations_come_from_the_injected_clock(self):
+        tracer = manual_tracer(autostep=1.0)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        # Clock ticks: outer.begin=0, inner.begin=1, inner.end=2, outer.end=3.
+        assert (outer.begin, outer.end) == (0.0, 3.0)
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+
+    def test_stop_is_idempotent_and_returns_duration(self):
+        tracer = manual_tracer()
+        span = tracer.span("s")
+        with span:
+            pass
+        first = span.duration
+        assert span.stop() == first
+        assert span.stop() == first
+
+    def test_duration_is_zero_while_running(self):
+        tracer = manual_tracer()
+        span = tracer.span("s")
+        span.__enter__()
+        assert span.duration == 0.0
+        span.stop()
+
+    def test_set_updates_args_after_entry(self):
+        tracer = manual_tracer()
+        with tracer.span("s", fixed=1) as span:
+            span.set(found=3, fixed=2)
+        assert span.args == {"fixed": 2, "found": 3}
+
+    def test_out_of_order_stop_unwinds_to_the_closed_span(self):
+        tracer = manual_tracer()
+        outer = tracer.span("outer").__enter__()
+        tracer.span("inner").__enter__()
+        outer.stop()  # closes outer while inner is still open
+        assert [span.name for span in tracer.roots] == ["outer"]
+        assert tracer._stack == []
+
+
+class TestKeepFalse:
+    def test_times_spans_but_retains_nothing(self):
+        tracer = Tracer(clock=ManualClock(autostep=1.0), keep=False)
+        with tracer.span("work") as span:
+            pass
+        assert span.duration == 1.0  # still timed
+        assert tracer.roots == []  # never retained
+        assert tracer._stack == []
+
+    def test_attach_is_a_no_op(self):
+        keeper = manual_tracer()
+        with keeper.span("task"):
+            pass
+        dropper = Tracer(keep=False)
+        dropper.attach(keeper.export_spans(), tid="task-0")
+        assert dropper.roots == []
+
+
+class TestTransport:
+    def test_round_trip_through_dicts(self):
+        tracer = manual_tracer()
+        with tracer.span("root", k="v"):
+            with tracer.span("child"):
+                pass
+        payload = tracer.export_spans()
+        rebuilt = Tracer()
+        rebuilt.attach(payload, at=0.0)
+        assert rebuilt.export_spans() == payload
+
+    def test_attach_rebases_foreign_clock_origin(self):
+        worker = Tracer(clock=ManualClock(start=1000.0, autostep=1.0))
+        with worker.span("task"):
+            pass
+        parent = manual_tracer()
+        parent.attach(worker.export_spans(), tid="task-0", at=50.0)
+        (task,) = parent.roots
+        assert task.begin == 50.0  # 1000 rebased onto the parent timeline
+        assert task.duration == 1.0  # internal duration preserved
+        assert task.tid == "task-0"
+
+    def test_attach_defaults_to_parent_now(self):
+        worker = Tracer(clock=ManualClock(start=77.0))
+        with worker.span("task"):
+            pass
+        parent = Tracer(clock=ManualClock(start=5.0))
+        parent.attach(worker.export_spans())
+        assert parent.roots[0].begin == 5.0
+
+    def test_attach_nests_under_an_open_span(self):
+        parent = manual_tracer()
+        worker = Tracer(clock=ManualClock())
+        with worker.span("task"):
+            pass
+        with parent.span("map"):
+            parent.attach(worker.export_spans(), tid="task-0")
+        (map_span,) = parent.roots
+        assert [child.name for child in map_span.children] == ["task"]
+
+    def test_reset_clears_roots_and_stack(self):
+        tracer = manual_tracer()
+        with tracer.span("done"):
+            pass
+        tracer.span("open").__enter__()
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer._stack == []
+
+
+class TestDeterminism:
+    def test_identical_code_paths_export_identical_trees(self):
+        def run() -> list[dict]:
+            tracer = Tracer(clock=ManualClock(autostep=1.0))
+            with tracer.span("root", n=2):
+                for i in range(2):
+                    with tracer.span("step", i=i):
+                        pass
+            return tracer.export_spans()
+
+        assert run() == run()

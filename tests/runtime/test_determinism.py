@@ -8,6 +8,7 @@ every seeded computation partitions its randomness via spawned
 
 import pytest
 
+from repro import obs
 from repro.analysis.contribution import shapley_values
 from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment
@@ -94,6 +95,70 @@ class TestCampaignDeterminism:
             assert result.detection_rate == direct.detection_rate
             assert result.duration == direct.duration
             assert result.observations == direct.observations
+
+
+def _span_shape(payload):
+    """Structure of an exported span tree, with all timing removed."""
+    return [
+        (item["name"], item["tid"], _span_shape(item["children"]))
+        for item in payload
+    ]
+
+
+class TestTracerDeterminism:
+    """Captured traces are deterministic functions of the code path."""
+
+    def _traced_solve(self):
+        from repro.casestudy.scaling import synthetic_model
+        from repro.metrics.cost import Budget
+
+        with obs.capture(clock=obs.ManualClock(autostep=1.0)) as cap:
+            model = synthetic_model(
+                assets=5, data_types=6, monitor_types=4, monitors=12, attacks=8, seed=11
+            )
+            budget = Budget.fraction_of_total(model, 0.3)
+            result = solve_greedy(model, budget)
+        return result, cap.tracer.export_spans(), cap.registry.snapshot()
+
+    def test_manual_clock_runs_are_bit_identical(self):
+        """Fresh model + fake clock: spans, metrics, and result all repeat."""
+        first_result, first_spans, first_metrics = self._traced_solve()
+        second_result, second_spans, second_metrics = self._traced_solve()
+        assert second_spans == first_spans  # including begin/end times
+        assert second_metrics == first_metrics  # including duration histograms
+        assert second_result.solve_seconds == first_result.solve_seconds
+        assert second_result.deployment.monitor_ids == first_result.deployment.monitor_ids
+
+    def _traced_campaigns(self, model, deployment, workers):
+        with obs.capture() as cap:
+            run_campaigns(
+                model, deployment, seeds=[0, 1, 2], workers=workers, repetitions=2
+            )
+        return cap.tracer.export_spans(), cap.registry.snapshot()
+
+    @pytest.fixture(scope="class")
+    def deployment(self, web_model):
+        from repro.metrics.cost import Budget
+
+        budget = Budget.fraction_of_total(web_model, 0.3)
+        return solve_greedy(web_model, budget).deployment
+
+    def test_worker_count_does_not_change_the_trace_shape(self, web_model, deployment):
+        """workers is a throughput knob for the trace too.
+
+        Wall-clock timings differ across worker counts, but the span
+        forest's structure (names, nesting, task rows), every counter,
+        and the simulated-time histograms (detection latency, detector
+        score) must not.
+        """
+        serial_spans, serial_metrics = self._traced_campaigns(web_model, deployment, 1)
+        pool_spans, pool_metrics = self._traced_campaigns(web_model, deployment, 4)
+        assert _span_shape(pool_spans) == _span_shape(serial_spans)
+        tids = {item["tid"] for item in serial_spans[0]["children"]}
+        assert tids == {"task-0", "task-1", "task-2"}
+        assert pool_metrics["counters"] == serial_metrics["counters"]
+        for name in ("simulation.detection_latency_seconds", "detector.score"):
+            assert pool_metrics["histograms"][name] == serial_metrics["histograms"][name]
 
 
 class TestShapleyDeterminism:
