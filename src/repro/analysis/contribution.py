@@ -38,6 +38,7 @@ from repro.optimize.deployment import Deployment
 from repro.runtime.cache import cached_utility
 from repro.runtime.engine import engine_for
 from repro.runtime.parallel import parallel_map, spawn_seeds
+from repro.runtime.resilience import MapReport, RetryPolicy
 
 __all__ = [
     "MonitorValue",
@@ -147,6 +148,8 @@ def shapley_values(
     samples: int = 200,
     seed: int = 0,
     workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    report: MapReport | None = None,
 ) -> list[MonitorValue]:
     """Monte-Carlo Shapley decomposition of the deployment's utility.
 
@@ -157,9 +160,19 @@ def shapley_values(
     :data:`SHAPLEY_CHUNK` permutations with per-chunk spawned seeds and
     the chunk totals are summed in chunk order, so the result depends
     only on ``(samples, seed)`` — never on ``workers``.
+
+    ``policy`` adds per-chunk timeouts/retries, but
+    ``on_failure="skip"`` is rejected: every chunk is a fixed share of
+    the permutation sample, so silently dropping one would bias the
+    estimator while still dividing by ``samples``.
     """
     if samples < 1:
         raise MetricError(f"samples must be >= 1, got {samples!r}")
+    if policy is not None and policy.on_failure == "skip":
+        raise MetricError(
+            "shapley_values cannot run under on_failure='skip': a dropped "
+            "chunk would silently bias the estimate; use 'raise' or 'degrade'"
+        )
     weights = weights or UtilityWeights()
     monitor_ids = tuple(sorted(deployment.monitor_ids))
     if not monitor_ids:
@@ -173,7 +186,9 @@ def shapley_values(
         (model, monitor_ids, weights, size, seq)
         for size, seq in zip(chunk_sizes, seed_seqs)
     ]
-    chunk_totals = parallel_map(_shapley_chunk, tasks, workers=workers)
+    chunk_totals = parallel_map(
+        _shapley_chunk, tasks, workers=workers, policy=policy, report=report
+    )
 
     totals = np.zeros(len(monitor_ids))
     for chunk in chunk_totals:
@@ -198,14 +213,27 @@ def contribution_report(
     shapley_samples: int = 200,
     seed: int = 0,
     workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    report: MapReport | None = None,
 ) -> str:
-    """Text report combining leave-one-out and Shapley views."""
+    """Text report combining leave-one-out and Shapley views.
+
+    ``policy``/``report`` pass through to :func:`shapley_values`, with
+    the same rejection of ``on_failure="skip"``.
+    """
     from repro.analysis.tables import render_table
 
     weights = weights or UtilityWeights()
     loo = {v.monitor_id: v for v in leave_one_out(model, deployment, weights)}
     shapley = shapley_values(
-        model, deployment, weights, samples=shapley_samples, seed=seed, workers=workers
+        model,
+        deployment,
+        weights,
+        samples=shapley_samples,
+        seed=seed,
+        workers=workers,
+        policy=policy,
+        report=report,
     )
     rows = [
         [

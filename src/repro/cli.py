@@ -40,6 +40,7 @@ from repro.core.validation import audit_model
 from repro.errors import ReproError
 from repro.export.csv_export import sweep_to_csv
 from repro.export.dot import deployment_to_dot
+from repro.export.jsonsafe import dumps as strict_dumps
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
 from repro.obs import load_trace, write_trace
@@ -47,6 +48,7 @@ from repro.runtime.cache import cached_utility
 from repro.optimize.deployment import Deployment
 from repro.optimize.pareto import budget_sweep, pareto_frontier
 from repro.optimize.problem import MaxUtilityProblem, MinCostProblem
+from repro.runtime.resilience import FAILURE_MODES, MapReport, RetryPolicy
 from repro.simulation.campaign import run_campaign
 
 __all__ = ["main", "build_parser"]
@@ -83,16 +85,92 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_worker_count(text: str) -> int:
+    """argparse type for ``--workers``: a strictly positive integer.
+
+    Fails fast at parse time — a zero or negative count would otherwise
+    surface as an opaque ProcessPoolExecutor error mid-run.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--workers must be an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 1 (use 1 for serial), got {value}"
+        )
+    return value
+
+
 def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_worker_count,
         default=None,
         metavar="N",
-        help="process-pool workers for independent sub-tasks "
+        help="process-pool workers for independent sub-tasks, >= 1 "
         "(default: the REPRO_WORKERS environment variable, else serial); "
         "results are identical at any worker count",
     )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget for parallel sub-tasks "
+        "(enforced on the process-pool path only)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per failed sub-task, with deterministic "
+        "exponential backoff (default 0)",
+    )
+    parser.add_argument(
+        "--on-failure",
+        default="raise",
+        choices=list(FAILURE_MODES),
+        help="what to do when a sub-task exhausts its attempts: re-raise "
+        "(default), degrade to a serial attempt, or skip the task",
+    )
+
+
+def _parse_policy(args: argparse.Namespace) -> RetryPolicy | None:
+    """The RetryPolicy implied by the resilience flags (None if defaults)."""
+    if args.timeout is None and args.max_retries == 0 and args.on_failure == "raise":
+        return None
+    return RetryPolicy(
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        on_failure=args.on_failure,
+    )
+
+
+def _print_report(report: MapReport) -> None:
+    """Surface a non-clean MapReport on stderr (never silently)."""
+    if report.clean:
+        return
+    parts = []
+    if report.retries:
+        parts.append(f"{report.retries} retried attempt(s)")
+    if report.timeouts:
+        parts.append(f"{report.timeouts} timeout(s)")
+    if report.skipped:
+        parts.append(f"{len(report.skipped)} task(s) skipped")
+    if report.degraded:
+        parts.append(f"degraded to serial ({report.degraded_reason})")
+    print("warning: " + "; ".join(parts), file=sys.stderr)
+    for failure in report.failures:
+        print(
+            f"warning: task {failure.index} [{failure.stage}] failed after "
+            f"{failure.attempts} attempt(s): {failure.error_type}: {failure.message}",
+            file=sys.stderr,
+        )
 
 
 def _load_model(args: argparse.Namespace) -> SystemModel:
@@ -140,7 +218,7 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _write_deployment(deployment: Deployment, path: Path) -> None:
-    path.write_text(json.dumps(sorted(deployment.monitor_ids), indent=2) + "\n")
+    path.write_text(strict_dumps(sorted(deployment.monitor_ids), indent=2) + "\n")
 
 
 def _read_deployment(model: SystemModel, path: Path) -> Deployment:
@@ -185,7 +263,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     model = _load_model(args)
     weights = _parse_weights(args)
     budget = _parse_budget(model, args)
-    result = MaxUtilityProblem(model, budget, weights).solve(args.backend)
+    result = MaxUtilityProblem(model, budget, weights).solve(
+        args.backend, time_limit=args.timeout
+    )
     print(result.summary())
     report = evaluate_deployment(model, result.deployment, weights)
     print()
@@ -213,7 +293,7 @@ def _cmd_mincost(args: argparse.Namespace) -> int:
         fully_cover=args.fully_cover.split(",") if args.fully_cover else (),
         weights=weights,
     )
-    result = problem.solve(args.backend)
+    result = problem.solve(args.backend, time_limit=args.timeout)
     print(result.summary())
     print(f"scalar cost: {result.objective:.2f}")
     print(f"spend: {result.deployment.cost().as_dict()}")
@@ -229,9 +309,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     model = _load_model(args)
     weights = _parse_weights(args)
     fractions = [float(x) for x in args.fractions.split(",")]
+    report = MapReport()
     points = budget_sweep(
-        model, fractions, weights, backend=args.backend, workers=args.workers
+        model,
+        fractions,
+        weights,
+        backend=args.backend,
+        workers=args.workers,
+        policy=_parse_policy(args),
+        report=report,
     )
+    _print_report(report)
     rows = [
         [p.fraction, len(p.result.deployment), p.result.utility, p.scalar_cost]
         for p in points
@@ -296,6 +384,7 @@ def _cmd_contrib(args: argparse.Namespace) -> int:
     model = _load_model(args)
     deployment = _read_deployment(model, args.deployment)
     weights = _parse_weights(args)
+    report = MapReport()
     print(
         contribution_report(
             model,
@@ -304,8 +393,11 @@ def _cmd_contrib(args: argparse.Namespace) -> int:
             shapley_samples=args.samples,
             seed=args.seed,
             workers=args.workers,
+            policy=_parse_policy(args),
+            report=report,
         )
     )
+    _print_report(report)
     return 0
 
 
@@ -454,7 +546,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_weight_arguments(optimize)
     _add_budget_arguments(optimize)
     optimize.add_argument("--backend", default="scipy",
-                          choices=["scipy", "branch-and-bound"])
+                          choices=["scipy", "branch-and-bound", "fallback"])
+    optimize.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                          help="solver wall-clock limit in seconds")
     optimize.add_argument("--out", type=Path, help="write deployment JSON here")
     optimize.add_argument("--dot", type=Path, help="write Graphviz DOT here")
     optimize.add_argument("--html", type=Path, help="write a self-contained HTML report here")
@@ -468,7 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
     mincost.add_argument("--fully-cover", default=None,
                          metavar="ATTACK,...", help="attacks whose required steps must be covered")
     mincost.add_argument("--backend", default="scipy",
-                         choices=["scipy", "branch-and-bound"])
+                         choices=["scipy", "branch-and-bound", "fallback"])
+    mincost.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="solver wall-clock limit in seconds")
     mincost.add_argument("--out", type=Path, help="write deployment JSON here")
     _add_trace_argument(mincost)
     mincost.set_defaults(handler=_cmd_mincost)
@@ -478,9 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_weight_arguments(sweep)
     sweep.add_argument("--fractions", default="0.05,0.1,0.2,0.4,0.8")
     sweep.add_argument("--backend", default="scipy",
-                       choices=["scipy", "branch-and-bound"])
+                       choices=["scipy", "branch-and-bound", "fallback"])
     sweep.add_argument("--csv", type=Path, help="write sweep CSV here")
     _add_workers_argument(sweep)
+    _add_resilience_arguments(sweep)
     _add_trace_argument(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -504,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     contrib.add_argument("--samples", type=int, default=200)
     contrib.add_argument("--seed", type=int, default=0)
     _add_workers_argument(contrib)
+    _add_resilience_arguments(contrib)
     _add_trace_argument(contrib)
     contrib.set_defaults(handler=_cmd_contrib)
 

@@ -1,8 +1,10 @@
-"""Exports: Graphviz DOT rendering, CSV dumps, and HTML reports."""
+"""Exports: Graphviz DOT, CSV dumps, HTML reports, strict JSON."""
 
 from repro.export.csv_export import report_to_csv, sweep_to_csv, write_csv
 from repro.export.dot import deployment_to_dot, topology_to_dot
 from repro.export.html import report_to_html
+from repro.export.jsonsafe import dumps as strict_json_dumps
+from repro.export.jsonsafe import sanitize as sanitize_json
 
 __all__ = [
     "report_to_html",
@@ -11,4 +13,6 @@ __all__ = [
     "write_csv",
     "deployment_to_dot",
     "topology_to_dot",
+    "sanitize_json",
+    "strict_json_dumps",
 ]

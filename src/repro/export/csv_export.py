@@ -11,9 +11,14 @@ import csv
 import io
 from collections.abc import Iterable, Sequence
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.analysis.evaluation import DeploymentReport
-from repro.optimize.pareto import SweepPoint
+if TYPE_CHECKING:
+    # Annotation-only: a runtime import here would close the cycle
+    # analysis -> simulation -> export -> csv_export -> analysis, which
+    # breaks `import repro.cli` (analysis is still mid-import).
+    from repro.analysis.evaluation import DeploymentReport
+    from repro.optimize.pareto import SweepPoint
 
 __all__ = ["report_to_csv", "sweep_to_csv", "write_csv"]
 

@@ -9,8 +9,12 @@ divs — suitable for attaching to a change ticket or review thread.
 from __future__ import annotations
 
 import html as _html
+from typing import TYPE_CHECKING
 
-from repro.analysis.evaluation import DeploymentReport
+if TYPE_CHECKING:
+    # Annotation-only: a runtime import would close the
+    # analysis -> simulation -> export -> html -> analysis cycle.
+    from repro.analysis.evaluation import DeploymentReport
 
 __all__ = ["report_to_html"]
 

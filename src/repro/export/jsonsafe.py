@@ -1,0 +1,58 @@
+"""Strict JSON serialization: no NaN/Infinity ever reaches a file.
+
+Python's ``json`` module happily emits ``NaN``, ``Infinity`` and
+``-Infinity`` — tokens the JSON grammar does not contain.  Files carrying
+them load fine in Python and then explode in every other consumer
+(``jq``, browsers, spreadsheet importers).  Campaign metrics make this a
+real hazard: ``mean_detection_latency`` is NaN when nothing was
+detected, and utilization is +inf over a zero budget.
+
+This module is the single choke point the exporters go through:
+
+* :func:`sanitize` recursively replaces non-finite floats with ``None``
+  (the JSON ``null`` sentinel — explicit "no value", which is exactly
+  what NaN means in these reports);
+* :func:`dumps` sanitizes and then serializes with ``allow_nan=False``,
+  so any non-finite float that evades the sweep (a new container type,
+  a numpy scalar smuggled through ``default=``) is a hard error at
+  write time rather than a corrupt artifact at read time.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+__all__ = ["dumps", "sanitize"]
+
+
+def sanitize(value: Any) -> Any:
+    """``value`` with every non-finite float replaced by ``None``.
+
+    Recurses through dicts, lists and tuples (tuples come back as
+    lists, matching what ``json`` would do anyway).  Dict *keys* are
+    left alone — ``json`` stringifies them, and ``"nan"`` as a key is
+    legal JSON.  Bools pass through untouched even though ``bool`` is
+    an ``int`` subclass.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(item) for item in value]
+    return value
+
+
+def dumps(payload: Any, **kwargs: Any) -> str:
+    """Strict ``json.dumps``: sanitized input, ``allow_nan=False``.
+
+    Accepts the usual ``json.dumps`` keyword arguments (``indent``,
+    ``sort_keys``, ...); ``allow_nan`` is pinned to ``False`` and cannot
+    be overridden.
+    """
+    kwargs.pop("allow_nan", None)
+    return json.dumps(sanitize(payload), allow_nan=False, **kwargs)

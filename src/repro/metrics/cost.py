@@ -107,12 +107,14 @@ def budget_utilization(
 
     Only constrained dimensions appear in the result.  A zero limit with
     zero spend reports utilization 0; zero limit with positive spend is
-    reported as ``inf`` (the deployment is infeasible).
+    reported as ``inf`` (the deployment is infeasible).  A budget may
+    constrain dimensions no deployed monitor spends in at all — those
+    report 0.0, never an error.
     """
     spend = deployment_cost(model, monitor_ids)
     utilization: dict[str, float] = {}
     for dim, limit in budget.limits.items():
-        used = spend.get(dim)
+        used = _spend_in(spend, dim)
         if limit > 0:
             utilization[dim] = used / limit
         else:
@@ -123,6 +125,23 @@ def budget_utilization(
 def residual_budget(
     model: SystemModel, monitor_ids: Iterable[str], budget: Budget
 ) -> Mapping[str, float]:
-    """Remaining capacity per constrained dimension (may be negative)."""
+    """Remaining capacity per constrained dimension (may be negative).
+
+    Dimensions the deployment never spends in report their full limit
+    as residual.
+    """
     spend = deployment_cost(model, monitor_ids)
-    return {dim: limit - spend.get(dim) for dim, limit in budget.limits.items()}
+    return {dim: limit - _spend_in(spend, dim) for dim, limit in budget.limits.items()}
+
+
+def _spend_in(spend: CostVector, dimension: str) -> float:
+    """Spend along ``dimension``, defaulting missing dimensions to 0.0.
+
+    :meth:`CostVector.get` already defaults absent dimensions to zero;
+    this guard additionally absorbs a ``None`` (a cost-vector
+    implementation that mirrors ``dict.get``) so the reporting helpers
+    can never TypeError over a budget that constrains a dimension no
+    monitor spends in.
+    """
+    used = spend.get(dimension)
+    return 0.0 if used is None else float(used)

@@ -80,9 +80,19 @@ def trace_payload(tracer: Tracer, registry: MetricsRegistry) -> dict[str, Any]:
 
 
 def write_trace(path: str | Path, tracer: Tracer, registry: MetricsRegistry) -> Path:
-    """Write the combined trace/metrics JSON to ``path``."""
+    """Write the combined trace/metrics JSON to ``path``.
+
+    Strict JSON: non-finite metric values (NaN latency means, inf
+    utilization gauges) are serialized as ``null``, never as the
+    ``NaN``/``Infinity`` tokens the JSON grammar lacks.
+    """
+    # Imported here, not at module top: repro.export's package __init__
+    # pulls in the analysis/optimize stack, which imports repro.obs —
+    # a module-level import would close that cycle.
+    from repro.export.jsonsafe import dumps as _strict_dumps
+
     path = Path(path)
-    path.write_text(json.dumps(trace_payload(tracer, registry), indent=2) + "\n")
+    path.write_text(_strict_dumps(trace_payload(tracer, registry), indent=2) + "\n")
     return path
 
 

@@ -47,6 +47,7 @@ def _solve_at_cost_cap(
     weights: UtilityWeights,
     cost_cap: float | None,
     backend: str,
+    time_limit: float | None,
 ) -> tuple[frozenset[str], float] | None:
     """Max-utility deployment with scalar cost <= cap; None if infeasible."""
     milp = MilpModel(f"frontier[{model.name}]", ObjectiveSense.MAXIMIZE)
@@ -54,7 +55,7 @@ def _solve_at_cost_cap(
     milp.set_objective(builder.utility_expression(weights))
     if cost_cap is not None:
         milp.add_constraint(builder.cost_expression() <= cost_cap, name="cost_cap")
-    solution = solve(milp, backend)
+    solution = solve(milp, backend, time_limit=time_limit)
     if solution.status is SolutionStatus.INFEASIBLE:
         return None
     selected = builder.selected_ids(solution.values)
@@ -66,6 +67,7 @@ def _cheapest_at_utility(
     weights: UtilityWeights,
     utility_floor: float,
     backend: str,
+    time_limit: float | None,
 ) -> frozenset[str]:
     """Cheapest deployment achieving at least ``utility_floor``.
 
@@ -79,7 +81,7 @@ def _cheapest_at_utility(
     milp.add_constraint(
         builder.utility_expression(weights) >= utility_floor, name="utility_floor"
     )
-    solution = solve(milp, backend)
+    solution = solve(milp, backend, time_limit=time_limit)
     if solution.status is SolutionStatus.INFEASIBLE:
         raise OptimizationError(
             f"internal inconsistency: utility floor {utility_floor} became infeasible"
@@ -94,6 +96,7 @@ def exact_frontier(
     backend: str = "scipy",
     epsilon: float = 1e-4,
     max_points: int = 1000,
+    time_limit: float | None = None,
 ) -> list[FrontierPoint]:
     """The complete cost–utility Pareto frontier, cheapest point first.
 
@@ -106,6 +109,9 @@ def exact_frontier(
         difference between deployments.
     max_points:
         Safety cap on frontier size.
+    time_limit:
+        Wall-clock limit in seconds applied to *each* of the frontier's
+        MILP solves (two per point), not to the whole enumeration.
 
     Each returned point is Pareto-optimal; consecutive points strictly
     increase in both cost and utility.  The last point attains the
@@ -122,7 +128,7 @@ def exact_frontier(
     with obs.span("optimize.exact_frontier", backend=backend) as frontier_span:
         for index in range(max_points):
             with obs.span("frontier.point", i=index) as sp:
-                outcome = _solve_at_cost_cap(model, weights, cost_cap, backend)
+                outcome = _solve_at_cost_cap(model, weights, cost_cap, backend, time_limit)
                 if outcome is None:
                     break  # cap below zero spend with forced cost: nothing feasible
                 _, achieved = outcome
@@ -133,7 +139,9 @@ def exact_frontier(
                     # dominated point.
                     break
                 # Trim slack spend: cheapest deployment at this utility level.
-                trimmed = _cheapest_at_utility(model, weights, achieved - 1e-9, backend)
+                trimmed = _cheapest_at_utility(
+                    model, weights, achieved - 1e-9, backend, time_limit
+                )
                 trimmed_cost = model.deployment_cost(trimmed).scalarize()
             points.append(
                 FrontierPoint(

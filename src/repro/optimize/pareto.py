@@ -27,6 +27,7 @@ from repro.optimize.deployment import Deployment, OptimizationResult
 from repro.optimize.problem import MaxUtilityProblem
 from repro.runtime.cache import cached_utility
 from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import MapReport, RetryPolicy
 
 __all__ = ["SweepPoint", "budget_sweep", "heuristic_sweep", "pareto_frontier", "solve_time_profile"]
 
@@ -80,6 +81,8 @@ def budget_sweep(
     backend: str = "scipy",
     time_limit: float | None = None,
     workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    report: MapReport | None = None,
 ) -> list[SweepPoint]:
     """Optimal utility at each budget fraction of the total monitor cost.
 
@@ -87,6 +90,10 @@ def budget_sweep(
     so 0.0 affords nothing (beyond zero-cost monitors) and 1.0 affords
     the full deployment.  ``workers > 1`` solves the fractions across a
     process pool; the returned points match a serial run exactly.
+    ``policy`` adds per-point timeouts/retries (see
+    :class:`~repro.runtime.resilience.RetryPolicy`); under
+    ``on_failure="skip"`` the skipped fractions are simply absent from
+    the result and listed in ``report.skipped``.
     """
     weights = weights or UtilityWeights()
     with obs.span("optimize.budget_sweep", points=len(fractions), backend=backend):
@@ -94,6 +101,8 @@ def budget_sweep(
             _budget_sweep_job,
             [(model, fraction, weights, backend, time_limit) for fraction in fractions],
             workers=workers,
+            policy=policy,
+            report=report,
         )
     return [_rebind(point, model) for point in points]
 
@@ -119,18 +128,23 @@ def heuristic_sweep(
     weights: UtilityWeights | None = None,
     *,
     workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    report: MapReport | None = None,
 ) -> list[SweepPoint]:
     """Run any ``(model, budget, weights) -> OptimizationResult`` solver
     over the same budget fractions as :func:`budget_sweep`, for
     optimal-vs-heuristic comparisons on identical budgets.  Solvers must
     be module-level callables to actually parallelize; closures fall
-    back to a serial run."""
+    back to a serial run.  ``policy``/``report`` behave as in
+    :func:`budget_sweep`."""
     weights = weights or UtilityWeights()
     with obs.span("optimize.heuristic_sweep", points=len(fractions)):
         points = parallel_map(
             _heuristic_sweep_job,
             [(model, fraction, solver, weights) for fraction in fractions],
             workers=workers,
+            policy=policy,
+            report=report,
         )
     return [_rebind(point, model) for point in points]
 

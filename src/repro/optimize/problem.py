@@ -20,12 +20,12 @@ from collections.abc import Iterable, Mapping
 
 from repro import obs
 from repro.core.model import SystemModel
-from repro.errors import InfeasibleError, OptimizationError
+from repro.errors import InfeasibleError, OptimizationError, SolverError
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights, utility
 from repro.optimize.deployment import Deployment, OptimizationResult
 from repro.optimize.formulation import FormulationBuilder
-from repro.solver import solve
+from repro.solver import DEFAULT_CHAIN, solve, solve_with_fallback
 from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
 
 __all__ = ["MaxUtilityProblem", "MinCostProblem"]
@@ -118,6 +118,95 @@ class MaxUtilityProblem:
                 "variables": float(milp.num_variables),
                 "constraints": float(milp.num_constraints),
                 "nodes": float(solution.nodes_explored),
+            },
+        )
+
+    def solve_with_fallback(
+        self,
+        backends: tuple[str, ...] = DEFAULT_CHAIN,
+        *,
+        time_limit: float | None = None,
+        greedy_last_resort: bool = True,
+    ) -> OptimizationResult:
+        """Solve through the backend fallback chain, greedy as last resort.
+
+        Exact backends are tried in ``backends`` order via
+        :func:`repro.solver.solve_with_fallback`; the answering backend
+        and the number of rescued/failed attempts land in ``stats``
+        (``fallback_attempts``, ``fallback_failures``).  If *every*
+        exact backend **errors** — never when one proves the model
+        INFEASIBLE, which is a verdict about the budget, not a solver
+        failure — and ``greedy_last_resort`` is set, the greedy
+        heuristic answers instead with ``method="greedy-fallback"``.
+        The greedy rescue is skipped (the chain's
+        :class:`~repro.errors.SolverError` propagates) when
+        ``max_monitors`` is set: greedy has no cardinality constraint,
+        so its answer could silently violate the problem.
+
+        Raises
+        ------
+        repro.errors.InfeasibleError
+            If a backend proves no deployment fits the budget.
+        repro.errors.SolverError
+            If every backend errors and greedy cannot stand in.
+        """
+        with obs.span(
+            "optimize.max_utility_fallback", backends=",".join(backends)
+        ) as sp:
+            with obs.span("optimize.formulate"):
+                milp, builder = self.build()
+            sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
+            try:
+                outcome = solve_with_fallback(milp, backends, time_limit=time_limit)
+            except SolverError:
+                if not greedy_last_resort or self.max_monitors is not None:
+                    raise
+                from repro.optimize.greedy import solve_greedy
+
+                obs.counter("optimize.greedy_rescues").inc()
+                result = solve_greedy(
+                    self.model,
+                    self.budget,
+                    self.weights,
+                    forced_monitors=self.forced_monitors,
+                )
+                sp.set(answered="greedy")
+                stats = dict(result.stats)
+                stats["fallback_attempts"] = float(len(backends))
+                stats["fallback_failures"] = float(len(backends))
+                return OptimizationResult(
+                    deployment=result.deployment,
+                    objective=result.objective,
+                    utility=result.utility,
+                    solve_seconds=result.solve_seconds,
+                    method="greedy-fallback",
+                    optimal=False,
+                    stats=stats,
+                    selection_order=result.selection_order,
+                )
+            sp.set(answered=outcome.backend)
+        solution = outcome.solution
+        obs.histogram("optimize.solve_seconds").observe(sp.duration)
+        if solution.status is SolutionStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"no deployment fits the budget {dict(self.budget.limits)!r} "
+                f"(forced monitors: {sorted(self.forced_monitors)})"
+            )
+        selected = builder.selected_ids(solution.values)
+        deployment = Deployment.of(self.model, selected)
+        return OptimizationResult(
+            deployment=deployment,
+            objective=solution.objective,
+            utility=utility(self.model, selected, self.weights),
+            solve_seconds=sp.duration,
+            method=f"ilp/{solution.backend}",
+            optimal=solution.is_optimal,
+            stats={
+                "variables": float(milp.num_variables),
+                "constraints": float(milp.num_constraints),
+                "nodes": float(solution.nodes_explored),
+                "fallback_attempts": float(len(outcome.attempts)),
+                "fallback_failures": float(len(outcome.failures)),
             },
         )
 

@@ -34,6 +34,7 @@ from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment, OptimizationResult
 from repro.optimize.formulation import FormulationBuilder
 from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import MapReport, RetryPolicy
 from repro.solver import solve
 from repro.solver.expressions import LinearExpression
 from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
@@ -187,6 +188,8 @@ def per_scenario_optima(
     backend: str = "scipy",
     time_limit: float | None = None,
     workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    report: MapReport | None = None,
 ) -> dict[str, OptimizationResult]:
     """Optimal deployment for each scenario solved in isolation.
 
@@ -196,6 +199,9 @@ def per_scenario_optima(
     is the price of robustness.  Results are keyed by scenario name and
     rebound to the caller's ``model``; ``workers > 1`` distributes the
     independent solves over a process pool without changing any result.
+    ``policy`` adds per-scenario timeouts/retries; scenarios dropped by
+    ``on_failure="skip"`` are simply absent from the mapping (and listed
+    by index in ``report.skipped``).
     """
     weights = weights or UtilityWeights()
     names = [s.name for s in scenarios]
@@ -203,11 +209,17 @@ def per_scenario_optima(
         raise OptimizationError(f"duplicate scenario names: {names}")
     for scenario in scenarios:
         scenario.validate_against(model)
+    report = report if report is not None else MapReport()
     results = parallel_map(
         _scenario_optimum_job,
         [(model, budget, scenario, weights, backend, time_limit) for scenario in scenarios],
         workers=workers,
+        policy=policy,
+        report=report,
     )
+    if report.skipped:
+        dropped = set(report.skipped)
+        names = [name for index, name in enumerate(names) if index not in dropped]
     rebound = []
     for result in results:
         if result.deployment.model is not model:

@@ -11,9 +11,13 @@ Three layers every hot path in the repository leans on:
   cache shared across sweeps, frontier enumeration, and contribution
   sampling;
 * :mod:`repro.runtime.parallel` — an order-preserving process-pool map
-  with deterministic seed spawning and a graceful serial fallback.
+  with deterministic seed spawning, per-task timeouts and retries
+  (:mod:`repro.runtime.resilience`), and a graceful serial fallback;
+* :mod:`repro.runtime.faults` — the deterministic fault-injection
+  harness the ``tests/faults`` suite drives the recovery paths with.
 
-See ``docs/performance.md`` for layout details and measured impact.
+See ``docs/performance.md`` for layout details and measured impact,
+and ``docs/robustness.md`` for the failure-handling semantics.
 """
 
 from repro.runtime.cache import (
@@ -31,11 +35,21 @@ from repro.runtime.parallel import (
     spawn_generators,
     spawn_seeds,
 )
+from repro.runtime.resilience import (
+    MapReport,
+    RetryPolicy,
+    TaskFailure,
+    TaskFailureError,
+)
 
 __all__ = [
     "DeploymentCache",
     "DeploymentCursor",
     "EvaluationEngine",
+    "MapReport",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskFailureError",
     "WORKERS_ENV",
     "cache_for",
     "cached_breakdown",

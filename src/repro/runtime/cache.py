@@ -108,7 +108,18 @@ _CACHES: "weakref.WeakKeyDictionary[SystemModel, DeploymentCache]" = weakref.Wea
 
 
 def cache_for(model: SystemModel) -> DeploymentCache:
-    """The shared :class:`DeploymentCache` for ``model``."""
+    """The shared :class:`DeploymentCache` for ``model``.
+
+    Keyed by model **identity**, deliberately: :class:`SystemModel`
+    defines no ``__eq__``/``__hash__``, so two structurally identical
+    models (e.g. an original and its unpickled copy in a worker) get
+    *separate* caches and can never serve each other stale evaluations.
+    The table holds the model weakly — dropping the last strong
+    reference to a model drops its cache with it.  These semantics are
+    pinned by ``tests/runtime/test_cache_identity.py``; rebind worker
+    results to the parent's model instance (as the sweeps do) rather
+    than relying on value equality to share cache entries.
+    """
     cache = _CACHES.get(model)
     if cache is None:
         cache = DeploymentCache()

@@ -1,9 +1,9 @@
-"""Process-pool parallel map with deterministic seeding.
+"""Process-pool parallel map with deterministic seeding and fault tolerance.
 
 Budget sweeps, scenario solves, and simulation campaigns are
 embarrassingly parallel: independent pure jobs over a list of inputs.
 :func:`parallel_map` runs such jobs across a ``ProcessPoolExecutor``
-while keeping three guarantees the experiment suite depends on:
+while keeping four guarantees the experiment suite depends on:
 
 * **order preservation** — results come back in input order, so a
   parallel run is positionally identical to a serial one;
@@ -13,7 +13,13 @@ while keeping three guarantees the experiment suite depends on:
   independent of how jobs land on workers;
 * **graceful serial fallback** — if the pool cannot be used (no OS
   support, unpicklable job, broken worker), the same jobs run serially
-  in-process instead of failing.
+  in-process instead of failing;
+* **visible fault handling** — per-task timeouts, bounded retries with
+  deterministic exponential backoff, and ``BrokenProcessPool``
+  recovery, all governed by a
+  :class:`~repro.runtime.resilience.RetryPolicy` and recorded into a
+  structured :class:`~repro.runtime.resilience.MapReport` plus
+  ``parallel.*`` obs counters — never a silent ``except Exception``.
 
 Worker count resolution: an explicit ``workers`` argument wins, then
 the ``REPRO_WORKERS`` environment variable, then serial (1).  Jobs must
@@ -24,21 +30,39 @@ the pool; anything else falls back to serial.
 from __future__ import annotations
 
 import os
+import pickle
+import time
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
 
 import numpy as np
 
 from repro import obs
+from repro.runtime.resilience import MapReport, RetryPolicy, TaskFailure, TaskFailureError
 
-__all__ = ["WORKERS_ENV", "parallel_map", "resolve_workers", "spawn_generators", "spawn_seeds"]
+__all__ = [
+    "WORKERS_ENV",
+    "parallel_map",
+    "resolve_workers",
+    "spawn_generators",
+    "spawn_seeds",
+]
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Placeholder occupying the result slot of a task dropped by
+#: ``on_failure="skip"``; filtered out before results are returned.
+_SKIPPED = object()
+
+#: Default policy: no timeout, no retries, raise on task failure —
+#: the seed semantics, now with reporting.
+_DEFAULT_POLICY = RetryPolicy()
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -97,19 +121,269 @@ class _ObservedJob:
         return result, cap.tracer.export_spans(), cap.registry.snapshot()
 
 
+def _is_transport_error(exc: BaseException) -> bool:
+    """Whether an exception means the *pool plumbing* failed, not the task.
+
+    Unpicklable jobs/arguments/results surface as pickling errors on the
+    future; those warrant a serial degrade (the task itself may be
+    perfectly healthy in-process), not a retry of the same doomed
+    submission.
+    """
+    if isinstance(exc, (pickle.PicklingError, BrokenProcessPool)):
+        return True
+    text = f"{type(exc).__name__}: {exc}"
+    return "pickle" in text.lower()
+
+
+def _record_failure(
+    report: MapReport, index: int, stage: str, attempts: int, exc: BaseException
+) -> TaskFailure:
+    failure = TaskFailure(
+        index=index,
+        stage=stage,
+        attempts=attempts,
+        error_type=type(exc).__name__,
+        message=str(exc),
+    )
+    report.failures.append(failure)
+    obs.counter("parallel.task_failures").inc()
+    return failure
+
+
+def _run_one_serial(
+    job: Callable,
+    item: object,
+    index: int,
+    policy: RetryPolicy,
+    report: MapReport,
+    *,
+    stage: str = "serial",
+    skip_allowed: bool = True,
+) -> object:
+    """One task's attempt loop in the current process (no timeout).
+
+    Returns the result, the ``_SKIPPED`` sentinel, or raises the task's
+    own exception once attempts are exhausted.
+    """
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return job(item)
+        except Exception as exc:
+            if attempt < policy.attempts:
+                report.retries += 1
+                obs.counter("parallel.retries").inc()
+                delay = policy.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            _record_failure(report, index, stage, attempt, exc)
+            if policy.on_failure == "skip" and skip_allowed:
+                report.skipped.append(index)
+                obs.counter("parallel.tasks_skipped").inc()
+                return _SKIPPED
+            raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_serial(
+    job: Callable,
+    materialized: Sequence,
+    policy: RetryPolicy,
+    report: MapReport,
+    *,
+    stage: str = "serial",
+) -> list:
+    return [
+        _run_one_serial(job, item, index, policy, report, stage=stage)
+        for index, item in enumerate(materialized)
+    ]
+
+
+def _degrade_to_serial(
+    job: Callable,
+    materialized: Sequence,
+    policy: RetryPolicy,
+    report: MapReport,
+    reason: str,
+) -> list:
+    """Re-run the whole map serially after the pool itself failed.
+
+    Jobs are pure with respect to the caller's observable state (the
+    :func:`parallel_map` contract), so the serial rerun yields exactly
+    what the parallel run would have — and any error genuinely raised
+    by the job surfaces from here with its original type.
+    """
+    report.degraded = True
+    report.degraded_reason = reason
+    obs.counter("parallel.pool_failures").inc()
+    obs.counter("parallel.degraded_maps").inc()
+    return _run_serial(job, materialized, policy, report, stage="serial")
+
+
+class _PoolAbandoned(Exception):
+    """Internal: the pool path gave up; degrade the whole map to serial."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _run_pool(
+    job: Callable,
+    materialized: Sequence,
+    count: int,
+    policy: RetryPolicy,
+    report: MapReport,
+) -> list:
+    """Windowed pool scheduler with per-task deadlines and retries.
+
+    At most ``count`` tasks are in flight at once, so a task's deadline
+    (submission time + ``policy.timeout``) approximates its running
+    time — queued-but-not-started tasks cannot time out spuriously.
+    A timed-out future that cannot be cancelled is *abandoned* (its
+    worker keeps running; the slot is effectively narrowed until it
+    finishes) and the task is retried or failed like any other fault.
+    Raises :class:`_PoolAbandoned` when the pool plumbing breaks.
+    """
+    total = len(materialized)
+    results: list = [None] * total
+    outstanding: list[tuple[int, int]] = [(i, 1) for i in range(total)]  # (index, attempt)
+    outstanding.reverse()  # pop() yields input order
+    degrade_serially: list[int] = []
+    pending: dict[Future, tuple[int, int, float | None]] = {}
+    abandoned: list[Future] = []
+
+    def handle_task_fault(index: int, attempt: int, exc: BaseException) -> None:
+        """Retry, skip, queue for serial degrade, or raise — per policy."""
+        if attempt < policy.attempts:
+            report.retries += 1
+            obs.counter("parallel.retries").inc()
+            delay = policy.delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            outstanding.append((index, attempt + 1))
+            return
+        if policy.on_failure == "degrade":
+            _record_failure(report, index, "pool", attempt, exc)
+            degrade_serially.append(index)
+            return
+        if policy.on_failure == "skip":
+            _record_failure(report, index, "pool", attempt, exc)
+            report.skipped.append(index)
+            obs.counter("parallel.tasks_skipped").inc()
+            results[index] = _SKIPPED
+            return
+        failure = _record_failure(report, index, "pool", attempt, exc)
+        if isinstance(exc, TimeoutError):
+            raise TaskFailureError(failure) from exc
+        raise exc
+
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(count, total))
+    except Exception as exc:
+        raise _PoolAbandoned(f"pool creation failed: {type(exc).__name__}: {exc}") from exc
+    try:
+        while outstanding or pending:
+            while outstanding and len(pending) < count:
+                index, attempt = outstanding.pop()
+                try:
+                    future = executor.submit(job, materialized[index])
+                except Exception as exc:
+                    raise _PoolAbandoned(
+                        f"submission failed: {type(exc).__name__}: {exc}"
+                    ) from exc
+                deadline = (
+                    None if policy.timeout is None else time.monotonic() + policy.timeout
+                )
+                pending[future] = (index, attempt, deadline)
+
+            deadlines = [d for (_, _, d) in pending.values() if d is not None]
+            wait_for = None
+            if deadlines:
+                wait_for = max(0.0, min(deadlines) - time.monotonic())
+            completed, _ = wait(set(pending), timeout=wait_for, return_when=FIRST_COMPLETED)
+
+            for future in completed:
+                index, attempt, _ = pending.pop(future)
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    if _is_transport_error(exc):
+                        raise _PoolAbandoned(f"{type(exc).__name__}: {exc}") from exc
+                    handle_task_fault(index, attempt, exc)
+
+            now = time.monotonic()
+            for future, (index, attempt, deadline) in list(pending.items()):
+                if deadline is None or now < deadline:
+                    continue
+                pending.pop(future)
+                if not future.cancel():  # a running task cannot be cancelled
+                    # Retrieve the eventual outcome so an abandoned future
+                    # never emits an "exception was never retrieved" warning.
+                    future.add_done_callback(
+                        lambda f: None if f.cancelled() else f.exception()
+                    )
+                    abandoned.append(future)
+                report.timeouts += 1
+                obs.counter("parallel.timeouts").inc()
+                handle_task_fault(
+                    index,
+                    attempt,
+                    TimeoutError(
+                        f"task {index} exceeded the per-task timeout of "
+                        f"{policy.timeout:g}s (attempt {attempt})"
+                    ),
+                )
+    finally:
+        # No cancel_futures here: the windowed scheduler keeps at most one
+        # queued-but-unstarted item, so cancellation buys nothing — and
+        # shutdown(cancel_futures=True) can deadlock interpreter exit when
+        # a submission fails to pickle (the executor manager rebinds its
+        # pending-work dict while the queue feeder still pops failures
+        # from the old one, leaving a phantom item the manager waits on
+        # forever).
+        workers = dict(getattr(executor, "_processes", None) or {})
+        executor.shutdown(wait=False)
+        if any(not future.done() for future in abandoned):
+            # A hung task may never return; don't let its worker block
+            # interpreter shutdown. The pool is already abandoned, so
+            # tearing down its processes is safe.
+            for process in workers.values():
+                process.kill()
+
+    for index in degrade_serially:
+        results[index] = _run_one_serial(
+            job, materialized[index], index, policy, report, stage="serial"
+        )
+    return results
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     *,
     workers: int | None = None,
     chunksize: int = 1,
+    policy: RetryPolicy | None = None,
+    report: MapReport | None = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, in-process or across a process pool.
 
     ``fn`` must be pure with respect to the caller's observable state:
     on any pool failure (fork unavailable, unpicklable payloads, a
     worker dying) the whole map is re-run serially, so side effects
-    could be applied twice.  Results always come back in input order.
+    could be applied twice.  Results always come back in input order;
+    with ``policy.on_failure == "skip"``, failed tasks' results are
+    omitted (consult ``report.skipped`` for their indices).
+
+    ``policy`` governs per-task timeouts, retries with deterministic
+    exponential backoff, and exhaustion behaviour; the default retries
+    nothing and re-raises task errors unchanged.  ``report`` (a fresh
+    :class:`~repro.runtime.resilience.MapReport`) receives the
+    structured account of every fault and recovery; the same totals
+    land on ``parallel.*`` obs counters either way.  ``chunksize`` is
+    accepted for backward compatibility and ignored (tasks are
+    scheduled individually so deadlines and retries stay per-task).
 
     When the ambient tracer is retaining spans, every job — pooled or
     serial, so the trace shape is the same either way — is wrapped in
@@ -117,34 +391,44 @@ def parallel_map(
     parent trace and its metrics merge into the parent registry, both
     in input order.
     """
+    del chunksize  # individually scheduled; see docstring
     materialized: Sequence[_T] = list(items)
     count = resolve_workers(workers)
+    policy = policy if policy is not None else _DEFAULT_POLICY
+    report = report if report is not None else MapReport()
     observed = obs.tracer().keep
     job: Callable = _ObservedJob(fn) if observed else fn
-    with obs.span("parallel.map", items=len(materialized), workers=count):
+    with obs.span("parallel.map", items=len(materialized), workers=count) as sp:
         obs.counter("parallel.maps").inc()
         obs.counter("parallel.tasks").inc(len(materialized))
         if count <= 1 or len(materialized) <= 1:
-            raw = [job(item) for item in materialized]
+            raw = _run_serial(job, materialized, policy, report)
         else:
             try:
-                with ProcessPoolExecutor(max_workers=min(count, len(materialized))) as pool:
-                    raw = list(pool.map(job, materialized, chunksize=max(1, chunksize)))
-            except Exception:
-                # Pool setup or transport failed (pickling, OS limits,
-                # a dead worker).  The jobs themselves are
-                # deterministic, so rerunning serially yields the
-                # result the parallel path would have — and any error
-                # genuinely raised by ``fn`` surfaces unchanged here.
-                raw = [job(item) for item in materialized]
+                raw = _run_pool(job, materialized, count, policy, report)
+            except _PoolAbandoned as abandoned:
+                # Pool machinery failed (creation, pickling transport, a
+                # dead worker): the jobs themselves are deterministic,
+                # so the serial rerun yields what the pool would have.
+                # Task errors raised per policy propagate unchanged.
+                raw = _degrade_to_serial(
+                    job, materialized, policy, report, abandoned.reason
+                )
+        if report.degraded:
+            sp.set(degraded=True)
+        if report.failures:
+            sp.set(failures=len(report.failures))
         if not observed:
-            return raw
+            return [r for r in raw if r is not _SKIPPED]
         # Graft each task's observability while the parallel.map span
         # is still open, so task rows nest under it in the trace.
         tracer = obs.tracer()
         registry = obs.registry()
         results: list[_R] = []
-        for index, (result, spans, snapshot) in enumerate(raw):
+        for index, entry in enumerate(raw):
+            if entry is _SKIPPED:
+                continue
+            result, spans, snapshot = entry
             tracer.attach(spans, tid=f"task-{index}")
             registry.merge(snapshot)
             results.append(result)

@@ -1,0 +1,180 @@
+"""Retry policies and structured failure reports for parallel runs.
+
+Long sweeps and campaigns die for boring reasons: one worker segfaults,
+one solve hangs, one task trips over a transient error.  This module is
+the vocabulary :func:`~repro.runtime.parallel.parallel_map` uses to
+survive those faults *visibly*:
+
+* :class:`RetryPolicy` — per-task timeout, bounded retries with
+  **deterministic** exponential backoff (no jitter: a retried run is
+  reproducible), and the exhaustion behaviour (``raise``/``degrade``/
+  ``skip``);
+* :class:`TaskFailure` — one task's terminal failure, structured enough
+  to be serialized into a CI artifact;
+* :class:`MapReport` — everything that went wrong (and was recovered)
+  during one map: failures, retries, timeouts, pool degradation.
+
+Nothing here executes tasks; the scheduler lives in
+:mod:`repro.runtime.parallel` and the failure modes themselves are
+exercised by the deterministic harness in :mod:`repro.runtime.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = [
+    "FAILURE_MODES",
+    "MapReport",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskFailureError",
+]
+
+#: Accepted values for :attr:`RetryPolicy.on_failure`.
+FAILURE_MODES = ("raise", "degrade", "skip")
+
+
+class TaskFailureError(ReproError):
+    """A parallel task failed terminally (retries exhausted).
+
+    Raised when the original task exception cannot be re-raised as-is —
+    a per-task timeout, where there *is* no task exception, only an
+    overdue future.  Carries the structured :class:`TaskFailure`.
+    """
+
+    def __init__(self, failure: "TaskFailure"):
+        super().__init__(
+            f"task {failure.index} failed after {failure.attempts} attempt(s) "
+            f"[{failure.stage}]: {failure.error_type}: {failure.message}"
+        )
+        self.failure = failure
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How a parallel map treats task faults.
+
+    Parameters
+    ----------
+    timeout:
+        Per-task wall-clock budget in seconds, measured from the moment
+        the task is handed to a pool worker.  ``None`` disables it.
+        Timeouts are a *pool* feature: serial execution cannot preempt
+        a running task, so on the serial path (and on the serial
+        degrade rerun) the timeout is not enforced.
+    max_retries:
+        Extra attempts after the first, per task.  A task therefore
+        runs at most ``max_retries + 1`` times.
+    backoff_base:
+        Seconds slept before retry ``k`` (1-based): ``backoff_base *
+        2**(k-1)``, capped at ``backoff_cap``.  The schedule is a pure
+        function of the attempt number — deterministic by design.
+    backoff_cap:
+        Upper bound on any single backoff sleep.
+    on_failure:
+        What happens when a task exhausts its attempts:
+
+        ``"raise"``
+            Re-raise the task's own exception (timeouts raise
+            :class:`TaskFailureError`).  The default, and the seed
+            behaviour callers already rely on.
+        ``"degrade"``
+            Give the task one final attempt-loop serially in the parent
+            process (the pool environment itself may be the problem);
+            if that also fails, raise.
+        ``"skip"``
+            Drop the task's result from the map output and record the
+            failure in the :class:`MapReport`.  Callers whose results
+            must stay positionally aligned with their inputs must
+            consult :attr:`MapReport.skipped`.
+    """
+
+    timeout: float | None = None
+    max_retries: int = 0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ReproError(f"retry timeout must be > 0 seconds, got {self.timeout!r}")
+        if self.max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.backoff_base < 0:
+            raise ReproError(f"backoff_base must be >= 0, got {self.backoff_base!r}")
+        if self.backoff_cap < 0:
+            raise ReproError(f"backoff_cap must be >= 0, got {self.backoff_cap!r}")
+        if self.on_failure not in FAILURE_MODES:
+            raise ReproError(
+                f"on_failure must be one of {FAILURE_MODES}, got {self.on_failure!r}"
+            )
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts a task may consume (first run + retries)."""
+        return self.max_retries + 1
+
+    def delay(self, retry_number: int) -> float:
+        """Backoff before retry ``retry_number`` (1-based), in seconds."""
+        if retry_number < 1:
+            raise ReproError(f"retry_number must be >= 1, got {retry_number!r}")
+        return min(self.backoff_base * 2 ** (retry_number - 1), self.backoff_cap)
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFailure:
+    """One task's terminal failure, ready for a report or a CI artifact."""
+
+    index: int
+    stage: str  # "pool" | "serial"
+    attempts: int
+    error_type: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "stage": self.stage,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class MapReport:
+    """What one :func:`~repro.runtime.parallel.parallel_map` survived.
+
+    Callers pass a fresh instance in and inspect it afterwards; the map
+    itself also mirrors the interesting totals into ``repro.obs``
+    counters so untraced runs still leave evidence.
+    """
+
+    failures: list[TaskFailure] = field(default_factory=list)
+    skipped: list[int] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    degraded: bool = False
+    degraded_reason: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        """Whether the map ran with no fault of any kind."""
+        return not (
+            self.failures or self.skipped or self.retries or self.timeouts or self.degraded
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (the CI failure artifact)."""
+        return {
+            "failures": [f.to_dict() for f in self.failures],
+            "skipped": list(self.skipped),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+        }

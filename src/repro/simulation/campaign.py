@@ -33,6 +33,7 @@ from repro.core.model import SystemModel
 from repro.errors import SimulationError
 from repro.optimize.deployment import Deployment
 from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import MapReport, RetryPolicy
 from repro.simulation.detector import (
     DEFAULT_DETECTION_THRESHOLD,
     EvidenceAccumulationDetector,
@@ -300,6 +301,8 @@ def run_campaigns(
     *,
     seeds: Sequence[int],
     workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    report: MapReport | None = None,
     **kwargs: object,
 ) -> list[CampaignResult]:
     """Run the same campaign under each seed, optionally in parallel.
@@ -309,6 +312,10 @@ def run_campaigns(
     each one is bit-identical to ``run_campaign(model, deployment,
     seed=s, ...)`` run serially — replays only share the model, never
     random state, so worker scheduling cannot leak between them.
+    ``policy`` adds per-seed timeouts/retries (see
+    :class:`~repro.runtime.resilience.RetryPolicy`); under
+    ``on_failure="skip"`` the skipped seeds' results are absent and
+    their positions listed in ``report.skipped``.
     """
     if not seeds:
         raise SimulationError("run_campaigns needs at least one seed")
@@ -318,4 +325,6 @@ def run_campaigns(
         _campaign_job,
         [(model, deployment.monitor_ids, int(seed), dict(kwargs)) for seed in seeds],
         workers=workers,
+        policy=policy,
+        report=report,
     )

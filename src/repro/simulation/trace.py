@@ -15,6 +15,7 @@ from collections.abc import Iterable
 from pathlib import Path
 
 from repro.errors import SerializationError
+from repro.export.jsonsafe import dumps as _strict_dumps
 from repro.simulation.campaign import CampaignResult
 from repro.simulation.records import Observation
 
@@ -25,7 +26,7 @@ def observations_to_jsonl(observations: Iterable[Observation]) -> str:
     """Serialize observations, time-ordered, one JSON object per line."""
     ordered = sorted(observations, key=lambda o: (o.time, o.run_id, o.monitor_id))
     lines = [
-        json.dumps(
+        _strict_dumps(
             {
                 "time": o.time,
                 "run": o.run_id,

@@ -18,6 +18,12 @@ solver.  This package provides one that is self-contained:
 from repro.errors import SolverError
 from repro.solver.branch_and_bound import solve_branch_and_bound
 from repro.solver.enumerate import solve_by_enumeration
+from repro.solver.fallback import (
+    DEFAULT_CHAIN,
+    BackendAttempt,
+    FallbackOutcome,
+    solve_with_fallback,
+)
 from repro.solver.expressions import (
     Constraint,
     ConstraintSense,
@@ -36,8 +42,12 @@ from repro.solver.lpwriter import model_to_lp_string
 from repro.solver.scipy_backend import solve_scipy_milp
 
 __all__ = [
+    "BackendAttempt",
     "Constraint",
     "ConstraintSense",
+    "DEFAULT_CHAIN",
+    "FallbackOutcome",
+    "solve_with_fallback",
     "LinearExpression",
     "Variable",
     "VarKind",
@@ -55,7 +65,7 @@ __all__ = [
 ]
 
 #: Registered backend names accepted by :func:`solve`.
-BACKENDS = ("scipy", "branch-and-bound", "enumeration")
+BACKENDS = ("scipy", "branch-and-bound", "enumeration", "fallback")
 
 
 def solve(model: MilpModel, backend: str = "scipy", *, time_limit: float | None = None) -> Solution:
@@ -69,7 +79,10 @@ def solve(model: MilpModel, backend: str = "scipy", *, time_limit: float | None 
         One of :data:`BACKENDS`.  ``"scipy"`` (HiGHS) is the default and
         the right choice for anything non-trivial; ``"branch-and-bound"``
         is the dependency-free exact solver; ``"enumeration"`` is the
-        test oracle and refuses more than ~20 integer variables.
+        test oracle and refuses more than ~20 integer variables;
+        ``"fallback"`` tries the default chain (scipy, then
+        branch-and-bound) and answers with the first viable backend —
+        the :class:`Solution.backend` field records which one.
     time_limit:
         Wall-clock limit in seconds (ignored by the enumeration oracle).
     """
@@ -79,4 +92,6 @@ def solve(model: MilpModel, backend: str = "scipy", *, time_limit: float | None 
         return solve_branch_and_bound(model, time_limit=time_limit)
     if backend == "enumeration":
         return solve_by_enumeration(model)
+    if backend == "fallback":
+        return solve_with_fallback(model, DEFAULT_CHAIN, time_limit=time_limit).solution
     raise SolverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

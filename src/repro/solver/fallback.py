@@ -1,0 +1,147 @@
+"""The solver fallback chain: try backends in order, remember why.
+
+A campaign that dies because one HiGHS call tripped over a numerical
+pathology is a campaign that never reports anything.  The chain tries
+each backend in order and answers with the **first viable** one:
+
+* a backend that returns a solution (optimal, feasible, *or* a proven
+  INFEASIBLE verdict) answers the chain — infeasibility is a property
+  of the model, not a backend failure, so it must stop the chain rather
+  than fall through to a solver that would "find" something;
+* a backend that raises is recorded (:class:`BackendAttempt`) and the
+  next backend gets the same compiled problem;
+* :class:`~repro.errors.UnboundedError` propagates immediately — an
+  unbounded model is unbounded under every exact backend.
+
+:func:`solve_with_fallback` returns a :class:`FallbackOutcome` carrying
+the answering solution plus the full attempt history, so callers (and
+the ``solver.fallback.*`` obs counters) can see which backend answered
+and why its predecessors failed.  ``solve(model, "fallback")`` routes
+through the default chain for callers that only speak backend names —
+including every ``--backend`` CLI flag.
+
+Fault-injection sites: each dispatch first pokes
+``solver.<backend>`` through :func:`repro.runtime.faults.poke`, which
+is how ``tests/faults`` scripts backend crashes and infeasibility
+without monkey-patching solver internals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import SolverError, UnboundedError
+from repro.runtime import faults
+from repro.solver.model import MilpModel, Solution, SolutionStatus
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "BackendAttempt",
+    "FallbackOutcome",
+    "solve_with_fallback",
+]
+
+#: Backends the chain tries, in order: the fast production backend
+#: first, the dependency-light exact solver as the understudy.
+DEFAULT_CHAIN: tuple[str, ...] = ("scipy", "branch-and-bound")
+
+
+@dataclass(frozen=True, slots=True)
+class BackendAttempt:
+    """One backend's turn in the chain."""
+
+    backend: str
+    answered: bool
+    error_type: str = ""
+    error: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "backend": self.backend,
+            "answered": self.answered,
+            "error_type": self.error_type,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class FallbackOutcome:
+    """The chain's answer plus the full attempt history."""
+
+    solution: Solution
+    attempts: tuple[BackendAttempt, ...]
+
+    @property
+    def backend(self) -> str:
+        """The backend that answered."""
+        return self.attempts[-1].backend
+
+    @property
+    def rescued(self) -> bool:
+        """Whether any predecessor failed before a backend answered."""
+        return len(self.attempts) > 1
+
+    @property
+    def failures(self) -> tuple[BackendAttempt, ...]:
+        """The attempts that failed, in chain order."""
+        return tuple(a for a in self.attempts if not a.answered)
+
+
+def solve_with_fallback(
+    model: MilpModel,
+    backends: Sequence[str] = DEFAULT_CHAIN,
+    *,
+    time_limit: float | None = None,
+) -> FallbackOutcome:
+    """Solve ``model`` with the first backend in ``backends`` that answers.
+
+    Raises
+    ------
+    repro.errors.SolverError
+        When every backend fails; the message lists each backend's
+        error so the chain's history survives into logs.
+    repro.errors.UnboundedError
+        Immediately — no backend disagrees about unboundedness.
+    """
+    from repro.solver import solve  # local import: repro.solver re-exports this module
+
+    if not backends:
+        raise SolverError("solve_with_fallback needs at least one backend")
+    attempts: list[BackendAttempt] = []
+    with obs.span("solver.fallback", backends=",".join(backends)) as sp:
+        for backend in backends:
+            obs.counter("solver.fallback.attempts").inc()
+            try:
+                injected = faults.poke(f"solver.{backend}")
+                if injected == "infeasible":
+                    solution = Solution(
+                        SolutionStatus.INFEASIBLE, float("nan"), {}, backend
+                    )
+                else:
+                    solution = solve(model, backend, time_limit=time_limit)
+            except UnboundedError:
+                raise
+            except Exception as exc:
+                attempts.append(
+                    BackendAttempt(
+                        backend=backend,
+                        answered=False,
+                        error_type=type(exc).__name__,
+                        error=str(exc),
+                    )
+                )
+                obs.counter("solver.fallback.failures").inc()
+                continue
+            attempts.append(BackendAttempt(backend=backend, answered=True))
+            if len(attempts) > 1:
+                obs.counter("solver.fallback.rescues").inc()
+            sp.set(answered=backend, failed=len(attempts) - 1)
+            return FallbackOutcome(solution=solution, attempts=tuple(attempts))
+        sp.set(answered="", failed=len(attempts))
+    obs.counter("solver.fallback.exhausted").inc()
+    history = "; ".join(f"{a.backend}: {a.error_type}: {a.error}" for a in attempts)
+    raise SolverError(
+        f"every backend in the fallback chain failed for model {model.name!r} ({history})"
+    )

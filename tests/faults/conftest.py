@@ -1,0 +1,45 @@
+"""Shared helpers for the fault-injection suite.
+
+Every test here drives a scripted :class:`repro.runtime.faults.FaultPlan`
+through a recovery path and checks the outcome against a fault-free
+serial oracle.  The ``persist_report`` fixture additionally writes each
+test's :class:`~repro.runtime.resilience.MapReport` to the directory
+named by ``REPRO_FAULT_REPORT_DIR`` (when set), which is how CI uploads
+structured failure evidence as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.resilience import MapReport
+
+#: Environment variable naming the directory MapReports are persisted to.
+REPORT_DIR_ENV = "REPRO_FAULT_REPORT_DIR"
+
+
+@pytest.fixture
+def persist_report(request):
+    """A ``record(report)`` callable that lands reports in CI artifacts.
+
+    Returns the report unchanged so call sites can use it inline:
+    ``report = persist_report(report)``.  Without ``REPRO_FAULT_REPORT_DIR``
+    in the environment it is a pass-through.
+    """
+
+    def record(report: MapReport) -> MapReport:
+        target = os.environ.get(REPORT_DIR_ENV, "").strip()
+        if target:
+            directory = Path(target)
+            directory.mkdir(parents=True, exist_ok=True)
+            slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+            path = directory / f"{slug}.json"
+            path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        return report
+
+    return record

@@ -1,0 +1,98 @@
+"""Pool breakage: a dying worker degrades the map to serial, visibly.
+
+An ``exit`` fault calls ``os._exit(1)`` inside a pool worker, which
+surfaces as ``BrokenProcessPool`` in the parent.  The contract: the map
+re-runs serially, produces the oracle results (the fault's attempt
+budget was consumed by the dead worker), and the degradation is
+recorded in both the :class:`MapReport` and the ``parallel.*`` counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.runtime.faults import FaultPlan, FaultSpec, FaultyJob, task_site
+from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import MapReport, RetryPolicy
+
+ITEMS = list(range(6))
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+ORACLE = [_double(x) for x in ITEMS]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_broken_pool_degrades_to_serial_with_oracle_results(
+    tmp_path, workers, persist_report
+):
+    state = tmp_path / "state"
+    state.mkdir()
+    plan = FaultPlan.of(state, {task_site(2): FaultSpec(kind="exit", times=1)})
+    report = MapReport()
+    with obs.capture() as cap:
+        results = parallel_map(
+            FaultyJob(_double, plan), ITEMS, workers=workers, report=report
+        )
+    persist_report(report)
+    assert results == ORACLE
+    assert report.degraded
+    assert "BrokenProcessPool" in (report.degraded_reason or "")
+    counters = cap.registry.snapshot()["counters"]
+    assert counters["parallel.pool_failures"] == 1.0
+    assert counters["parallel.degraded_maps"] == 1.0
+
+
+def test_degraded_rerun_still_applies_the_retry_policy(tmp_path, persist_report):
+    """Pool death and a genuinely flaky task in the same map.
+
+    The serial rerun keeps honouring the policy: the ``error`` fault
+    exhausts its attempts there and is skipped, while every other task
+    (including the one whose worker died) produces its oracle result.
+    """
+    state = tmp_path / "state"
+    state.mkdir()
+    plan = FaultPlan.of(
+        state,
+        {
+            task_site(2): FaultSpec(kind="exit", times=1),
+            task_site(5): FaultSpec(kind="error", times=-1),
+        },
+    )
+    report = MapReport()
+    policy = RetryPolicy(max_retries=1, backoff_base=0.0, on_failure="skip")
+    results = parallel_map(
+        FaultyJob(_double, plan), ITEMS, workers=2, policy=policy, report=report
+    )
+    persist_report(report)
+    assert results == [_double(x) for x in ITEMS if x != 5]
+    assert report.degraded
+    assert 5 in report.skipped
+    assert any(f.index == 5 and f.stage == "serial" for f in report.failures)
+
+
+def test_exit_fault_refuses_to_kill_the_parent(tmp_path):
+    """On the serial path the exit fault downgrades to an exception.
+
+    ``os._exit`` in the test process would take pytest down with it;
+    the plan records its constructing PID and refuses, raising
+    ``InjectedFault`` instead — which the retry loop then handles like
+    any task error.
+    """
+    state = tmp_path / "state"
+    state.mkdir()
+    plan = FaultPlan.of(state, {task_site(0): FaultSpec(kind="exit", times=1)})
+    report = MapReport()
+    results = parallel_map(
+        FaultyJob(_double, plan),
+        ITEMS,
+        workers=1,
+        policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+        report=report,
+    )
+    assert results == ORACLE
+    assert report.retries == 1

@@ -1,0 +1,116 @@
+"""Retry recovery: faulted maps converge to the fault-free serial oracle.
+
+The acceptance bar for the whole harness: a task that fails fewer times
+than ``max_retries`` allows must leave **no trace in the results** —
+bit-identical output to a serial fault-free run — at 1, 2, and 4
+workers, with the recovery visible only in the :class:`MapReport` and
+the ``parallel.*`` counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.runtime.faults import FaultPlan, FaultSpec, FaultyJob, InjectedFault, task_site
+from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import MapReport, RetryPolicy
+
+ITEMS = list(range(8))
+
+
+def _cube(x: int) -> int:
+    return x * x * x
+
+
+ORACLE = [_cube(x) for x in ITEMS]
+
+#: Items whose first two attempts are scripted to raise.
+FAULTED = (1, 4, 6)
+
+
+def _flaky_plan(tmp_path) -> FaultPlan:
+    state = tmp_path / "state"
+    state.mkdir()
+    return FaultPlan.of(
+        state, {task_site(i): FaultSpec(kind="error", times=2) for i in FAULTED}
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_retried_results_match_serial_oracle(tmp_path, workers, persist_report):
+    job = FaultyJob(_cube, _flaky_plan(tmp_path))
+    report = MapReport()
+    policy = RetryPolicy(max_retries=2, backoff_base=0.0)
+    results = parallel_map(job, ITEMS, workers=workers, policy=policy, report=report)
+    persist_report(report)
+    assert results == ORACLE
+    assert report.retries == 2 * len(FAULTED)
+    assert not report.failures and not report.skipped and not report.degraded
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_exhausted_retries_raise_the_original_exception(tmp_path, workers):
+    state = tmp_path / "state"
+    state.mkdir()
+    plan = FaultPlan.of(state, {task_site(3): FaultSpec(kind="error", times=-1)})
+    with pytest.raises(InjectedFault):
+        parallel_map(
+            FaultyJob(_cube, plan),
+            ITEMS,
+            workers=workers,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+        )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_skip_drops_only_the_faulted_task(tmp_path, workers, persist_report):
+    state = tmp_path / "state"
+    state.mkdir()
+    plan = FaultPlan.of(state, {task_site(3): FaultSpec(kind="error", times=-1)})
+    report = MapReport()
+    policy = RetryPolicy(max_retries=1, backoff_base=0.0, on_failure="skip")
+    results = parallel_map(
+        FaultyJob(_cube, plan), ITEMS, workers=workers, policy=policy, report=report
+    )
+    persist_report(report)
+    assert results == [_cube(x) for x in ITEMS if x != 3]
+    assert report.skipped == [3]
+    assert [f.index for f in report.failures] == [3]
+    assert report.failures[0].error_type == "InjectedFault"
+
+
+def test_retry_counters_mirror_the_report(tmp_path):
+    job = FaultyJob(_cube, _flaky_plan(tmp_path))
+    report = MapReport()
+    with obs.capture() as cap:
+        results = parallel_map(
+            job,
+            ITEMS,
+            workers=2,
+            policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+            report=report,
+        )
+    assert results == ORACLE
+    counters = cap.registry.snapshot()["counters"]
+    assert counters["parallel.retries"] == report.retries
+    assert counters["parallel.tasks"] == len(ITEMS)
+    assert "parallel.task_failures" not in counters
+
+
+def test_backoff_schedule_is_deterministic():
+    policy = RetryPolicy(max_retries=5, backoff_base=0.05, backoff_cap=0.4)
+    assert [policy.delay(k) for k in range(1, 6)] == [0.05, 0.1, 0.2, 0.4, 0.4]
+    with pytest.raises(ReproError):
+        policy.delay(0)
+
+
+def test_policy_validation():
+    with pytest.raises(ReproError):
+        RetryPolicy(timeout=0.0)
+    with pytest.raises(ReproError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ReproError):
+        RetryPolicy(on_failure="explode")
+    assert RetryPolicy(max_retries=2).attempts == 3

@@ -1,0 +1,90 @@
+"""Determinism and bookkeeping of the fault plans themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    inject,
+    poke,
+    seeded_plan,
+    task_site,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="meteor")
+    with pytest.raises(ValueError):
+        FaultSpec(times=-2)
+    with pytest.raises(ValueError):
+        FaultSpec(seconds=-1.0)
+    assert set(FAULT_KINDS) == {"error", "hang", "exit", "infeasible"}
+
+
+def test_spec_attempt_budget():
+    assert FaultSpec(times=2).applies_to(1)
+    assert FaultSpec(times=2).applies_to(2)
+    assert not FaultSpec(times=2).applies_to(3)
+    assert FaultSpec(times=-1).applies_to(10_000)
+
+
+def test_plan_requires_an_existing_state_dir(tmp_path):
+    with pytest.raises(ValueError):
+        FaultPlan.of(tmp_path / "missing", {})
+
+
+def test_attempt_numbers_are_claimed_monotonically(tmp_path):
+    plan = FaultPlan.of(tmp_path, {})
+    site = task_site("a")
+    assert [plan.next_attempt(site) for _ in range(3)] == [1, 2, 3]
+    assert plan.attempts_seen(site) == 3
+    assert plan.attempts_seen(task_site("b")) == 0
+
+
+def test_fire_consumes_the_attempt_budget(tmp_path):
+    plan = FaultPlan.of(tmp_path, {"s": FaultSpec(kind="error", times=2)})
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            plan.fire("s")
+    assert plan.fire("s") is None  # third attempt proceeds
+    assert plan.fire("unscripted") is None
+
+
+def _state(tmp_path, name):
+    directory = tmp_path / name
+    directory.mkdir()
+    return directory
+
+
+def test_seeded_plan_is_a_pure_function_of_the_seed(tmp_path):
+    sites = [task_site(i) for i in range(32)]
+    a = seeded_plan(_state(tmp_path, "a1"), 7, sites)
+    b = seeded_plan(_state(tmp_path, "a2"), 7, sites)
+    assert set(a.specs) == set(b.specs)
+    other = seeded_plan(_state(tmp_path, "a3"), 8, sites)
+    assert set(a.specs) != set(other.specs)
+
+
+def test_seeded_plan_rate_extremes(tmp_path):
+    sites = [task_site(i) for i in range(10)]
+    assert seeded_plan(_state(tmp_path, "r0"), 0, sites, fault_rate=0.0).specs == {}
+    full = seeded_plan(_state(tmp_path, "r1"), 0, sites, fault_rate=1.0)
+    assert set(full.specs) == set(sites)
+    with pytest.raises(ValueError):
+        seeded_plan(_state(tmp_path, "r2"), 0, sites, fault_rate=1.5)
+
+
+def test_inject_installs_and_restores_the_ambient_plan(tmp_path):
+    plan = FaultPlan.of(tmp_path, {"site": FaultSpec(kind="infeasible", times=-1)})
+    assert active_plan() is None
+    assert poke("site") is None  # no plan installed: free no-op
+    with inject(plan):
+        assert active_plan() is plan
+        assert poke("site") == "infeasible"
+    assert active_plan() is None

@@ -1,0 +1,166 @@
+"""The solver fallback chain under injected backend failures.
+
+Backend crashes are scripted through the ambient fault plan
+(``solver.<backend>`` sites), so these tests never monkey-patch solver
+internals: the chain takes exactly the code path a real HiGHS failure
+would trigger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import InfeasibleError, SolverError
+from repro.metrics.cost import Budget
+from repro.optimize.problem import MaxUtilityProblem
+from repro.runtime import faults
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.solver import (
+    DEFAULT_CHAIN,
+    MilpModel,
+    SolutionStatus,
+    solve,
+    solve_with_fallback,
+)
+
+
+def _knapsack() -> MilpModel:
+    model = MilpModel("knapsack")
+    values = [10, 13, 7, 8, 12]
+    weights = [3, 4, 2, 3, 4]
+    x = [model.binary(f"x{i}") for i in range(5)]
+    model.add_constraint(sum(w * v for w, v in zip(weights, x)) <= 8)
+    model.set_objective(sum(c * v for c, v in zip(values, x)))
+    return model
+
+
+def _plan(tmp_path, specs) -> FaultPlan:
+    state = tmp_path / "state"
+    state.mkdir(exist_ok=True)
+    return FaultPlan.of(state, specs)
+
+
+def test_clean_chain_answers_with_the_first_backend():
+    outcome = solve_with_fallback(_knapsack())
+    assert outcome.backend == DEFAULT_CHAIN[0]
+    assert not outcome.rescued
+    assert outcome.failures == ()
+    assert outcome.solution.objective == pytest.approx(25.0)
+
+
+def test_failed_backend_falls_through_and_records_why(tmp_path):
+    plan = _plan(tmp_path, {"solver.scipy": FaultSpec(kind="error", times=-1)})
+    with faults.inject(plan), obs.capture() as cap:
+        outcome = solve_with_fallback(_knapsack())
+    assert outcome.backend == "branch-and-bound"
+    assert outcome.rescued
+    assert [a.backend for a in outcome.attempts] == ["scipy", "branch-and-bound"]
+    assert outcome.attempts[0].answered is False
+    assert outcome.attempts[0].error_type == "InjectedFault"
+    assert outcome.solution.objective == pytest.approx(25.0)
+    counters = cap.registry.snapshot()["counters"]
+    assert counters["solver.fallback.attempts"] == 2.0
+    assert counters["solver.fallback.failures"] == 1.0
+    assert counters["solver.fallback.rescues"] == 1.0
+
+
+def test_exhausted_chain_raises_with_full_history(tmp_path):
+    plan = _plan(
+        tmp_path,
+        {
+            "solver.scipy": FaultSpec(kind="error", times=-1, message="scipy down"),
+            "solver.branch-and-bound": FaultSpec(kind="error", times=-1, message="bb down"),
+        },
+    )
+    with faults.inject(plan), obs.capture() as cap:
+        with pytest.raises(SolverError) as excinfo:
+            solve_with_fallback(_knapsack())
+    message = str(excinfo.value)
+    assert "scipy down" in message and "bb down" in message
+    counters = cap.registry.snapshot()["counters"]
+    assert counters["solver.fallback.exhausted"] == 1.0
+
+
+def test_infeasible_verdict_stops_the_chain(tmp_path):
+    """Infeasibility is a property of the model, not a backend failure.
+
+    The chain must report the first backend's INFEASIBLE verdict rather
+    than fall through to another solver (or a heuristic) that would
+    "find" something.
+    """
+    plan = _plan(tmp_path, {"solver.scipy": FaultSpec(kind="infeasible", times=-1)})
+    with faults.inject(plan):
+        outcome = solve_with_fallback(_knapsack())
+    assert outcome.solution.status is SolutionStatus.INFEASIBLE
+    assert outcome.backend == "scipy"
+    assert not outcome.rescued
+
+
+def test_fallback_backend_name_routes_through_the_chain(tmp_path):
+    plan = _plan(tmp_path, {"solver.scipy": FaultSpec(kind="error", times=-1)})
+    with faults.inject(plan):
+        solution = solve(_knapsack(), "fallback")
+    assert solution.objective == pytest.approx(25.0)
+
+
+def test_empty_chain_is_rejected():
+    with pytest.raises(SolverError):
+        solve_with_fallback(_knapsack(), ())
+
+
+class TestProblemFallback:
+    def test_answers_like_a_plain_solve(self, toy_model):
+        problem = MaxUtilityProblem(toy_model, Budget.of(cpu=6))
+        plain = problem.solve()
+        result = problem.solve_with_fallback()
+        assert result.deployment.monitor_ids == plain.deployment.monitor_ids
+        assert result.utility == pytest.approx(plain.utility)
+        assert result.stats["fallback_attempts"] == 1.0
+        assert result.stats["fallback_failures"] == 0.0
+
+    def test_rescued_by_the_second_backend(self, tmp_path, toy_model):
+        plan = _plan(tmp_path, {"solver.scipy": FaultSpec(kind="error", times=-1)})
+        problem = MaxUtilityProblem(toy_model, Budget.of(cpu=6))
+        with faults.inject(plan):
+            result = problem.solve_with_fallback()
+        assert result.method == "ilp/branch-and-bound"
+        assert result.stats["fallback_attempts"] == 2.0
+        assert result.stats["fallback_failures"] == 1.0
+        assert result.utility == pytest.approx(problem.solve().utility)
+
+    def test_greedy_stands_in_when_every_backend_errors(self, tmp_path, toy_model):
+        plan = _plan(
+            tmp_path,
+            {
+                "solver.scipy": FaultSpec(kind="error", times=-1),
+                "solver.branch-and-bound": FaultSpec(kind="error", times=-1),
+            },
+        )
+        problem = MaxUtilityProblem(toy_model, Budget.of(cpu=6))
+        with faults.inject(plan):
+            result = problem.solve_with_fallback()
+        assert result.method == "greedy-fallback"
+        assert result.optimal is False
+        assert all(isinstance(v, float) for v in result.stats.values())
+        assert result.deployment.cost().get("cpu") <= 6.0
+
+    def test_greedy_rescue_is_refused_under_a_cardinality_cap(self, tmp_path, toy_model):
+        plan = _plan(
+            tmp_path,
+            {
+                "solver.scipy": FaultSpec(kind="error", times=-1),
+                "solver.branch-and-bound": FaultSpec(kind="error", times=-1),
+            },
+        )
+        problem = MaxUtilityProblem(toy_model, Budget.of(cpu=6), max_monitors=1)
+        with faults.inject(plan):
+            with pytest.raises(SolverError):
+                problem.solve_with_fallback()
+
+    def test_infeasible_verdict_never_reaches_greedy(self, tmp_path, toy_model):
+        plan = _plan(tmp_path, {"solver.scipy": FaultSpec(kind="infeasible", times=-1)})
+        problem = MaxUtilityProblem(toy_model, Budget.of(cpu=6))
+        with faults.inject(plan):
+            with pytest.raises(InfeasibleError):
+                problem.solve_with_fallback()

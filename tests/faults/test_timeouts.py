@@ -1,0 +1,94 @@
+"""Per-task timeouts: hung tasks are abandoned, retried, and recovered.
+
+``hang`` faults sleep and then *succeed*, so a timeout + retry run must
+still produce oracle-identical results: the first attempt is abandoned
+past its deadline and the retry (whose attempt number exceeds the
+fault's budget) returns the real value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.runtime.faults import FaultPlan, FaultSpec, FaultyJob, task_site
+from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import MapReport, RetryPolicy, TaskFailureError
+
+ITEMS = list(range(5))
+
+
+def _negate(x: int) -> int:
+    return -x
+
+
+ORACLE = [_negate(x) for x in ITEMS]
+
+
+def _hang_plan(tmp_path, *, times: int = 1, seconds: float = 2.0) -> FaultPlan:
+    state = tmp_path / "state"
+    state.mkdir()
+    return FaultPlan.of(
+        state, {task_site(2): FaultSpec(kind="hang", times=times, seconds=seconds)}
+    )
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_timed_out_task_retries_to_the_oracle_result(tmp_path, workers, persist_report):
+    plan = _hang_plan(tmp_path)
+    report = MapReport()
+    policy = RetryPolicy(timeout=0.5, max_retries=1, backoff_base=0.0)
+    with obs.capture() as cap:
+        results = parallel_map(
+            FaultyJob(_negate, plan), ITEMS, workers=workers, policy=policy, report=report
+        )
+    persist_report(report)
+    assert results == ORACLE
+    assert report.timeouts >= 1
+    assert report.retries >= 1
+    counters = cap.registry.snapshot()["counters"]
+    assert counters["parallel.timeouts"] == report.timeouts
+
+
+def test_persistent_hang_raises_task_failure_error(tmp_path, persist_report):
+    plan = _hang_plan(tmp_path, times=-1)
+    report = MapReport()
+    policy = RetryPolicy(timeout=0.4, max_retries=0)
+    with pytest.raises(TaskFailureError) as excinfo:
+        parallel_map(
+            FaultyJob(_negate, plan), ITEMS, workers=2, policy=policy, report=report
+        )
+    persist_report(report)
+    assert excinfo.value.failure.index == 2
+    assert excinfo.value.failure.error_type == "TimeoutError"
+    assert report.timeouts == 1
+    assert [f.index for f in report.failures] == [2]
+
+
+def test_persistent_hang_can_be_skipped(tmp_path, persist_report):
+    plan = _hang_plan(tmp_path, times=-1)
+    report = MapReport()
+    policy = RetryPolicy(timeout=0.4, max_retries=0, on_failure="skip")
+    results = parallel_map(
+        FaultyJob(_negate, plan), ITEMS, workers=2, policy=policy, report=report
+    )
+    persist_report(report)
+    assert results == [_negate(x) for x in ITEMS if x != 2]
+    assert report.skipped == [2]
+
+
+def test_timeout_is_not_enforced_on_the_serial_path(tmp_path):
+    """Serial execution cannot preempt a task; the hang just runs long.
+
+    Documented behaviour: with ``workers=1`` the hang fault sleeps and
+    then succeeds, so the map returns the oracle with no timeout
+    recorded.
+    """
+    plan = _hang_plan(tmp_path, seconds=0.3)
+    report = MapReport()
+    policy = RetryPolicy(timeout=0.05, max_retries=0)
+    results = parallel_map(
+        FaultyJob(_negate, plan), ITEMS, workers=1, policy=policy, report=report
+    )
+    assert results == ORACLE
+    assert report.timeouts == 0 and report.clean

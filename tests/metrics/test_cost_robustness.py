@@ -1,0 +1,77 @@
+"""Regressions for the cost-reporting helpers' edge cases.
+
+A budget may legitimately constrain a dimension no monitor spends in
+(capacity reserved for gear that was never bought); the reporting
+helpers must treat that spend as 0.0, not fail.  Also pins the error
+messages invalid utility weights produce — callers match on them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.cost import Budget, budget_utilization, residual_budget
+from repro.metrics.utility import UtilityWeights
+
+
+class TestUnspentDimensions:
+    def test_utilization_of_an_unspent_dimension_is_zero(self, toy_model):
+        budget = Budget.of(cpu=10, gpu=4)  # no toy monitor has a gpu cost
+        deployed = frozenset(toy_model.monitors)
+        utilization = budget_utilization(toy_model, deployed, budget)
+        assert utilization["gpu"] == 0.0
+        assert utilization["cpu"] > 0.0
+
+    def test_residual_of_an_unspent_dimension_is_the_full_limit(self, toy_model):
+        budget = Budget.of(cpu=10, gpu=4)
+        deployed = frozenset(toy_model.monitors)
+        residual = residual_budget(toy_model, deployed, budget)
+        assert residual["gpu"] == 4.0
+        assert residual["cpu"] < 10.0
+
+    def test_zero_limit_on_an_unspent_dimension_reports_zero_not_inf(self, toy_model):
+        budget = Budget.of(gpu=0)
+        utilization = budget_utilization(toy_model, frozenset(toy_model.monitors), budget)
+        assert utilization == {"gpu": 0.0}
+
+    def test_empty_deployment_under_a_constraining_budget(self, toy_model):
+        budget = Budget.of(cpu=5, gpu=2)
+        assert budget_utilization(toy_model, frozenset(), budget) == {
+            "cpu": 0.0,
+            "gpu": 0.0,
+        }
+        assert residual_budget(toy_model, frozenset(), budget) == {
+            "cpu": 5.0,
+            "gpu": 2.0,
+        }
+
+
+class TestWeightErrorMessages:
+    def test_negative_weight_names_the_offender(self):
+        with pytest.raises(MetricError, match="'redundancy' must be >= 0"):
+            UtilityWeights(coverage=1.2, redundancy=-0.2, richness=0.0)
+
+    def test_sum_violation_reports_the_total(self):
+        with pytest.raises(MetricError, match="must sum to 1"):
+            UtilityWeights(coverage=0.5, redundancy=0.2, richness=0.2)
+
+    def test_redundancy_cap_floor(self):
+        with pytest.raises(MetricError, match="redundancy_cap must be >= 1"):
+            UtilityWeights(redundancy_cap=0)
+
+    def test_tradeoff_parameter_bounds(self):
+        with pytest.raises(MetricError, match="lie in \\[0, 1\\]"):
+            UtilityWeights.tradeoff(1.5)
+
+
+class TestBudgetValidation:
+    def test_non_finite_limits_are_rejected(self):
+        with pytest.raises(MetricError, match="finite"):
+            Budget.of(cpu=float("inf"))
+        with pytest.raises(MetricError, match="finite"):
+            Budget.of(cpu=float("nan"))
+
+    def test_negative_limits_are_rejected(self):
+        with pytest.raises(MetricError):
+            Budget.of(cpu=-1)

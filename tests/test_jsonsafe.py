@@ -1,0 +1,87 @@
+"""Strict JSON export: no NaN/Infinity token ever reaches a file."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.export.jsonsafe import dumps, sanitize
+from repro.obs import write_trace
+
+
+class TestSanitize:
+    def test_non_finite_floats_become_null(self):
+        assert sanitize(float("nan")) is None
+        assert sanitize(float("inf")) is None
+        assert sanitize(float("-inf")) is None
+
+    def test_finite_values_pass_through(self):
+        assert sanitize(1.5) == 1.5
+        assert sanitize(0) == 0
+        assert sanitize("NaN") == "NaN"
+        assert sanitize(True) is True
+        assert sanitize(None) is None
+
+    def test_recursion_through_containers(self):
+        payload = {
+            "latency": float("nan"),
+            "points": [1.0, float("inf"), (2.0, float("-inf"))],
+            "nested": {"ok": 3.0},
+        }
+        assert sanitize(payload) == {
+            "latency": None,
+            "points": [1.0, None, [2.0, None]],
+            "nested": {"ok": 3.0},
+        }
+
+
+class TestDumps:
+    def test_round_trips_through_strict_loads(self):
+        payload = {"mean_latency": float("nan"), "utilization": float("inf"), "runs": 10}
+        text = dumps(payload, sort_keys=True)
+        loaded = json.loads(text)
+        assert loaded == {"mean_latency": None, "utilization": None, "runs": 10}
+        assert "NaN" not in text and "Infinity" not in text
+
+    def test_allow_nan_cannot_be_reenabled(self):
+        text = dumps([float("nan")], allow_nan=True)
+        assert text == "[null]"
+
+    def test_unswept_non_finite_is_a_hard_error(self):
+        class Sneaky:
+            pass
+
+        with pytest.raises(TypeError):
+            # Not JSON-serializable at all: proves dumps stays strict
+            # instead of silently stringifying unknown objects.
+            dumps(Sneaky())
+
+
+class TestTraceExport:
+    def test_trace_with_nan_metrics_loads_everywhere(self, tmp_path):
+        """A gauge holding NaN must not corrupt the --trace artifact."""
+        with obs.capture() as cap:
+            obs.gauge("campaign.mean_latency").set(float("nan"))
+            obs.gauge("budget.utilization").set(float("inf"))
+            with obs.span("work"):
+                pass
+        path = write_trace(tmp_path / "trace.json", cap.tracer, cap.registry)
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        payload = json.loads(text)
+        gauges = payload["metrics"]["gauges"]
+        assert gauges["campaign.mean_latency"] is None
+        assert gauges["budget.utilization"] is None
+        # The span forest is intact alongside the sanitized metrics.
+        assert any(e["name"] == "work" for e in payload["traceEvents"])
+
+    def test_finite_metrics_survive_unchanged(self, tmp_path):
+        with obs.capture() as cap:
+            obs.counter("runs").inc(3)
+        path = write_trace(tmp_path / "trace.json", cap.tracer, cap.registry)
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["counters"]["runs"] == 3.0
+        assert math.isfinite(payload["metrics"]["counters"]["runs"])
