@@ -18,10 +18,11 @@ from repro.casestudy import synthetic_model
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
 from repro.optimize.greedy import solve_greedy
+from repro.optimize.pareto import budget_sweep
 from repro.optimize.problem import MaxUtilityProblem
 from repro.optimize.random_search import solve_random
 
-from conftest import publish
+from conftest import publish, publish_json
 
 WEIGHTS = UtilityWeights()
 BUDGET_FRACTION = 0.25
@@ -76,3 +77,118 @@ def test_f7_solver_ablation(benchmark, web_model, results_dir):
     )
     publish(results_dir, "f7_solver_ablation", table)
     assert all(gap < 1e-6 for gap in agreement), "exact backends disagree"
+
+
+# F3-scale sweep for the presolve+session ablation (assets/monitors/
+# attacks/seed match benchmarks/test_f3_scaling_monitors.py at its
+# largest point).  The fractions sample the post-knee region where the
+# per-point formulation cost — the part sessions amortize — is a large
+# share of wall time; very tight budgets degenerate into multi-second
+# HiGHS solves that are identical under both configurations and only
+# dilute the comparison.
+SWEEP_FRACTIONS = [round(0.45 + 0.45 * i / 19, 4) for i in range(20)]
+
+
+def run_sweep_pair(model):
+    started = time.perf_counter()
+    cold = budget_sweep(model, SWEEP_FRACTIONS, workers=1)
+    cold_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = budget_sweep(model, SWEEP_FRACTIONS, workers=1, presolve=True)
+    warm_seconds = time.perf_counter() - started
+    return cold, cold_seconds, warm, warm_seconds
+
+
+def test_f7_presolve_session_sweep(benchmark, results_dir):
+    """Warm sessions beat cold solves ≥2x on an F3-scale sweep, bit-identically.
+
+    ``presolve=True`` on a serial sweep upgrades to a
+    :class:`~repro.solver.session.SolveSession` plus a shared
+    :class:`~repro.optimize.family.ProblemFamily` core.  Both are exact
+    accelerations, so every point's objective and chosen deployment
+    must equal the cold solve's *bit for bit* — asserted below — while
+    the sweep as a whole runs at least twice as fast.
+    """
+    model = synthetic_model(assets=80, monitors=400, attacks=100, seed=7)
+    cold, cold_seconds, warm, warm_seconds = benchmark.pedantic(
+        run_sweep_pair, args=(model,), rounds=1, iterations=1
+    )
+
+    for c, w in zip(cold, warm):
+        assert w.result.deployment.monitor_ids == c.result.deployment.monitor_ids, (
+            f"warm sweep chose a different deployment at fraction {c.fraction}"
+        )
+        assert w.result.objective == c.result.objective, (
+            f"warm objective drifted at fraction {c.fraction}: "
+            f"{w.result.objective!r} != {c.result.objective!r}"
+        )
+
+    speedup = cold_seconds / warm_seconds
+    rows = [
+        ["cold (per-point build + solve)", cold_seconds, 1.0],
+        ["warm (session + shared family core)", warm_seconds, speedup],
+    ]
+    table = render_table(
+        ["configuration", "sweep seconds", "speedup"],
+        rows,
+        precision=4,
+        title=f"F7b — Presolve+session sweep, {len(SWEEP_FRACTIONS)} budgets, 400 monitors",
+    )
+    publish(results_dir, "f7_presolve_session_sweep", table)
+    publish_json(
+        results_dir,
+        "f7_presolve_session_sweep",
+        {
+            "fractions": SWEEP_FRACTIONS,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "cold_point_seconds": [p.result.solve_seconds for p in cold],
+            "warm_point_seconds": [p.result.solve_seconds for p in warm],
+        },
+    )
+    assert speedup >= 2.0, (
+        f"warm sweep only {speedup:.2f}x faster ({warm_seconds:.2f}s vs {cold_seconds:.2f}s)"
+    )
+
+
+def test_f7_session_node_guard(benchmark, results_dir):
+    """Warm branch-and-bound explores no more nodes than cold solves.
+
+    A *descending* sweep makes every point a tightening of the last, so
+    the session hands branch-and-bound the previous proven optimum as a
+    dual bound; with the seeded incumbent this can only prune.  The
+    warm incumbent's objective is summed in a different order than the
+    cold LP dot product, so objectives here match to tolerance rather
+    than bit-for-bit (the scipy sweep above asserts strict equality).
+    """
+    model = synthetic_model(assets=12, monitors=40, attacks=30, seed=5)
+    fractions = [0.5, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2]
+
+    def run_pair():
+        cold = budget_sweep(model, fractions, workers=1, backend="branch-and-bound")
+        warm = budget_sweep(
+            model, fractions, workers=1, backend="branch-and-bound", presolve=True
+        )
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    cold_nodes = sum(p.result.stats["nodes"] for p in cold)
+    warm_nodes = sum(p.result.stats["nodes"] for p in warm)
+    for c, w in zip(cold, warm):
+        assert w.result.deployment.monitor_ids == c.result.deployment.monitor_ids
+        assert abs(w.result.objective - c.result.objective) <= 1e-9
+    publish_json(
+        results_dir,
+        "f7_session_node_guard",
+        {
+            "fractions": fractions,
+            "cold_nodes": [p.result.stats["nodes"] for p in cold],
+            "warm_nodes": [p.result.stats["nodes"] for p in warm],
+            "cold_total": cold_nodes,
+            "warm_total": warm_nodes,
+        },
+    )
+    assert warm_nodes <= cold_nodes, (
+        f"warm branch-and-bound explored more nodes ({warm_nodes} > {cold_nodes})"
+    )

@@ -85,6 +85,36 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that runs exact MILP solves."""
+    parser.add_argument(
+        "--presolve",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run the exact reduction pipeline before solving (and, on "
+        "serial sweeps/frontiers, warm-start consecutive solves from "
+        "each other); answers stay provably optimal — when ties exist "
+        "among equally-optimal deployments, a reduced model may break "
+        "them differently",
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="branch-and-bound node cap; when hit, the best incumbent is "
+        "reported with optimal=no instead of erroring",
+    )
+    parser.add_argument(
+        "--gap",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative optimality gap at which an incumbent is accepted "
+        "as optimal (default: prove optimality exactly)",
+    )
+
+
 def _positive_worker_count(text: str) -> int:
     """argparse type for ``--workers``: a strictly positive integer.
 
@@ -264,7 +294,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     weights = _parse_weights(args)
     budget = _parse_budget(model, args)
     result = MaxUtilityProblem(model, budget, weights).solve(
-        args.backend, time_limit=args.timeout
+        args.backend,
+        time_limit=args.timeout,
+        presolve=args.presolve,
+        max_nodes=args.max_nodes,
+        gap=args.gap,
     )
     print(result.summary())
     report = evaluate_deployment(model, result.deployment, weights)
@@ -293,7 +327,13 @@ def _cmd_mincost(args: argparse.Namespace) -> int:
         fully_cover=args.fully_cover.split(",") if args.fully_cover else (),
         weights=weights,
     )
-    result = problem.solve(args.backend, time_limit=args.timeout)
+    result = problem.solve(
+        args.backend,
+        time_limit=args.timeout,
+        presolve=args.presolve,
+        max_nodes=args.max_nodes,
+        gap=args.gap,
+    )
     print(result.summary())
     print(f"scalar cost: {result.objective:.2f}")
     print(f"spend: {result.deployment.cost().as_dict()}")
@@ -318,6 +358,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         policy=_parse_policy(args),
         report=report,
+        presolve=args.presolve,
+        max_nodes=args.max_nodes,
+        gap=args.gap,
     )
     _print_report(report)
     rows = [
@@ -406,7 +449,15 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
 
     model = _load_model(args)
     weights = _parse_weights(args)
-    points = exact_frontier(model, weights, max_points=args.max_points)
+    points = exact_frontier(
+        model,
+        weights,
+        backend=args.backend,
+        max_points=args.max_points,
+        presolve=args.presolve,
+        max_nodes=args.max_nodes,
+        gap=args.gap,
+    )
     print(render_table(
         ["scalar cost", "utility", "#monitors"],
         [[p.scalar_cost, p.utility, len(p.deployment)] for p in points],
@@ -489,6 +540,34 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"{counters.get('cache.evictions', 0.0):g} evictions)"
         )
 
+    runs = counters.get("presolve.runs", 0.0)
+    if runs:
+        cols_before = counters.get("presolve.columns_before", 0.0)
+        cols_after = counters.get("presolve.columns_after", 0.0)
+        rows_before = counters.get("presolve.rows_before", 0.0)
+        rows_after = counters.get("presolve.rows_after", 0.0)
+        col_ratio = 1.0 - cols_after / cols_before if cols_before else 0.0
+        row_ratio = 1.0 - rows_after / rows_before if rows_before else 0.0
+        print(
+            f"\npresolve: {runs:g} run(s); "
+            f"columns {cols_before:g} -> {cols_after:g} ({col_ratio:.1%} removed), "
+            f"rows {rows_before:g} -> {rows_after:g} ({row_ratio:.1%} removed)"
+        )
+        print(
+            f"  {counters.get('presolve.forced_fixings', 0.0):g} forced fixing(s), "
+            f"{counters.get('presolve.dominated_columns', 0.0):g} dominated column(s), "
+            f"{counters.get('presolve.duplicate_rows', 0.0):g} duplicate row(s), "
+            f"{counters.get('presolve.redundant_rows', 0.0):g} redundant row(s)"
+        )
+        seeds = counters.get("solver.session.incumbent_seeds", 0.0)
+        accepted = counters.get("solver.warm_start.accepted", 0.0)
+        bounds = counters.get("solver.session.bound_reuses", 0.0)
+        if seeds or bounds:
+            print(
+                f"  warm starts: {seeds:g} seeded, {accepted:g} accepted; "
+                f"{bounds:g} dual-bound reuse(s)"
+            )
+
     if gauges:
         print()
         print(render_table(
@@ -549,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["scipy", "branch-and-bound", "fallback"])
     optimize.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                           help="solver wall-clock limit in seconds")
+    _add_solver_arguments(optimize)
     optimize.add_argument("--out", type=Path, help="write deployment JSON here")
     optimize.add_argument("--dot", type=Path, help="write Graphviz DOT here")
     optimize.add_argument("--html", type=Path, help="write a self-contained HTML report here")
@@ -565,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["scipy", "branch-and-bound", "fallback"])
     mincost.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                          help="solver wall-clock limit in seconds")
+    _add_solver_arguments(mincost)
     mincost.add_argument("--out", type=Path, help="write deployment JSON here")
     _add_trace_argument(mincost)
     mincost.set_defaults(handler=_cmd_mincost)
@@ -575,6 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fractions", default="0.05,0.1,0.2,0.4,0.8")
     sweep.add_argument("--backend", default="scipy",
                        choices=["scipy", "branch-and-bound", "fallback"])
+    _add_solver_arguments(sweep)
     sweep.add_argument("--csv", type=Path, help="write sweep CSV here")
     _add_workers_argument(sweep)
     _add_resilience_arguments(sweep)
@@ -610,7 +692,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_model_arguments(frontier)
     _add_weight_arguments(frontier)
+    frontier.add_argument("--backend", default="scipy",
+                          choices=["scipy", "branch-and-bound", "fallback"])
     frontier.add_argument("--max-points", type=int, default=1000)
+    _add_solver_arguments(frontier)
     frontier.add_argument("--csv", type=Path, help="write the frontier CSV here")
     _add_trace_argument(frontier)
     frontier.set_defaults(handler=_cmd_frontier)

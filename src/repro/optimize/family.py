@@ -1,0 +1,99 @@
+"""Shared formulation cores for families of related MILPs.
+
+A budget sweep or a frontier enumeration solves many instances over the
+*same* system model and utility weights: the binary selection variables,
+the per-event metric linearizations, and the objective are rebuilt
+identically at every point, and only a handful of rows (budget limits, a
+cost cap, a utility floor) change.  On large models that rebuild is a
+third or more of sweep wall time.
+
+:class:`ProblemFamily` amortizes it exactly.  Each distinct problem
+*shape* (keyed by the caller) builds its expensive core once; before
+every reuse the model is rolled back to the core's constraint count with
+:meth:`~repro.solver.model.MilpModel.truncate_constraints` and the
+caller re-appends the per-instance rows in the same order a cold build
+would.  Because variables, the objective, and row order are identical
+to a from-scratch build, the compiled standard form — and therefore the
+solver's answer, down to tie-breaking — is bit-identical to a cold
+solve.  Per-instance rows must not introduce new variables; every core
+factory used here materializes all auxiliary encodings up front.
+
+Families hold live model state, so (like
+:class:`~repro.solver.session.SolveSession`) they are neither
+thread-safe nor able to cross process boundaries: parallel sweeps keep
+building per point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+
+from repro import obs
+from repro.core.model import SystemModel
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.formulation import FormulationBuilder
+from repro.solver.model import MilpModel
+
+__all__ = ["ProblemFamily"]
+
+#: Process-wide uid so two families never share a session key.
+_FAMILY_IDS = itertools.count()
+
+
+class ProblemFamily:
+    """Reusable formulation cores over one model and weight vector.
+
+    Parameters
+    ----------
+    model:
+        The system model every instance of the family formulates.
+    weights:
+        Utility weights baked into the cores' objectives and floors;
+        library defaults if omitted.  Consumers must check their own
+        weights against :attr:`weights` before reusing a core — a core
+        built for different weights would silently optimize the wrong
+        objective.
+    """
+
+    def __init__(self, model: SystemModel, weights: UtilityWeights | None = None):
+        self.model = model
+        self.weights = weights or UtilityWeights()
+        self._uid = next(_FAMILY_IDS)
+        #: key -> (milp, builder, constraint count of the frozen core)
+        self._cores: dict[str, tuple[MilpModel, FormulationBuilder, int]] = {}
+
+    def session_key(self, core_key: str) -> str:
+        """Stable session family key for one of this family's cores.
+
+        Every instance extended from the same core shares a structure
+        by construction, so :class:`~repro.solver.session.SolveSession`
+        can group them without hashing the model
+        (:func:`~repro.solver.session.structure_signature`) on every
+        solve.  The uid keeps keys distinct across family objects.
+        """
+        return f"family:{self._uid}:{core_key}"
+
+    def core(
+        self,
+        key: str,
+        factory: Callable[[], tuple[MilpModel, FormulationBuilder]],
+    ) -> tuple[MilpModel, FormulationBuilder]:
+        """The shared core for ``key``, rolled back and ready to extend.
+
+        On first use ``factory`` builds the core — variables, auxiliary
+        encodings, objective, and any rows shared by every instance —
+        and its constraint count is recorded.  Later uses truncate the
+        model back to that mark, so the caller appends per-instance
+        rows onto a clean core each time.
+        """
+        entry = self._cores.get(key)
+        if entry is None:
+            milp, builder = factory()
+            self._cores[key] = (milp, builder, milp.num_constraints)
+            obs.counter("optimize.family.builds").inc()
+            return milp, builder
+        milp, builder, base_rows = entry
+        milp.truncate_constraints(base_rows)
+        obs.counter("optimize.family.reuses").inc()
+        return milp, builder

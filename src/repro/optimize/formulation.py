@@ -59,6 +59,7 @@ class FormulationBuilder:
         self._coverage_level: dict[str, LinearExpression] = {}
         self._redundancy_level: dict[tuple[str, int], LinearExpression] = {}
         self._richness_level: dict[str, LinearExpression] = {}
+        self._utility_expression: dict[tuple[float, float, float, int], LinearExpression] = {}
 
     # ------------------------------------------------------------------
     # per-event levels
@@ -195,8 +196,19 @@ class FormulationBuilder:
         return weights
 
     def utility_expression(self, weights: UtilityWeights | None = None) -> LinearExpression:
-        """Linear expression equal to the combined utility metric."""
+        """Linear expression equal to the combined utility metric.
+
+        The assembled expression is cached per weight vector:
+        expressions are immutable, and assembling the sum over every
+        event dominates formulation time on large models, so callers
+        that need the expression twice (objective and a floor
+        constraint, or one instance per sweep point) pay for it once.
+        """
         weights = weights or UtilityWeights()
+        key = (weights.coverage, weights.redundancy, weights.richness, weights.redundancy_cap)
+        cached = self._utility_expression.get(key)
+        if cached is not None:
+            return cached
         expr = LinearExpression()
         for event_id, base in self.event_objective_weights().items():
             if weights.coverage > 0:
@@ -207,6 +219,7 @@ class FormulationBuilder:
                 )
             if weights.richness > 0:
                 expr = expr + self.richness_level(event_id) * (weights.richness * base)
+        self._utility_expression[key] = expr
         return expr
 
     def attack_coverage_expression(self, attack: Attack | str) -> LinearExpression:

@@ -24,9 +24,10 @@ from repro.core.model import SystemModel
 from repro.errors import OptimizationError
 from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment
+from repro.optimize.family import ProblemFamily
 from repro.optimize.formulation import FormulationBuilder
 from repro.runtime.cache import cached_utility
-from repro.solver import solve
+from repro.solver import SolveSession, solve
 from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
 
 __all__ = ["FrontierPoint", "exact_frontier"]
@@ -42,20 +43,50 @@ class FrontierPoint:
     solve_seconds: float
 
 
+def _dispatch(
+    milp: MilpModel,
+    backend: str,
+    time_limit: float | None,
+    session: SolveSession | None,
+    max_nodes: int | None = None,
+    gap: float | None = None,
+    family_key: str | None = None,
+):
+    if session is not None:
+        return session.solve(
+            milp, time_limit=time_limit, max_nodes=max_nodes, gap=gap, family_key=family_key
+        )
+    return solve(milp, backend, time_limit=time_limit, max_nodes=max_nodes, gap=gap)
+
+
 def _solve_at_cost_cap(
     model: SystemModel,
     weights: UtilityWeights,
     cost_cap: float | None,
     backend: str,
     time_limit: float | None,
+    session: SolveSession | None = None,
+    max_nodes: int | None = None,
+    gap: float | None = None,
+    family: ProblemFamily | None = None,
 ) -> tuple[frozenset[str], float] | None:
     """Max-utility deployment with scalar cost <= cap; None if infeasible."""
-    milp = MilpModel(f"frontier[{model.name}]", ObjectiveSense.MAXIMIZE)
-    builder = FormulationBuilder(milp, model)
-    milp.set_objective(builder.utility_expression(weights))
+
+    def build_core() -> tuple[MilpModel, FormulationBuilder]:
+        milp = MilpModel(f"frontier[{model.name}]", ObjectiveSense.MAXIMIZE)
+        builder = FormulationBuilder(milp, model)
+        milp.set_objective(builder.utility_expression(weights))
+        return milp, builder
+
+    if family is not None:
+        milp, builder = family.core("frontier-max", build_core)
+        family_key = family.session_key("frontier-max")
+    else:
+        milp, builder = build_core()
+        family_key = None
     if cost_cap is not None:
         milp.add_constraint(builder.cost_expression() <= cost_cap, name="cost_cap")
-    solution = solve(milp, backend, time_limit=time_limit)
+    solution = _dispatch(milp, backend, time_limit, session, max_nodes, gap, family_key)
     if solution.status is SolutionStatus.INFEASIBLE:
         return None
     selected = builder.selected_ids(solution.values)
@@ -68,6 +99,10 @@ def _cheapest_at_utility(
     utility_floor: float,
     backend: str,
     time_limit: float | None,
+    session: SolveSession | None = None,
+    max_nodes: int | None = None,
+    gap: float | None = None,
+    family: ProblemFamily | None = None,
 ) -> frozenset[str]:
     """Cheapest deployment achieving at least ``utility_floor``.
 
@@ -75,13 +110,27 @@ def _cheapest_at_utility(
     optimum under a cost cap may carry slack cost, which would place a
     dominated point on the frontier.
     """
-    milp = MilpModel(f"frontier-cost[{model.name}]", ObjectiveSense.MINIMIZE)
-    builder = FormulationBuilder(milp, model)
-    milp.set_objective(builder.cost_expression())
+
+    def build_core() -> tuple[MilpModel, FormulationBuilder]:
+        milp = MilpModel(f"frontier-cost[{model.name}]", ObjectiveSense.MINIMIZE)
+        builder = FormulationBuilder(milp, model)
+        milp.set_objective(builder.cost_expression())
+        # Materialize the utility encoding into the core: the builder
+        # caches the expression, so the per-instance floor row below
+        # adds no rows beyond itself on reuse.
+        builder.utility_expression(weights)
+        return milp, builder
+
+    if family is not None:
+        milp, builder = family.core("frontier-min", build_core)
+        family_key = family.session_key("frontier-min")
+    else:
+        milp, builder = build_core()
+        family_key = None
     milp.add_constraint(
         builder.utility_expression(weights) >= utility_floor, name="utility_floor"
     )
-    solution = solve(milp, backend, time_limit=time_limit)
+    solution = _dispatch(milp, backend, time_limit, session, max_nodes, gap, family_key)
     if solution.status is SolutionStatus.INFEASIBLE:
         raise OptimizationError(
             f"internal inconsistency: utility floor {utility_floor} became infeasible"
@@ -97,6 +146,9 @@ def exact_frontier(
     epsilon: float = 1e-4,
     max_points: int = 1000,
     time_limit: float | None = None,
+    presolve: bool = False,
+    max_nodes: int | None = None,
+    gap: float | None = None,
 ) -> list[FrontierPoint]:
     """The complete cost–utility Pareto frontier, cheapest point first.
 
@@ -112,6 +164,12 @@ def exact_frontier(
     time_limit:
         Wall-clock limit in seconds applied to *each* of the frontier's
         MILP solves (two per point), not to the whole enumeration.
+    presolve:
+        Run every solve through one warm
+        :class:`~repro.solver.session.SolveSession`: instances are
+        presolved, and because each iteration only *tightens* the cost
+        cap, the previous point's proven optimum is reused as a dual
+        bound by the branch-and-bound backend.
 
     Each returned point is Pareto-optimal; consecutive points strictly
     increase in both cost and utility.  The last point attains the
@@ -122,13 +180,23 @@ def exact_frontier(
     if epsilon <= 0:
         raise OptimizationError(f"epsilon must be > 0, got {epsilon!r}")
 
+    session = (
+        SolveSession(backend, presolve=True, time_limit=time_limit, max_nodes=max_nodes, gap=gap)
+        if presolve
+        else None
+    )
+    # The warm path also shares one formulation core per problem shape:
+    # only the cost-cap / utility-floor rows are rebuilt per iteration.
+    family = ProblemFamily(model, weights) if session is not None else None
     points: list[FrontierPoint] = []
     cost_cap: float | None = None  # start unconstrained: the max-utility end
 
     with obs.span("optimize.exact_frontier", backend=backend) as frontier_span:
         for index in range(max_points):
             with obs.span("frontier.point", i=index) as sp:
-                outcome = _solve_at_cost_cap(model, weights, cost_cap, backend, time_limit)
+                outcome = _solve_at_cost_cap(
+                    model, weights, cost_cap, backend, time_limit, session, max_nodes, gap, family
+                )
                 if outcome is None:
                     break  # cap below zero spend with forced cost: nothing feasible
                 _, achieved = outcome
@@ -140,7 +208,15 @@ def exact_frontier(
                     break
                 # Trim slack spend: cheapest deployment at this utility level.
                 trimmed = _cheapest_at_utility(
-                    model, weights, achieved - 1e-9, backend, time_limit
+                    model,
+                    weights,
+                    achieved - 1e-9,
+                    backend,
+                    time_limit,
+                    session,
+                    max_nodes,
+                    gap,
+                    family,
                 )
                 trimmed_cost = model.deployment_cost(trimmed).scalarize()
             points.append(

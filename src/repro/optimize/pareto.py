@@ -21,13 +21,16 @@ from dataclasses import dataclass, replace
 
 from repro import obs
 from repro.core.model import SystemModel
+from repro.errors import OptimizationError
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.optimize.family import ProblemFamily
 from repro.optimize.problem import MaxUtilityProblem
 from repro.runtime.cache import cached_utility
-from repro.runtime.parallel import parallel_map
+from repro.runtime.parallel import parallel_map, resolve_workers
 from repro.runtime.resilience import MapReport, RetryPolicy
+from repro.solver import SolveSession
 
 __all__ = ["SweepPoint", "budget_sweep", "heuristic_sweep", "pareto_frontier", "solve_time_profile"]
 
@@ -64,12 +67,41 @@ def _rebind(point: SweepPoint, model: SystemModel) -> SweepPoint:
 
 
 def _budget_sweep_job(
-    task: tuple[SystemModel, float, UtilityWeights, str, float | None],
+    task: tuple[
+        SystemModel,
+        float,
+        UtilityWeights,
+        str,
+        float | None,
+        bool,
+        SolveSession | None,
+        int | None,
+        float | None,
+        ProblemFamily | None,
+    ],
 ) -> SweepPoint:
-    model, fraction, weights, backend, time_limit = task
+    (
+        model,
+        fraction,
+        weights,
+        backend,
+        time_limit,
+        presolve,
+        session,
+        max_nodes,
+        gap,
+        family,
+    ) = task
     budget = Budget.fraction_of_total(model, fraction)
-    problem = MaxUtilityProblem(model, budget, weights)
-    result = problem.solve(backend, time_limit=time_limit)
+    problem = MaxUtilityProblem(model, budget, weights, family=family)
+    result = problem.solve(
+        backend,
+        time_limit=time_limit,
+        presolve=presolve,
+        session=session,
+        max_nodes=max_nodes,
+        gap=gap,
+    )
     return SweepPoint(fraction=fraction, budget=budget, result=result)
 
 
@@ -83,6 +115,10 @@ def budget_sweep(
     workers: int | None = None,
     policy: RetryPolicy | None = None,
     report: MapReport | None = None,
+    presolve: bool = False,
+    session: SolveSession | None = None,
+    max_nodes: int | None = None,
+    gap: float | None = None,
 ) -> list[SweepPoint]:
     """Optimal utility at each budget fraction of the total monitor cost.
 
@@ -94,12 +130,48 @@ def budget_sweep(
     :class:`~repro.runtime.resilience.RetryPolicy`); under
     ``on_failure="skip"`` the skipped fractions are simply absent from
     the result and listed in ``report.skipped``.
+
+    ``presolve`` routes every point through the exact reduction
+    pipeline.  On a serial sweep this automatically upgrades to a
+    :class:`~repro.solver.session.SolveSession`, so consecutive points
+    warm-start each other (ascending budgets are the ideal case: each
+    optimum stays feasible at the next, looser, point); parallel sweeps
+    presolve each point independently, since sessions cannot cross
+    process boundaries.  Passing an explicit ``session`` reuses state
+    across *calls* too, but then requires a serial sweep.
     """
     weights = weights or UtilityWeights()
+    serial = resolve_workers(workers) <= 1 or len(fractions) <= 1
+    if session is not None and not serial:
+        raise OptimizationError(
+            "a SolveSession cannot cross process boundaries; "
+            "use workers=1 (or pass no session) for parallel sweeps"
+        )
+    if session is None and presolve and serial:
+        session = SolveSession(
+            backend, presolve=True, time_limit=time_limit, max_nodes=max_nodes, gap=gap
+        )
+    # A session implies a serial sweep, so the points can also share one
+    # formulation core: only the budget rows are rebuilt per point.
+    family = ProblemFamily(model, weights) if session is not None else None
     with obs.span("optimize.budget_sweep", points=len(fractions), backend=backend):
         points = parallel_map(
             _budget_sweep_job,
-            [(model, fraction, weights, backend, time_limit) for fraction in fractions],
+            [
+                (
+                    model,
+                    fraction,
+                    weights,
+                    backend,
+                    time_limit,
+                    presolve,
+                    session,
+                    max_nodes,
+                    gap,
+                    family,
+                )
+                for fraction in fractions
+            ],
             workers=workers,
             policy=policy,
             report=report,

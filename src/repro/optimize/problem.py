@@ -24,8 +24,9 @@ from repro.errors import InfeasibleError, OptimizationError, SolverError
 from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights, utility
 from repro.optimize.deployment import Deployment, OptimizationResult
+from repro.optimize.family import ProblemFamily
 from repro.optimize.formulation import FormulationBuilder
-from repro.solver import DEFAULT_CHAIN, solve, solve_with_fallback
+from repro.solver import DEFAULT_CHAIN, SolveSession, solve, solve_with_fallback
 from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
 
 __all__ = ["MaxUtilityProblem", "MinCostProblem"]
@@ -53,6 +54,13 @@ class MaxUtilityProblem:
         Optional cap on the number of selected monitors, independent of
         cost (operational headcount: each monitor needs care and
         feeding regardless of its resource footprint).
+    family:
+        Optional :class:`~repro.optimize.family.ProblemFamily` sharing
+        one formulation core across related problems (a budget sweep's
+        points).  The family must be built over the same model instance
+        and weights; :meth:`build` then reuses the cached core and only
+        re-appends this problem's budget/forced/cardinality rows,
+        producing a bit-identical ILP at a fraction of the cost.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class MaxUtilityProblem:
         *,
         forced_monitors: Iterable[str] = (),
         max_monitors: int | None = None,
+        family: ProblemFamily | None = None,
     ):
         self.model = model
         self.budget = budget
@@ -71,12 +80,29 @@ class MaxUtilityProblem:
         if max_monitors is not None and max_monitors < 0:
             raise OptimizationError(f"max_monitors must be >= 0, got {max_monitors!r}")
         self.max_monitors = max_monitors
+        if family is not None:
+            if family.model is not model:
+                raise OptimizationError(
+                    "ProblemFamily was built over a different model instance"
+                )
+            if family.weights != self.weights:
+                raise OptimizationError(
+                    "ProblemFamily was built for different utility weights"
+                )
+        self.family = family
 
-    def build(self) -> tuple[MilpModel, FormulationBuilder]:
-        """Construct the ILP without solving (exposed for inspection/tests)."""
+    def _build_core(self) -> tuple[MilpModel, FormulationBuilder]:
         milp = MilpModel(f"max-utility[{self.model.name}]", ObjectiveSense.MAXIMIZE)
         builder = FormulationBuilder(milp, self.model)
         milp.set_objective(builder.utility_expression(self.weights))
+        return milp, builder
+
+    def build(self) -> tuple[MilpModel, FormulationBuilder]:
+        """Construct the ILP without solving (exposed for inspection/tests)."""
+        if self.family is not None:
+            milp, builder = self.family.core("max-utility", self._build_core)
+        else:
+            milp, builder = self._build_core()
         builder.add_budget_constraints(self.budget)
         if self.forced_monitors:
             builder.add_forced_selection(self.forced_monitors)
@@ -84,8 +110,22 @@ class MaxUtilityProblem:
             builder.add_cardinality_constraint(self.max_monitors)
         return milp, builder
 
-    def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
+    def solve(
+        self,
+        backend: str = "scipy",
+        *,
+        time_limit: float | None = None,
+        presolve: bool = False,
+        session: SolveSession | None = None,
+        max_nodes: int | None = None,
+        gap: float | None = None,
+    ) -> OptimizationResult:
         """Solve to optimality and return the chosen deployment.
+
+        ``presolve`` routes the ILP through the exact reduction pipeline
+        first; ``session`` (which implies its own presolve setting and
+        backend) reuses warm-start state across a family of related
+        solves — pass the same session to every point of a sweep.
 
         Raises
         ------
@@ -98,7 +138,27 @@ class MaxUtilityProblem:
             with obs.span("optimize.formulate"):
                 milp, builder = self.build()
             sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
-            solution = solve(milp, backend, time_limit=time_limit)
+            if session is not None:
+                solution = session.solve(
+                    milp,
+                    time_limit=time_limit,
+                    max_nodes=max_nodes,
+                    gap=gap,
+                    family_key=(
+                        self.family.session_key("max-utility")
+                        if self.family is not None
+                        else None
+                    ),
+                )
+            else:
+                solution = solve(
+                    milp,
+                    backend,
+                    time_limit=time_limit,
+                    max_nodes=max_nodes,
+                    gap=gap,
+                    presolve=presolve,
+                )
         obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError(
@@ -127,6 +187,9 @@ class MaxUtilityProblem:
         *,
         time_limit: float | None = None,
         greedy_last_resort: bool = True,
+        presolve: bool = False,
+        max_nodes: int | None = None,
+        gap: float | None = None,
     ) -> OptimizationResult:
         """Solve through the backend fallback chain, greedy as last resort.
 
@@ -157,7 +220,14 @@ class MaxUtilityProblem:
                 milp, builder = self.build()
             sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
             try:
-                outcome = solve_with_fallback(milp, backends, time_limit=time_limit)
+                outcome = solve_with_fallback(
+                    milp,
+                    backends,
+                    time_limit=time_limit,
+                    max_nodes=max_nodes,
+                    gap=gap,
+                    presolve=presolve,
+                )
             except SolverError:
                 if not greedy_last_resort or self.max_monitors is not None:
                     raise
@@ -329,8 +399,20 @@ class MinCostProblem:
             )
         return milp, builder
 
-    def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
+    def solve(
+        self,
+        backend: str = "scipy",
+        *,
+        time_limit: float | None = None,
+        presolve: bool = False,
+        session: SolveSession | None = None,
+        max_nodes: int | None = None,
+        gap: float | None = None,
+    ) -> OptimizationResult:
         """Solve to optimality and return the cheapest compliant deployment.
+
+        ``presolve``/``session``/``max_nodes``/``gap`` behave as on
+        :meth:`MaxUtilityProblem.solve`.
 
         Raises
         ------
@@ -342,7 +424,19 @@ class MinCostProblem:
             with obs.span("optimize.formulate"):
                 milp, builder = self.build()
             sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
-            solution = solve(milp, backend, time_limit=time_limit)
+            if session is not None:
+                solution = session.solve(
+                    milp, time_limit=time_limit, max_nodes=max_nodes, gap=gap
+                )
+            else:
+                solution = solve(
+                    milp,
+                    backend,
+                    time_limit=time_limit,
+                    max_nodes=max_nodes,
+                    gap=gap,
+                    presolve=presolve,
+                )
         obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError(

@@ -33,9 +33,9 @@ from repro.metrics.cost import Budget
 from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment, OptimizationResult
 from repro.optimize.formulation import FormulationBuilder
-from repro.runtime.parallel import parallel_map
+from repro.runtime.parallel import parallel_map, resolve_workers
 from repro.runtime.resilience import MapReport, RetryPolicy
-from repro.solver import solve
+from repro.solver import SolveSession, solve
 from repro.solver.expressions import LinearExpression
 from repro.solver.model import MilpModel, ObjectiveSense, SolutionStatus
 
@@ -155,15 +155,27 @@ def scenario_utility(
 
 
 def _scenario_optimum_job(
-    task: tuple[SystemModel, Budget, ImportanceScenario, UtilityWeights, str, float | None],
+    task: tuple[
+        SystemModel,
+        Budget,
+        ImportanceScenario,
+        UtilityWeights,
+        str,
+        float | None,
+        bool,
+        SolveSession | None,
+    ],
 ) -> OptimizationResult:
-    model, budget, scenario, weights, backend, time_limit = task
+    model, budget, scenario, weights, backend, time_limit, presolve, session = task
     with obs.span("optimize.scenario_optimum", scenario=scenario.name) as sp:
         milp = MilpModel(f"scenario[{model.name}/{scenario.name}]", ObjectiveSense.MAXIMIZE)
         builder = FormulationBuilder(milp, model)
         milp.set_objective(_scenario_utility_expression(builder, scenario, weights))
         builder.add_budget_constraints(budget)
-        solution = solve(milp, backend, time_limit=time_limit)
+        if session is not None:
+            solution = session.solve(milp, time_limit=time_limit)
+        else:
+            solution = solve(milp, backend, time_limit=time_limit, presolve=presolve)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError(f"no deployment fits the budget in scenario {scenario.name!r}")
         selected = builder.selected_ids(solution.values)
@@ -190,6 +202,7 @@ def per_scenario_optima(
     workers: int | None = None,
     policy: RetryPolicy | None = None,
     report: MapReport | None = None,
+    presolve: bool = False,
 ) -> dict[str, OptimizationResult]:
     """Optimal deployment for each scenario solved in isolation.
 
@@ -202,6 +215,13 @@ def per_scenario_optima(
     ``policy`` adds per-scenario timeouts/retries; scenarios dropped by
     ``on_failure="skip"`` are simply absent from the mapping (and listed
     by index in ``report.skipped``).
+
+    ``presolve`` reduces each scenario's MILP before solving.  Scenario
+    instances share all constraints and differ only in the objective,
+    so on a serial run this upgrades to a shared
+    :class:`~repro.solver.session.SolveSession` whose previous optimum
+    seeds the next scenario's incumbent (sessions cannot cross process
+    boundaries; parallel runs presolve independently).
     """
     weights = weights or UtilityWeights()
     names = [s.name for s in scenarios]
@@ -210,9 +230,18 @@ def per_scenario_optima(
     for scenario in scenarios:
         scenario.validate_against(model)
     report = report if report is not None else MapReport()
+    serial = resolve_workers(workers) <= 1 or len(scenarios) <= 1
+    session = (
+        SolveSession(backend, presolve=True, time_limit=time_limit)
+        if presolve and serial
+        else None
+    )
     results = parallel_map(
         _scenario_optimum_job,
-        [(model, budget, scenario, weights, backend, time_limit) for scenario in scenarios],
+        [
+            (model, budget, scenario, weights, backend, time_limit, presolve, session)
+            for scenario in scenarios
+        ],
         workers=workers,
         policy=policy,
         report=report,
@@ -281,13 +310,19 @@ class RobustMaxUtilityProblem:
         milp.set_objective(t + 0.0)
         return milp, builder
 
-    def solve(self, backend: str = "scipy", *, time_limit: float | None = None) -> OptimizationResult:
+    def solve(
+        self,
+        backend: str = "scipy",
+        *,
+        time_limit: float | None = None,
+        presolve: bool = False,
+    ) -> OptimizationResult:
         """Solve and report per-scenario utilities in ``stats``."""
         with obs.span("optimize.robust", scenarios=len(self.scenarios)) as sp:
             with obs.span("optimize.formulate"):
                 milp, builder = self.build()
             sp.set(variables=milp.num_variables, constraints=milp.num_constraints)
-            solution = solve(milp, backend, time_limit=time_limit)
+            solution = solve(milp, backend, time_limit=time_limit, presolve=presolve)
         obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleError("no deployment fits the budget")

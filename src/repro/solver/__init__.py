@@ -39,7 +39,15 @@ from repro.solver.model import (
     StandardForm,
 )
 from repro.solver.lpwriter import model_to_lp_string
+from repro.solver.presolve import (
+    PresolveResult,
+    PresolveStats,
+    PresolveStatus,
+    presolve,
+    solve_presolved,
+)
 from repro.solver.scipy_backend import solve_scipy_milp
+from repro.solver.session import SolveSession
 
 __all__ = [
     "BackendAttempt",
@@ -49,6 +57,10 @@ __all__ = [
     "FallbackOutcome",
     "solve_with_fallback",
     "LinearExpression",
+    "PresolveResult",
+    "PresolveStats",
+    "PresolveStatus",
+    "SolveSession",
     "Variable",
     "VarKind",
     "MilpModel",
@@ -56,9 +68,11 @@ __all__ = [
     "Solution",
     "SolutionStatus",
     "StandardForm",
+    "presolve",
     "solve",
     "solve_branch_and_bound",
     "solve_by_enumeration",
+    "solve_presolved",
     "solve_scipy_milp",
     "model_to_lp_string",
     "BACKENDS",
@@ -68,7 +82,15 @@ __all__ = [
 BACKENDS = ("scipy", "branch-and-bound", "enumeration", "fallback")
 
 
-def solve(model: MilpModel, backend: str = "scipy", *, time_limit: float | None = None) -> Solution:
+def solve(
+    model: MilpModel,
+    backend: str = "scipy",
+    *,
+    time_limit: float | None = None,
+    max_nodes: int | None = None,
+    gap: float | None = None,
+    presolve: bool = False,
+) -> Solution:
     """Solve ``model`` with the named backend.
 
     Parameters
@@ -85,13 +107,37 @@ def solve(model: MilpModel, backend: str = "scipy", *, time_limit: float | None 
         the :class:`Solution.backend` field records which one.
     time_limit:
         Wall-clock limit in seconds (ignored by the enumeration oracle).
+    max_nodes:
+        Branch-and-bound node cap (HiGHS node limit on the scipy
+        backend; ignored by the enumeration oracle).  When it triggers,
+        the best incumbent degrades to status ``FEASIBLE``.
+    gap:
+        Relative optimality gap at which an incumbent is accepted as
+        optimal (ignored by the enumeration oracle).
+    presolve:
+        Run the exact reduction pipeline (:mod:`repro.solver.presolve`)
+        first and solve the reduced instance; the solution is lifted
+        back to the original variable space.
     """
+    if presolve:
+        from repro.solver.presolve import solve_presolved as _solve_presolved
+
+        return _solve_presolved(
+            model, backend, time_limit=time_limit, max_nodes=max_nodes, gap=gap
+        )
     if backend == "scipy":
-        return solve_scipy_milp(model, time_limit=time_limit)
+        return solve_scipy_milp(model, time_limit=time_limit, max_nodes=max_nodes, gap=gap)
     if backend == "branch-and-bound":
-        return solve_branch_and_bound(model, time_limit=time_limit)
+        kwargs: dict[str, float] = {}
+        if max_nodes is not None:
+            kwargs["max_nodes"] = max_nodes
+        if gap is not None:
+            kwargs["gap"] = gap
+        return solve_branch_and_bound(model, time_limit=time_limit, **kwargs)
     if backend == "enumeration":
         return solve_by_enumeration(model)
     if backend == "fallback":
-        return solve_with_fallback(model, DEFAULT_CHAIN, time_limit=time_limit).solution
+        return solve_with_fallback(
+            model, DEFAULT_CHAIN, time_limit=time_limit, max_nodes=max_nodes, gap=gap
+        ).solution
     raise SolverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

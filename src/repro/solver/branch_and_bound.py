@@ -18,13 +18,14 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from collections.abc import Mapping, MutableMapping
 
 import numpy as np
 
 from repro import obs
-from repro.errors import UnboundedError
-from repro.solver.lp import solve_lp
-from repro.solver.model import MilpModel, Solution, SolutionStatus
+from repro.errors import SolverError, UnboundedError
+from repro.solver.lp import LpResult, solve_lp
+from repro.solver.model import MilpModel, Solution, SolutionStatus, StandardForm
 
 __all__ = ["solve_branch_and_bound"]
 
@@ -35,9 +36,37 @@ INTEGRALITY_TOLERANCE = 1e-6
 #: Relative optimality gap at which the search stops early.
 DEFAULT_GAP = 1e-9
 
+#: Absolute feasibility tolerance for accepting a snapped-integral point
+#: as an incumbent (matches the HiGHS MIP feasibility default).
+FEASIBILITY_TOLERANCE = 1e-6
+
+
+def _snapped_if_feasible(form: StandardForm, x: np.ndarray, integral_indices: np.ndarray) -> np.ndarray | None:
+    """Round the integral entries of ``x``; None when rounding breaks a row.
+
+    An LP point can sit within the integrality tolerance of an integer
+    while the *rounded* point violates a tight constraint: rounding moves
+    each coordinate by up to 1e-6, which a row with large coefficients
+    (a budget cap in the thousands) amplifies past any LP feasibility
+    margin.  Accepting such a point would report an infeasible
+    "optimum", so the caller must branch instead.
+    """
+    snapped = x.copy()
+    snapped[integral_indices] = np.round(snapped[integral_indices])
+    tol = FEASIBILITY_TOLERANCE
+    if form.A_ub.size and np.any(form.A_ub @ snapped > form.b_ub + tol):
+        return None
+    if form.A_eq.size and np.any(np.abs(form.A_eq @ snapped - form.b_eq) > tol):
+        return None
+    if np.any(snapped < form.lower - tol) or np.any(snapped > form.upper + tol):
+        return None
+    return snapped
+
 
 def _most_fractional(x: np.ndarray, integral_indices: np.ndarray) -> int | None:
     """Index of the integral variable farthest from any integer, or None."""
+    if integral_indices.size == 0:
+        return None  # pure-LP node: integral by definition
     values = x[integral_indices]
     fractions = np.abs(values - np.round(values))
     worst = int(np.argmax(fractions))
@@ -46,12 +75,66 @@ def _most_fractional(x: np.ndarray, integral_indices: np.ndarray) -> int | None:
     return int(integral_indices[worst])
 
 
+def _seed_incumbent(
+    model: MilpModel,
+    form: StandardForm,
+    names: list[str],
+    warm_start: Mapping[str, float],
+) -> tuple[np.ndarray | None, float]:
+    """Validate a warm-start assignment and turn it into an incumbent.
+
+    An infeasible or incomplete assignment is rejected (counted, never
+    fatal) — warm starts are an acceleration, not a contract.
+    """
+    try:
+        feasible = model.is_feasible(warm_start)
+    except SolverError:
+        feasible = False
+    if not feasible:
+        obs.counter("solver.warm_start.rejected").inc()
+        return None, float("inf")
+    x = np.array([float(warm_start[name]) for name in names])
+    integral = np.flatnonzero(form.integrality)
+    x[integral] = np.round(x[integral])
+    obs.counter("solver.warm_start.accepted").inc()
+    return x, float(form.c @ x)
+
+
+def _relax(
+    form: StandardForm,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    cache: MutableMapping[tuple[bytes, bytes], LpResult] | None,
+) -> LpResult:
+    """Solve a node's LP relaxation, via the cross-solve cache when given.
+
+    The cache key is the node signature (the branching bounds); callers
+    must scope a cache to one immutable ``(c, A, b)`` instance — the
+    :class:`~repro.solver.session.SolveSession` keys its caches by the
+    instance digest for exactly this reason.
+    """
+    if cache is None:
+        return solve_lp(form.c, form.A_ub, form.b_ub, form.A_eq, form.b_eq, lower, upper)
+    key = (lower.tobytes(), upper.tobytes())
+    hit = cache.get(key)
+    if hit is not None:
+        obs.counter("solver.lp_cache.hits").inc()
+        return hit
+    obs.counter("solver.lp_cache.misses").inc()
+    result = solve_lp(form.c, form.A_ub, form.b_ub, form.A_eq, form.b_eq, lower, upper)
+    cache[key] = result
+    return result
+
+
 def solve_branch_and_bound(
     model: MilpModel,
     *,
     time_limit: float | None = None,
     max_nodes: int = 1_000_000,
     gap: float = DEFAULT_GAP,
+    warm_start: Mapping[str, float] | None = None,
+    known_bound: float | None = None,
+    lp_cache: MutableMapping[tuple[bytes, bytes], LpResult] | None = None,
 ) -> Solution:
     """Solve ``model`` to proven optimality by branch and bound.
 
@@ -67,9 +150,23 @@ def solve_branch_and_bound(
     gap:
         Relative optimality gap ``|bound - incumbent| / max(1, |incumbent|)``
         at which the incumbent is accepted as optimal.
+    warm_start:
+        Optional name-keyed assignment used as the starting incumbent
+        when it is feasible for this model (rejected silently when not).
+        Seeding only prunes — it never changes which objective value is
+        proven optimal.
+    known_bound:
+        Optional proven dual bound in the *model's* objective sense
+        (e.g. the optimum of a previous, strictly looser instance of the
+        same family).  Used to close the gap earlier; must genuinely
+        bound this instance or optimality claims become wrong.
+    lp_cache:
+        Optional mutable mapping reused across solves of the *same*
+        compiled instance: node relaxations are cached by their bound
+        signature (see :func:`_relax`).
     """
     with obs.span("solver.branch_and_bound", model=model.name) as sp:
-        solution = _search(model, time_limit, max_nodes, gap, sp)
+        solution = _search(model, time_limit, max_nodes, gap, sp, warm_start, known_bound, lp_cache)
     sp.set(nodes=solution.nodes_explored)
     obs.counter("solver.solves").inc()
     obs.counter("solver.nodes").inc(solution.nodes_explored)
@@ -78,7 +175,14 @@ def solve_branch_and_bound(
 
 
 def _search(
-    model: MilpModel, time_limit: float | None, max_nodes: int, gap: float, sp: obs.Span
+    model: MilpModel,
+    time_limit: float | None,
+    max_nodes: int,
+    gap: float,
+    sp: obs.Span,
+    warm_start: Mapping[str, float] | None = None,
+    known_bound: float | None = None,
+    lp_cache: MutableMapping[tuple[bytes, bytes], LpResult] | None = None,
 ) -> Solution:
     form = model.compile()
     sp.set(variables=int(form.c.size), rows=int(len(form.b_ub) + len(form.b_eq)))
@@ -102,7 +206,7 @@ def _search(
         )
 
     # Root relaxation.
-    root = solve_lp(form.c, form.A_ub, form.b_ub, form.A_eq, form.b_eq, form.lower, form.upper)
+    root = _relax(form, form.lower, form.upper, lp_cache)
     if root.status == "infeasible":
         return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, "branch-and-bound", 1)
     if root.status == "unbounded":
@@ -110,6 +214,13 @@ def _search(
 
     incumbent_x: np.ndarray | None = None
     incumbent_obj = float("inf")  # minimization convention
+    if warm_start is not None:
+        incumbent_x, incumbent_obj = _seed_incumbent(model, form, names, warm_start)
+    # A proven dual bound from a looser sibling instance tightens every
+    # node's bound; -inf when no such knowledge exists.
+    bound_floor = (
+        form.minimized_from_model_sense(known_bound) if known_bound is not None else float("-inf")
+    )
 
     # Priority queue of (lp bound, tiebreak, lower bounds, upper bounds).
     counter = itertools.count()
@@ -122,8 +233,11 @@ def _search(
         # A node whose bound cannot beat the incumbent prunes the rest of
         # the heap too (best-first order), so we can stop entirely.
         if incumbent_x is not None:
-            relative_gap = (incumbent_obj - bound) / max(1.0, abs(incumbent_obj))
+            effective_bound = max(bound, bound_floor)
+            relative_gap = (incumbent_obj - effective_bound) / max(1.0, abs(incumbent_obj))
             if relative_gap <= gap:
+                if effective_bound > bound:
+                    obs.counter("solver.bound_floor.closures").inc()
                 return make_solution(SolutionStatus.OPTIMAL, incumbent_obj, incumbent_x, nodes)
 
         nodes += 1
@@ -132,7 +246,7 @@ def _search(
                 return make_solution(SolutionStatus.FEASIBLE, incumbent_obj, incumbent_x, nodes)
             return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, "branch-and-bound", nodes)
 
-        relaxation = solve_lp(form.c, form.A_ub, form.b_ub, form.A_eq, form.b_eq, lower, upper)
+        relaxation = _relax(form, lower, upper, lp_cache)
         if not relaxation.is_optimal:
             continue  # infeasible subtree
         if relaxation.objective >= incumbent_obj - 1e-12:
@@ -141,11 +255,34 @@ def _search(
         assert relaxation.x is not None
         branch_var = _most_fractional(relaxation.x, integral_indices)
         if branch_var is None:
-            # Integral solution: new incumbent.
-            if relaxation.objective < incumbent_obj:
-                incumbent_obj = relaxation.objective
-                incumbent_x = relaxation.x
-            continue
+            snapped = _snapped_if_feasible(form, relaxation.x, integral_indices)
+            if snapped is not None:
+                # Integral solution: new incumbent, valued at the
+                # *snapped* point so the reported objective is exact.
+                objective = float(form.c @ snapped)
+                if objective < incumbent_obj:
+                    incumbent_obj = objective
+                    incumbent_x = snapped
+                continue
+            # Rounding broke a tight row.  Branch on the least-integral
+            # variable anyway — both children exclude this LP point, so
+            # the search separates the near-integer optimum from its
+            # infeasible rounding.  Clip to the node bounds first: a
+            # value epsilon *outside* its bound floors onto the bound,
+            # which would recreate this very node.
+            values = np.clip(
+                relaxation.x[integral_indices],
+                lower[integral_indices],
+                upper[integral_indices],
+            )
+            fractions = np.abs(values - np.round(values))
+            worst = int(np.argmax(fractions))
+            if fractions[worst] == 0.0:
+                # Exactly integral yet infeasible: the LP itself is out
+                # of tolerance (not reachable in practice).  Branching
+                # would recreate this node verbatim, so drop it.
+                continue
+            branch_var = int(integral_indices[worst])
 
         value = relaxation.x[branch_var]
         floor_val = np.floor(value)

@@ -94,8 +94,18 @@ def solve_with_fallback(
     backends: Sequence[str] = DEFAULT_CHAIN,
     *,
     time_limit: float | None = None,
+    max_nodes: int | None = None,
+    gap: float | None = None,
+    presolve: bool = False,
 ) -> FallbackOutcome:
     """Solve ``model`` with the first backend in ``backends`` that answers.
+
+    ``max_nodes`` and ``gap`` forward to every backend in the chain that
+    understands them, so a presolved-but-still-hard instance degrades by
+    gap (status ``FEASIBLE``) instead of erroring out of the chain.
+    With ``presolve=True`` the reduction pipeline runs **once**, before
+    the chain — every backend then sees the same reduced instance, and
+    the answering solution is lifted back to the original space.
 
     Raises
     ------
@@ -106,9 +116,32 @@ def solve_with_fallback(
         Immediately — no backend disagrees about unboundedness.
     """
     from repro.solver import solve  # local import: repro.solver re-exports this module
+    from repro.solver.presolve import PresolveStatus
+    from repro.solver.presolve import presolve as run_presolve
 
     if not backends:
         raise SolverError("solve_with_fallback needs at least one backend")
+
+    pre = None
+    target = model
+    if presolve:
+        pre = run_presolve(model)
+        if pre.status is PresolveStatus.INFEASIBLE:
+            solution = Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, "presolve")
+            return FallbackOutcome(
+                solution=solution, attempts=(BackendAttempt("presolve", True),)
+            )
+        if pre.status is PresolveStatus.SOLVED:
+            values = pre.lift({})
+            solution = Solution(
+                SolutionStatus.OPTIMAL, model.objective_value(values), values, "presolve"
+            )
+            return FallbackOutcome(
+                solution=solution, attempts=(BackendAttempt("presolve", True),)
+            )
+        assert pre.reduced is not None
+        target = pre.reduced
+
     attempts: list[BackendAttempt] = []
     with obs.span("solver.fallback", backends=",".join(backends)) as sp:
         for backend in backends:
@@ -120,7 +153,13 @@ def solve_with_fallback(
                         SolutionStatus.INFEASIBLE, float("nan"), {}, backend
                     )
                 else:
-                    solution = solve(model, backend, time_limit=time_limit)
+                    solution = solve(
+                        target,
+                        backend,
+                        time_limit=time_limit,
+                        max_nodes=max_nodes,
+                        gap=gap,
+                    )
             except UnboundedError:
                 raise
             except Exception as exc:
@@ -138,6 +177,8 @@ def solve_with_fallback(
             if len(attempts) > 1:
                 obs.counter("solver.fallback.rescues").inc()
             sp.set(answered=backend, failed=len(attempts) - 1)
+            if pre is not None:
+                solution = pre.lift_solution(solution)
             return FallbackOutcome(solution=solution, attempts=tuple(attempts))
         sp.set(answered="", failed=len(attempts))
     obs.counter("solver.fallback.exhausted").inc()

@@ -64,6 +64,16 @@ class StandardForm:
         value = minimized_value + (-self.objective_constant if self.maximize else self.objective_constant)
         return -value if self.maximize else value
 
+    def minimized_from_model_sense(self, model_value: float) -> float:
+        """Inverse of :meth:`objective_in_model_sense`.
+
+        Converts an objective reported in the model's sense (e.g. a
+        previous solve's optimum reused as a dual bound) back to the
+        minimization convention the backends search in.
+        """
+        value = -model_value if self.maximize else model_value
+        return value - (-self.objective_constant if self.maximize else self.objective_constant)
+
 
 class SolutionStatus(str, enum.Enum):
     """Terminal status of a solve."""
@@ -107,6 +117,12 @@ class MilpModel:
         self._names: set[str] = set()
         self._constraints: list[Constraint] = []
         self._objective: LinearExpression = LinearExpression()
+        # Dense-row memo aligned with _constraints: entry i is
+        # (constraint, signed row, signed rhs, is_eq) and is valid only
+        # while _constraints[i] is that same (immutable) object.  Lets
+        # a formulation family recompile after truncate/append cycles
+        # paying only for the rows that actually changed.
+        self._row_cache: list[tuple[Constraint, np.ndarray, float, bool]] = []
 
     # -- variable factories ------------------------------------------------
 
@@ -147,6 +163,23 @@ class MilpModel:
             constraint = constraint.named(name)
         self._constraints.append(constraint)
         return constraint
+
+    def truncate_constraints(self, count: int) -> None:
+        """Drop every constraint added after the first ``count``.
+
+        This is the rollback primitive behind formulation reuse: a
+        family of related instances builds the expensive shared core
+        once, records ``num_constraints``, and between instances rolls
+        back to that mark before appending the per-instance rows.
+        Variables and the objective are untouched — per-instance rows
+        must not introduce new variables.
+        """
+        if not 0 <= count <= len(self._constraints):
+            raise SolverError(
+                f"cannot truncate to {count} constraints: model {self.name!r} "
+                f"has {len(self._constraints)}"
+            )
+        del self._constraints[count:]
 
     def set_objective(self, expression: LinearExpression | Variable) -> None:
         """Set the objective function (in the model's sense)."""
@@ -214,20 +247,30 @@ class MilpModel:
         ub_rhs: list[float] = []
         eq_rows: list[np.ndarray] = []
         eq_rhs: list[float] = []
-        for constraint in self._constraints:
-            row = np.zeros(n)
-            for var, coef in constraint.expression.terms.items():
-                row[var.index] = coef
-            rhs = constraint.rhs
-            if constraint.sense is ConstraintSense.LE:
-                ub_rows.append(row)
-                ub_rhs.append(rhs)
-            elif constraint.sense is ConstraintSense.GE:
-                ub_rows.append(-row)
-                ub_rhs.append(-rhs)
+        cache = self._row_cache
+        del cache[len(self._constraints):]
+        for i, constraint in enumerate(self._constraints):
+            entry = cache[i] if i < len(cache) else None
+            if entry is not None and entry[0] is constraint and entry[1].shape[0] == n:
+                _, row, rhs, is_eq = entry
             else:
+                row = np.zeros(n)
+                for var, coef in constraint.expression.terms.items():
+                    row[var.index] = coef
+                rhs = constraint.rhs
+                if constraint.sense is ConstraintSense.GE:
+                    row, rhs = -row, -rhs
+                is_eq = constraint.sense is ConstraintSense.EQ
+                if i < len(cache):
+                    cache[i] = (constraint, row, rhs, is_eq)
+                else:
+                    cache.append((constraint, row, rhs, is_eq))
+            if is_eq:
                 eq_rows.append(row)
                 eq_rhs.append(rhs)
+            else:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
 
         return StandardForm(
             c=c,

@@ -18,20 +18,34 @@ from repro.solver.model import MilpModel, Solution, SolutionStatus
 __all__ = ["solve_scipy_milp"]
 
 
-def solve_scipy_milp(model: MilpModel, *, time_limit: float | None = None) -> Solution:
+def solve_scipy_milp(
+    model: MilpModel,
+    *,
+    time_limit: float | None = None,
+    max_nodes: int | None = None,
+    gap: float | None = None,
+) -> Solution:
     """Solve ``model`` with HiGHS via scipy.
 
-    ``time_limit`` maps to HiGHS's wall-clock limit; when it triggers,
-    the best incumbent (if any) is returned with status ``FEASIBLE``.
+    ``time_limit`` maps to HiGHS's wall-clock limit and ``max_nodes`` to
+    its node limit; when either triggers, the best incumbent (if any) is
+    returned with status ``FEASIBLE``.  ``gap`` maps to HiGHS's relative
+    MIP gap — an incumbent proven within the gap reports ``OPTIMAL``.
     """
     with obs.span("solver.scipy_milp", model=model.name) as sp:
-        solution = _solve(model, time_limit, sp)
+        solution = _solve(model, time_limit, max_nodes, gap, sp)
     obs.counter("solver.solves").inc()
     obs.histogram("solver.solve_seconds").observe(sp.duration)
     return solution
 
 
-def _solve(model: MilpModel, time_limit: float | None, sp: obs.Span) -> Solution:
+def _solve(
+    model: MilpModel,
+    time_limit: float | None,
+    max_nodes: int | None,
+    gap: float | None,
+    sp: obs.Span,
+) -> Solution:
     form = model.compile()
     sp.set(variables=int(form.c.size), rows=int(len(form.b_ub) + len(form.b_eq)))
     constraints = []
@@ -43,6 +57,10 @@ def _solve(model: MilpModel, time_limit: float | None, sp: obs.Span) -> Solution
     options: dict[str, float] = {}
     if time_limit is not None:
         options["time_limit"] = float(time_limit)
+    if max_nodes is not None:
+        options["node_limit"] = int(max_nodes)
+    if gap is not None:
+        options["mip_rel_gap"] = float(gap)
 
     result = milp(
         c=form.c,

@@ -109,6 +109,66 @@ def test_empty_chain_is_rejected():
         solve_with_fallback(_knapsack(), ())
 
 
+class TestChainControls:
+    def test_node_and_gap_controls_forward_to_the_chain(self):
+        outcome = solve_with_fallback(_knapsack(), max_nodes=100_000, gap=1e-9)
+        assert outcome.solution.status is SolutionStatus.OPTIMAL
+        assert outcome.solution.objective == pytest.approx(25.0)
+
+    def test_node_budget_degrades_instead_of_erroring(self, tmp_path):
+        # Starve scipy out of the chain, then give branch-and-bound a
+        # node budget too small to prove optimality: the chain must
+        # still answer (FEASIBLE or INFEASIBLE), never raise.
+        plan = _plan(tmp_path, {"solver.scipy": FaultSpec(kind="error", times=-1)})
+        with faults.inject(plan):
+            outcome = solve_with_fallback(_knapsack(), max_nodes=1)
+        assert outcome.backend == "branch-and-bound"
+        assert outcome.solution.status in (
+            SolutionStatus.OPTIMAL,
+            SolutionStatus.FEASIBLE,
+            SolutionStatus.INFEASIBLE,
+        )
+
+    def test_presolve_once_before_the_chain_lifts_back(self):
+        cold = solve_with_fallback(_knapsack())
+        warm = solve_with_fallback(_knapsack(), presolve=True)
+        assert warm.solution.objective == pytest.approx(cold.solution.objective)
+        model = _knapsack()
+        assert set(warm.solution.values) == {v.name for v in model.variables}
+        assert model.is_feasible(warm.solution.values, tolerance=1e-6)
+
+    def test_presolve_detected_infeasibility_answers_the_chain(self):
+        model = MilpModel("impossible")
+        x = model.binary("x")
+        model.add_constraint(x + 0.0 >= 2, name="cannot")
+        model.set_objective(x * 1)
+        outcome = solve_with_fallback(model, presolve=True)
+        assert outcome.solution.status is SolutionStatus.INFEASIBLE
+        assert outcome.backend == "presolve"
+        assert not outcome.rescued
+
+    def test_presolve_solved_model_never_reaches_a_backend(self, tmp_path):
+        # Every real backend is scripted to fail; presolve alone must
+        # still answer a model it can fully reduce.
+        plan = _plan(
+            tmp_path,
+            {
+                "solver.scipy": FaultSpec(kind="error", times=-1),
+                "solver.branch-and-bound": FaultSpec(kind="error", times=-1),
+            },
+        )
+        model = MilpModel("forced")
+        x = model.binary("x")
+        model.add_constraint(x + 0.0 >= 1, name="must")
+        model.set_objective(3 * x)
+        with faults.inject(plan):
+            outcome = solve_with_fallback(model, presolve=True)
+        assert outcome.backend == "presolve"
+        assert outcome.solution.status is SolutionStatus.OPTIMAL
+        assert outcome.solution.objective == pytest.approx(3.0)
+        assert outcome.solution.values == {"x": 1.0}
+
+
 class TestProblemFallback:
     def test_answers_like_a_plain_solve(self, toy_model):
         problem = MaxUtilityProblem(toy_model, Budget.of(cpu=6))

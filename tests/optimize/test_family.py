@@ -1,0 +1,119 @@
+"""Tests for shared formulation cores (:mod:`repro.optimize.family`).
+
+The contract under test is exactness: a family-built instance must
+compile to the *bit-identical* standard form of a cold build, so the
+solver's answer — down to tie-breaking — cannot depend on whether the
+core was fresh or reused.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import OptimizationError
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.family import ProblemFamily
+from repro.optimize.frontier import exact_frontier
+from repro.optimize.pareto import budget_sweep
+from repro.optimize.problem import MaxUtilityProblem
+
+FRACTIONS = [0.25, 0.5, 0.75, 1.0]
+
+
+def assert_forms_identical(left, right):
+    for field in ("c", "A_ub", "b_ub", "A_eq", "b_eq", "lower", "upper", "integrality"):
+        assert np.array_equal(getattr(left, field), getattr(right, field)), field
+    assert left.objective_constant == right.objective_constant
+    assert left.maximize == right.maximize
+
+
+class TestFamilyCores:
+    def test_reused_core_compiles_bit_identical(self, toy_model):
+        family = ProblemFamily(toy_model)
+        for fraction in FRACTIONS:
+            budget = Budget.fraction_of_total(toy_model, fraction)
+            warm_milp, _ = MaxUtilityProblem(toy_model, budget, family=family).build()
+            cold_milp, _ = MaxUtilityProblem(toy_model, budget).build()
+            assert_forms_identical(warm_milp.compile(), cold_milp.compile())
+
+    def test_core_built_once_then_reused(self, toy_model):
+        family = ProblemFamily(toy_model)
+        with obs.capture() as cap:
+            for fraction in FRACTIONS:
+                budget = Budget.fraction_of_total(toy_model, fraction)
+                MaxUtilityProblem(toy_model, budget, family=family).build()
+        counters = cap.registry.snapshot()["counters"]
+        assert counters["optimize.family.builds"] == 1
+        assert counters["optimize.family.reuses"] == len(FRACTIONS) - 1
+
+    def test_distinct_keys_get_distinct_cores(self, toy_model):
+        family = ProblemFamily(toy_model)
+        built = []
+
+        def factory(tag):
+            def build():
+                budget = Budget.fraction_of_total(toy_model, 0.5)
+                milp, builder = MaxUtilityProblem(toy_model, budget)._build_core()
+                built.append(tag)
+                return milp, builder
+
+            return build
+
+        a1, _ = family.core("a", factory("a"))
+        b1, _ = family.core("b", factory("b"))
+        a2, _ = family.core("a", factory("a"))
+        assert built == ["a", "b"]
+        assert a1 is a2 and a1 is not b1
+
+    def test_session_keys_stable_and_distinct(self, toy_model):
+        family = ProblemFamily(toy_model)
+        other = ProblemFamily(toy_model)
+        assert family.session_key("a") == family.session_key("a")
+        assert family.session_key("a") != family.session_key("b")
+        assert family.session_key("a") != other.session_key("a")
+
+    def test_rejects_foreign_model(self, toy_model, web_model):
+        family = ProblemFamily(web_model)
+        budget = Budget.fraction_of_total(toy_model, 0.5)
+        with pytest.raises(OptimizationError, match="different model"):
+            MaxUtilityProblem(toy_model, budget, family=family)
+
+    def test_rejects_mismatched_weights(self, toy_model):
+        family = ProblemFamily(toy_model, UtilityWeights())
+        budget = Budget.fraction_of_total(toy_model, 0.5)
+        with pytest.raises(OptimizationError, match="different utility weights"):
+            MaxUtilityProblem(
+                toy_model, budget, UtilityWeights.coverage_only(), family=family
+            )
+
+
+class TestWarmEqualsCold:
+    def test_budget_sweep_identical_to_cold(self, toy_model):
+        cold = budget_sweep(toy_model, FRACTIONS, workers=1)
+        warm = budget_sweep(toy_model, FRACTIONS, workers=1, presolve=True)
+        for c, w in zip(cold, warm):
+            assert w.result.deployment.monitor_ids == c.result.deployment.monitor_ids
+            assert w.result.objective == c.result.objective
+
+    def test_budget_sweep_identical_on_case_study(self, web_model):
+        # Presolve genuinely reduces the case-study model, so the warm
+        # objective is the *lifted* re-evaluation of the same optimal
+        # vertex — equal up to summation order, not bit-for-bit (the
+        # untransformed-model case above is strict).  Deployments, the
+        # integer answer, must still match exactly.
+        fractions = [0.2, 0.4, 0.6]
+        cold = budget_sweep(web_model, fractions, workers=1)
+        warm = budget_sweep(web_model, fractions, workers=1, presolve=True)
+        for c, w in zip(cold, warm):
+            assert w.result.deployment.monitor_ids == c.result.deployment.monitor_ids
+            assert w.result.objective == pytest.approx(c.result.objective, rel=1e-12)
+
+    def test_exact_frontier_identical_to_cold(self, toy_model):
+        cold = exact_frontier(toy_model)
+        warm = exact_frontier(toy_model, presolve=True)
+        assert len(cold) == len(warm)
+        for c, w in zip(cold, warm):
+            assert w.deployment.monitor_ids == c.deployment.monitor_ids
+            assert w.scalar_cost == c.scalar_cost
+            assert w.utility == c.utility

@@ -130,3 +130,62 @@ class TestFeasibility:
     def test_constraint_requires_constraint_object(self, model):
         with pytest.raises(SolverError, match="expected a Constraint"):
             model.add_constraint(True)  # a comparison that collapsed to bool
+
+
+class TestTruncateAndRecompile:
+    """The rollback primitive behind formulation reuse must be exact."""
+
+    def build(self, rhs: float) -> MilpModel:
+        m = MilpModel("core", ObjectiveSense.MAXIMIZE)
+        x, y = m.binary("x"), m.binary("y")
+        z = m.continuous("z", 0, 2)
+        m.add_constraint(x + y + z <= 2, name="shared")
+        m.add_constraint(2 * x + y >= 1, name="shared_ge")
+        m.set_objective(3 * x + 2 * y + z)
+        m.add_constraint(x + 2 * y <= rhs, name="budget")
+        return m
+
+    def assert_identical(self, left, right):
+        import numpy as np
+
+        for field in (
+            "c", "A_ub", "b_ub", "A_eq", "b_eq", "lower", "upper", "integrality",
+        ):
+            assert np.array_equal(getattr(left, field), getattr(right, field)), field
+        assert left.objective_constant == right.objective_constant
+        assert left.maximize == right.maximize
+
+    def test_truncate_then_reappend_is_bit_identical(self):
+        reused = self.build(1.5)
+        reused.compile()  # populate the row memo
+        x, y = reused.variables[0], reused.variables[1]
+        for rhs in (0.5, 1.0, 2.0):
+            reused.truncate_constraints(2)
+            reused.add_constraint(x + 2 * y <= rhs, name="budget")
+            self.assert_identical(reused.compile(), self.build(rhs).compile())
+
+    def test_truncate_drops_trailing_constraints(self):
+        model = self.build(1.0)
+        model.truncate_constraints(2)
+        assert [c.name for c in model.constraints] == ["shared", "shared_ge"]
+
+    def test_truncate_rejects_out_of_range_counts(self):
+        model = self.build(1.0)
+        with pytest.raises(SolverError, match="cannot truncate"):
+            model.truncate_constraints(4)
+        with pytest.raises(SolverError, match="cannot truncate"):
+            model.truncate_constraints(-1)
+
+    def test_row_memo_survives_new_variables(self):
+        # Rows memoized before a variable was added are stale (wrong
+        # width) and must be rebuilt, not reused.
+        model = MilpModel("grow", ObjectiveSense.MAXIMIZE)
+        x = model.binary("x")
+        model.add_constraint(x <= 1, name="r")
+        model.set_objective(x)
+        assert model.compile().A_ub.shape == (1, 1)
+        y = model.binary("y")
+        model.add_constraint(x + y <= 1, name="r2")
+        form = model.compile()
+        assert form.A_ub.shape == (2, 2)
+        assert form.A_ub[0].tolist() == [1.0, 0.0]

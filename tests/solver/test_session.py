@@ -1,0 +1,189 @@
+"""Warm-started solve sessions: equivalence, seeding, bound reuse.
+
+A session must be a pure acceleration: every solve returns the status
+and objective a cold solve would, on every backend.  The warm machinery
+is then observed through the obs counters — incumbents seeded on family
+repeats, dual bounds reused on pure tightenings, LP-relaxation cache
+hits on identical cores.
+"""
+
+import pytest
+
+from repro import obs
+from repro.solver import (
+    MilpModel,
+    ObjectiveSense,
+    SolutionStatus,
+    SolveSession,
+    solve,
+)
+from repro.solver.session import _only_tightened, structure_signature
+
+
+def knapsack(capacity: float, values=(10, 13, 7, 8, 12)) -> MilpModel:
+    """One member of a knapsack family: same structure, one rhs knob."""
+    weights = (3, 4, 2, 3, 4)
+    model = MilpModel("family", ObjectiveSense.MAXIMIZE)
+    x = [model.binary(f"x{i}") for i in range(len(values))]
+    model.add_constraint(
+        sum(w * v for w, v in zip(weights, x)) <= capacity, name="cap"
+    )
+    model.set_objective(sum(c * v for c, v in zip(values, x)))
+    return model
+
+
+class TestStructureSignature:
+    def test_rhs_changes_share_a_family(self):
+        assert structure_signature(knapsack(8)) == structure_signature(knapsack(5))
+
+    def test_objective_changes_share_a_family(self):
+        assert structure_signature(knapsack(8)) == structure_signature(
+            knapsack(8, values=(1, 2, 3, 4, 5))
+        )
+
+    def test_coefficient_changes_split_families(self):
+        other = MilpModel("family", ObjectiveSense.MAXIMIZE)
+        x = [other.binary(f"x{i}") for i in range(5)]
+        other.add_constraint(sum(2 * v for v in x) <= 8, name="cap")
+        other.set_objective(sum(x))
+        assert structure_signature(knapsack(8)) != structure_signature(other)
+
+
+class TestOnlyTightened:
+    def test_smaller_rhs_is_a_tightening(self):
+        loose, tight = knapsack(8).compile(), knapsack(5).compile()
+        assert _only_tightened(loose, tight)
+        assert not _only_tightened(tight, loose)
+
+    def test_objective_change_is_not(self):
+        a = knapsack(8).compile()
+        b = knapsack(8, values=(1, 2, 3, 4, 5)).compile()
+        assert not _only_tightened(a, b)
+
+
+@pytest.mark.parametrize("backend", ["scipy", "branch-and-bound"])
+class TestSessionEquivalence:
+    def test_matches_cold_solves_across_a_sweep(self, backend):
+        session = SolveSession(backend, presolve=True)
+        for capacity in (3, 5, 8, 11, 14):
+            warm = session.solve(knapsack(capacity))
+            cold = solve(knapsack(capacity), backend)
+            assert warm.status == cold.status, capacity
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+            model = knapsack(capacity)
+            assert model.is_feasible(warm.values, tolerance=1e-6)
+
+    def test_matches_cold_solves_descending(self, backend):
+        session = SolveSession(backend, presolve=True)
+        for capacity in (14, 11, 8, 5, 3):
+            warm = session.solve(knapsack(capacity))
+            cold = solve(knapsack(capacity), backend)
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_infeasible_instances_pass_through(self, backend):
+        model = MilpModel("impossible", ObjectiveSense.MAXIMIZE)
+        x = model.binary("x")
+        model.add_constraint(x + 0.0 >= 2, name="cannot")
+        model.set_objective(x * 1)
+        session = SolveSession(backend, presolve=True)
+        assert session.solve(model).status is SolutionStatus.INFEASIBLE
+
+
+class TestWarmMachinery:
+    def test_incumbents_seed_family_repeats(self):
+        with obs.capture() as cap:
+            session = SolveSession("branch-and-bound", presolve=True)
+            for capacity in (5, 8, 11):
+                session.solve(knapsack(capacity))
+        counters = cap.registry.snapshot()["counters"]
+        assert counters.get("solver.session.solves") == 3
+        # Ascending capacities: each optimum stays feasible at the next.
+        assert counters.get("solver.session.incumbent_seeds", 0) >= 1
+        assert counters.get("solver.warm_start.accepted", 0) >= 1
+
+    def test_dual_bounds_reused_on_pure_tightenings(self):
+        # Bound reuse compares ORIGINAL compiled forms, so descending
+        # capacities qualify even when presolve fixes different subsets.
+        with obs.capture() as cap:
+            session = SolveSession("branch-and-bound", presolve=False)
+            for capacity in (14, 11, 8):
+                session.solve(knapsack(capacity))
+        counters = cap.registry.snapshot()["counters"]
+        assert counters.get("solver.session.bound_reuses", 0) >= 1
+
+    def test_lp_cache_hits_on_identical_resolve(self):
+        with obs.capture() as cap:
+            session = SolveSession("branch-and-bound", presolve=False)
+            first = session.solve(knapsack(8))
+            second = session.solve(knapsack(8))
+        assert first.objective == second.objective
+        counters = cap.registry.snapshot()["counters"]
+        assert counters.get("solver.lp_cache.hits", 0) >= 1
+
+    def test_scipy_sessions_never_count_seeds(self):
+        # scipy cannot consume a warm start; the session must not claim
+        # it seeded one.
+        with obs.capture() as cap:
+            session = SolveSession("scipy", presolve=True)
+            for capacity in (5, 8):
+                session.solve(knapsack(capacity))
+        counters = cap.registry.snapshot()["counters"]
+        assert counters.get("solver.session.incumbent_seeds", 0) == 0
+
+    def test_solve_controls_fall_back_to_session_defaults(self):
+        session = SolveSession("branch-and-bound", presolve=True, gap=1e-9)
+        solution = session.solve(knapsack(8), time_limit=30.0)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(25.0)
+
+
+def presolve_proof_model(rhs: float) -> MilpModel:
+    """A family member the reduction pipeline provably cannot shrink."""
+    model = MilpModel("futile", ObjectiveSense.MAXIMIZE)
+    x, y, z = model.binary("x"), model.binary("y"), model.binary("z")
+    model.add_constraint(2 * x + 3 * y + z <= rhs, name="r1")
+    model.add_constraint(x + y + 2 * z <= 2, name="r2")
+    model.set_objective(2 * x + 3 * y + z)
+    return model
+
+
+class TestFamilyKeyAndFutilitySkip:
+    def test_family_key_groups_without_hashing(self):
+        # Callers that manage families themselves (ProblemFamily) name
+        # the family directly; the warm machinery must engage exactly
+        # as it does under the structure-signature grouping.
+        with obs.capture() as cap:
+            session = SolveSession("branch-and-bound", presolve=False)
+            for capacity in (5, 8, 11):
+                session.solve(knapsack(capacity), family_key="knapsack-family")
+        counters = cap.registry.snapshot()["counters"]
+        assert counters.get("solver.session.incumbent_seeds", 0) >= 1
+
+    @pytest.mark.parametrize("backend", ["scipy", "branch-and-bound"])
+    def test_family_key_solves_match_cold(self, backend):
+        session = SolveSession(backend, presolve=True)
+        for capacity in (5, 8, 11):
+            warm = session.solve(knapsack(capacity), family_key="k")
+            cold = solve(knapsack(capacity), backend)
+            assert warm.objective == pytest.approx(cold.objective)
+
+    def test_futile_presolve_runs_once_per_family(self):
+        with obs.capture() as cap:
+            session = SolveSession("scipy", presolve=True)
+            for rhs in (3.0, 4.0, 5.0):
+                warm = session.solve(presolve_proof_model(rhs))
+                cold = solve(presolve_proof_model(rhs), "scipy")
+                assert warm.objective == pytest.approx(cold.objective)
+        counters = cap.registry.snapshot()["counters"]
+        assert counters.get("presolve.runs") == 1
+        assert counters.get("solver.session.presolve_skips") == 2
+
+    def test_reducing_presolve_keeps_running(self):
+        # knapsack(5) presolve is not futile for every member; families
+        # whose first presolve reduces must keep presolving.
+        from repro.solver.presolve import PresolveStatus, presolve as run_presolve
+
+        pre = run_presolve(presolve_proof_model(3.0))
+        assert pre.status is PresolveStatus.REDUCED
+        assert pre.stats.columns_after == pre.stats.columns_before
+        assert pre.stats.rows_after == pre.stats.rows_before

@@ -307,3 +307,88 @@ class TestCompare:
         assert main(
             ["compare", "--model", str(toy_model_file), "--a", str(a), "--b", str(b)]
         ) == 2
+
+
+class TestSolverFlags:
+    """--presolve / --max-nodes / --gap on every solving command."""
+
+    def test_presolve_optimize_matches_cold(self, toy_model_file, tmp_path, capsys):
+        cold_out = tmp_path / "cold.json"
+        warm_out = tmp_path / "warm.json"
+        base = ["optimize", "--model", str(toy_model_file), "--budget-fraction", "0.5"]
+        assert main(base + ["--out", str(cold_out)]) == 0
+        assert main(base + ["--presolve", "--out", str(warm_out)]) == 0
+        assert json.loads(cold_out.read_text()) == json.loads(warm_out.read_text())
+
+    def test_no_presolve_is_accepted(self, toy_model_file, capsys):
+        assert main(
+            [
+                "optimize",
+                "--model", str(toy_model_file),
+                "--budget-fraction", "0.5",
+                "--no-presolve",
+            ]
+        ) == 0
+
+    def test_node_and_gap_controls(self, toy_model_file, capsys):
+        assert main(
+            [
+                "optimize",
+                "--model", str(toy_model_file),
+                "--budget-fraction", "0.5",
+                "--backend", "branch-and-bound",
+                "--max-nodes", "100000",
+                "--gap", "1e-9",
+            ]
+        ) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_mincost_presolve(self, toy_model_file, capsys):
+        assert main(
+            [
+                "mincost",
+                "--model", str(toy_model_file),
+                "--min-utility", "0.2",
+                "--presolve",
+            ]
+        ) == 0
+
+    def test_sweep_presolve_matches_cold(self, toy_model_file, capsys):
+        args = ["sweep", "--model", str(toy_model_file), "--fractions", "0.2,0.5"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args + ["--presolve", "--workers", "1"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_frontier_backend_and_presolve(self, toy_model_file, capsys):
+        assert main(["frontier", "--model", str(toy_model_file)]) == 0
+        cold = capsys.readouterr().out
+        assert main(
+            [
+                "frontier",
+                "--model", str(toy_model_file),
+                "--backend", "branch-and-bound",
+                "--presolve",
+            ]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_stats_renders_reduction_ratios(self, toy_model_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(
+            [
+                "sweep",
+                "--model", str(toy_model_file),
+                "--fractions", "0.2,0.5",
+                "--presolve",
+                "--workers", "1",
+                "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "presolve:" in out
+        assert "removed" in out
