@@ -598,6 +598,15 @@ def _cmd_export_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy: the lint driver is only needed by this subcommand, and the
+    # linter must stay usable even when the analyzed code would not
+    # import — parsing is its only contact with the target.
+    from repro.devtools.lint import run as run_lint
+
+    return run_lint(args.paths, args.rule, args.format, args.output)
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -735,6 +744,19 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="write the built-in case study to JSON")
     export.add_argument("path", type=Path)
     export.set_defaults(handler=_cmd_export_casestudy)
+
+    lint = commands.add_parser(
+        "lint", help="static analysis: invariant rules, import cycles, layering"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"], metavar="PATH",
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format on stdout (default: text)")
+    lint.add_argument("--rule", action="append", default=None, metavar="RULE-ID",
+                      help="run only this rule (repeatable); default: all rules")
+    lint.add_argument("--output", type=Path, default=None, metavar="OUT.json",
+                      help="additionally write the JSON report here (CI artifact)")
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

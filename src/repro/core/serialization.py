@@ -234,8 +234,21 @@ def model_from_dict(document: dict[str, Any]) -> SystemModel:
 
 
 def save_model(model: SystemModel, path: str | Path) -> None:
-    """Write ``model`` to ``path`` as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(model_to_dict(model), indent=2, sort_keys=False))
+    """Write ``model`` to ``path`` as pretty-printed, strict JSON.
+
+    Serialization goes through :mod:`repro.export.jsonsafe` so a model
+    carrying a non-finite float (say, a NaN criticality from a buggy
+    upstream computation) fails loudly here instead of producing a
+    document that ``load_model`` — or any spec-compliant parser —
+    rejects later.
+    """
+    # Imported here, not at module top: repro.export's package __init__
+    # pulls in the optimize stack, whose metrics imports land back on
+    # repro.core while core/__init__ is still importing this module —
+    # an eager import would close that cycle.
+    from repro.export.jsonsafe import dumps as strict_dumps
+
+    Path(path).write_text(strict_dumps(model_to_dict(model), indent=2, sort_keys=False))
 
 
 def load_model(path: str | Path) -> SystemModel:

@@ -1,0 +1,40 @@
+"""Project-specific static analysis: the repo's invariants, machine-checked.
+
+Every invariant this package enforces was once a postmortem: the
+``export`` circular-import crash (PR 3), non-strict JSON before
+``jsonsafe`` (PR 3), determinism bugs in the parallel paths (PR 1).
+Docstrings don't fail CI; these rules do.
+
+* :mod:`repro.devtools.base` — :class:`Finding`, :class:`Rule`,
+  ``# repro: noqa[RULE-ID]`` suppression parsing;
+* :mod:`repro.devtools.rules` — the AST rules (RNG-SEED, CLOCK-INJECT,
+  JSON-STRICT, EXC-SILENT, PICKLE-SAFE, TYPECHECK-IMPORT, MUT-DEFAULT,
+  OBS-SPAN);
+* :mod:`repro.devtools.imports` — parse-only import-graph analysis:
+  eager-cycle detection (IMPORT-CYCLE) and the package layering
+  contract (LAYER-CONTRACT);
+* :mod:`repro.devtools.contract` — the layering and every per-rule
+  allowlist, as reviewable data;
+* :mod:`repro.devtools.lint` — the driver behind ``repro lint`` and
+  ``python -m repro.devtools``.
+
+Deliberately dependency-light: parsing only (never imports the code it
+checks), stdlib only, and nothing from ``repro`` beyond ``errors`` and
+the ``jsonsafe`` leaf — so the lint CI job is fast and can run even
+when the code under analysis would not import.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.base import Finding, LintContext, Rule
+from repro.devtools.lint import all_rule_ids, lint_file, lint_paths, main
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rule_ids",
+    "lint_file",
+    "lint_paths",
+    "main",
+]

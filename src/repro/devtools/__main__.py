@@ -1,0 +1,7 @@
+"""``python -m repro.devtools`` — the lint driver without the full CLI."""
+
+import sys
+
+from repro.devtools.lint import main
+
+sys.exit(main(prog="python -m repro.devtools"))

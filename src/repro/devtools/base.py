@@ -1,0 +1,194 @@
+"""Shared vocabulary of the static-analysis pass: findings, rules, context.
+
+Every rule module imports from here and nowhere else inside devtools,
+so the rule registry (:mod:`repro.devtools.rules`) and the driver
+(:mod:`repro.devtools.lint`) can both import the rules without cycles.
+
+A rule is a class with a ``rule_id``, a one-line ``description``, and a
+``check(ctx)`` generator yielding :class:`Finding` records.  Rules see
+one file at a time through a :class:`LintContext` — parsed AST, source
+lines, module name, and the ``# repro: noqa[RULE-ID]`` suppressions
+already extracted from the token stream (so a ``noqa`` inside a string
+literal does not suppress anything).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "dotted",
+    "parse_suppressions",
+]
+
+#: Sentinel stored in the suppression map for a bare ``# repro: noqa``
+#: (no bracketed rule list): every rule is suppressed on that line.
+_ALL_RULES = "*"
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s\-]+)\])?(?P<reason>.*)?"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed by ``# repro: noqa`` comments.
+
+    Recognized forms, always inside a real comment token::
+
+        x = risky()            # repro: noqa[RNG-SEED] seeded upstream
+        y = risky2()           # repro: noqa[RNG-SEED,CLOCK-INJECT]
+        z = anything()         # repro: noqa  (suppresses every rule)
+
+    The trailing free text is the human-readable reason; it is required
+    by convention (review style), not by the parser.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA.search(token.string)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            ids = {_ALL_RULES}
+        else:
+            ids = {part.strip().upper() for part in rules.split(",") if part.strip()}
+        suppressions.setdefault(token.start[0], set()).update(ids)
+    return suppressions
+
+
+@dataclass(slots=True)
+class LintContext:
+    """Everything a rule may look at while checking one file."""
+
+    path: str
+    module: str
+    source: str
+    tree: Any  # ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self.suppressions.get(line)
+        if not ids:
+            return False
+        return _ALL_RULES in ids or rule_id.upper() in ids
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``description`` and ``check``.
+
+    ``severity`` is informational ("error" or "warning"); the lint
+    driver exits nonzero on *any* finding either way, so a warning is a
+    finding the team has decided to keep visible rather than fix.
+    """
+
+    rule_id: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    severity: ClassVar[str] = "error"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: Any, message: str) -> Finding:
+        """A :class:`Finding` for ``node`` (any object with lineno/col_offset)."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def run_rules(
+    rules: Iterable[Rule], ctx: LintContext
+) -> list[Finding]:
+    """All unsuppressed findings from ``rules`` over one file, sorted."""
+    findings: list[Finding] = []
+    for rule in rules:
+        for found in rule.check(ctx):
+            if not ctx.is_suppressed(found.rule, found.line):
+                findings.append(found)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def dotted(node: Any) -> str:
+    """The dotted name of an expression, or ``""`` if it is not one.
+
+    ``ast.Attribute``/``ast.Name`` chains only — ``np.random.seed``
+    comes back verbatim; anything with a call or subscript in the chain
+    yields ``""`` (rules treat that as "not a name I recognize").
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, derived from ``__init__.py`` parents.
+
+    Walks upward while the containing directory is a package; a file
+    outside any package is just its own stem.  This is how the linter
+    knows a file is ``repro.core.serialization`` without importing it.
+    """
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:]
+    return ".".join(reversed(parts))

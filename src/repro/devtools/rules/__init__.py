@@ -1,0 +1,41 @@
+"""The rule registry: every AST rule the linter ships, in report order.
+
+Adding a rule is three steps (see docs/static-analysis.md):
+
+1. write ``rules/<name>.py`` with a :class:`~repro.devtools.base.Rule`
+   subclass (one bad + one good golden fixture in ``tests/devtools``);
+2. import and list it in :data:`ALL_RULES` here;
+3. if it needs configuration, put the data in
+   :mod:`repro.devtools.contract`, not in the rule.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.base import Rule
+from repro.devtools.rules.clock_inject import ClockInjectRule
+from repro.devtools.rules.exc_silent import ExcSilentRule
+from repro.devtools.rules.json_strict import JsonStrictRule
+from repro.devtools.rules.mut_default import MutDefaultRule
+from repro.devtools.rules.obs_span import ObsSpanRule
+from repro.devtools.rules.pickle_safe import PickleSafeRule
+from repro.devtools.rules.rng_seed import RngSeedRule
+from repro.devtools.rules.typecheck_import import TypecheckImportRule
+
+__all__ = ["ALL_RULES", "rule_index"]
+
+#: Every AST rule, instantiated once (rules are stateless).
+ALL_RULES: tuple[Rule, ...] = (
+    RngSeedRule(),
+    ClockInjectRule(),
+    JsonStrictRule(),
+    ExcSilentRule(),
+    PickleSafeRule(),
+    TypecheckImportRule(),
+    MutDefaultRule(),
+    ObsSpanRule(),
+)
+
+
+def rule_index() -> dict[str, Rule]:
+    """Rule id -> rule instance, for ``--rule`` filtering."""
+    return {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,72 @@
+"""CLOCK-INJECT: timestamps come from injected clocks, not the OS.
+
+The determinism suite compares span trees and latency histograms
+bit-for-bit across runs, which only works because instrumented code
+reads time through an injected :class:`repro.obs.clock.Clock`.  A bare
+``time.time()``/``time.perf_counter()``/``datetime.now()`` reintroduces
+wall-clock noise that no test can pin down.
+
+The allowlist (:data:`repro.devtools.contract.CLOCK_ALLOWLIST`) admits
+the clock implementations themselves plus the two *deadline* sites
+(process-pool timeouts, branch-and-bound time limits), where real wall
+time is the point: a fake clock there would make a hung worker
+immortal.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools import contract
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["ClockInjectRule"]
+
+#: Dotted call names that read an ambient clock.  ``time.sleep`` is
+#: deliberately absent — sleeping is a delay, not a measurement.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+
+class ClockInjectRule(Rule):
+    rule_id = "CLOCK-INJECT"
+    description = (
+        "no direct wall-clock reads outside repro.obs.clock and the "
+        "deadline allowlist; use an injected Clock"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        allowed = contract.CLOCK_ALLOWLIST.get(ctx.module, frozenset())
+        if "*" in allowed:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if name in _CLOCK_CALLS and name not in allowed:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() reads the ambient clock; thread a "
+                    "repro.obs.clock.Clock through instead (or add this "
+                    "site to contract.CLOCK_ALLOWLIST if it is a real "
+                    "wall-clock deadline)",
+                )

@@ -1,0 +1,93 @@
+"""EXC-SILENT: broad exception handlers must account for what they ate.
+
+A ``except:``/``except Exception:`` that neither re-raises nor records
+the failure is how a fault-tolerant runtime silently returns wrong
+answers.  The runtime's own contract (see ``repro.runtime.parallel``'s
+docstring: "never a silent ``except Exception``") is that every broad
+handler does at least one of:
+
+* re-raise (any ``raise`` in the handler body, including a translated
+  exception like ``_PoolAbandoned``);
+* record a structured failure (:class:`TaskFailure` construction or a
+  ``_record_failure``/``handle_task_fault`` call);
+* bump an observability counter (``obs.counter(...).inc()``).
+
+Handlers that are intentional-and-visible by some other means carry a
+``# repro: noqa[EXC-SILENT] <reason>`` on the ``except`` line.
+Narrowly-typed handlers (``except OSError:``) are out of scope — they
+state what they expect.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["ExcSilentRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Callables whose invocation counts as structured failure accounting.
+_RECORDERS = frozenset({"TaskFailure", "_record_failure", "handle_task_fault"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: list[ast.expr] = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for name in names:
+        text = dotted(name)
+        if text.rsplit(".", 1)[-1] in _BROAD:
+            return True
+    return False
+
+
+def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted(node.func)
+            if name.rsplit(".", 1)[-1] in _RECORDERS:
+                return True
+            # obs.counter("...").inc() / registry().counter("...").inc():
+            # an .inc()/.observe() whose receiver chain goes through a
+            # counter()/histogram() call.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("inc", "observe")
+                and isinstance(node.func.value, ast.Call)
+            ):
+                inner = dotted(node.func.value.func)
+                if inner.rsplit(".", 1)[-1] in ("counter", "histogram"):
+                    return True
+    return False
+
+
+class ExcSilentRule(Rule):
+    rule_id = "EXC-SILENT"
+    description = (
+        "broad except handlers must re-raise, record a TaskFailure, or "
+        "bump an obs counter"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _accounts_for_failure(node):
+                continue
+            caught = "bare except" if node.type is None else f"except {ast.unparse(node.type)}"
+            yield self.finding(
+                ctx,
+                node,
+                f"{caught} swallows failures silently; re-raise, record a "
+                "TaskFailure, or increment an obs counter (annotate with "
+                "`# repro: noqa[EXC-SILENT] <reason>` if intentional)",
+            )

@@ -1,0 +1,47 @@
+"""JSON-STRICT: all JSON leaves the process through ``repro.export.jsonsafe``.
+
+Python's ``json`` happily writes ``NaN``/``Infinity`` tokens the JSON
+grammar does not contain; campaign metrics produce both (NaN latency
+means, inf utilization).  :mod:`repro.export.jsonsafe` is the single
+choke point that sanitizes non-finite floats and pins
+``allow_nan=False`` — so a raw ``json.dumps``/``json.dump`` anywhere
+else is a latent corrupt-artifact bug, even when today's payload
+happens to be finite.  ``json.loads`` is fine; strictness is a writer
+property.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools import contract
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["JsonStrictRule"]
+
+_WRITERS = frozenset({"json.dump", "json.dumps"})
+
+
+class JsonStrictRule(Rule):
+    rule_id = "JSON-STRICT"
+    description = (
+        "no raw json.dumps/json.dump outside repro.export.jsonsafe; "
+        "route writers through jsonsafe.dumps"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module in contract.JSON_ALLOWLIST:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if name in _WRITERS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() can emit NaN/Infinity tokens; use "
+                    "repro.export.jsonsafe.dumps (sanitizes non-finite "
+                    "floats, allow_nan=False)",
+                )

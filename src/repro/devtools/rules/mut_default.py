@@ -1,0 +1,62 @@
+"""MUT-DEFAULT: no mutable default arguments.
+
+A ``def f(x, acc=[])`` shares one list across every call — the classic
+Python footgun, and in this codebase a determinism hazard too (state
+leaking between supposedly independent solves).  Flags list/dict/set
+displays and comprehensions, and calls to the mutable constructors,
+used as parameter defaults.  Use ``None`` plus an in-body default.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["MutDefaultRule"]
+
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict", "collections.defaultdict", "collections.deque",
+     "collections.Counter", "collections.OrderedDict"}
+)
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutDefaultRule(Rule):
+    rule_id = "MUT-DEFAULT"
+    description = "no mutable default arguments; default to None and fill in the body"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    where = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {where}(); one instance "
+                        "is shared across all calls — default to None",
+                    )

@@ -1,0 +1,88 @@
+"""OBS-SPAN: registered hot paths must open a tracer span.
+
+The performance story (docs/performance.md) is told from trace spans:
+``solve_seconds`` comes from the ``optimize.*`` spans, the substrate
+speedup assertions read ``engine.*``/``parallel.map``, and ``repro
+stats`` renders what the spans recorded.  Deleting a span doesn't fail
+any functional test — the timing just silently disappears from every
+artifact.  So the instrumented hot paths are a closed registry
+(:data:`repro.devtools.contract.HOT_PATHS`): each listed function must
+contain a ``with obs.span(...)`` (or ``tracer().span(...)``), and a
+registry entry whose function no longer exists is itself a finding, so
+renames keep the registry honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools import contract
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["ObsSpanRule"]
+
+
+def _collect_functions(tree: ast.Module) -> dict[str, ast.AST]:
+    """Qualname -> def node, one class level deep (``Class.method``)."""
+    functions: dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions[f"{node.name}.{child.name}"] = child
+    return functions
+
+
+def _opens_span(function: ast.AST) -> bool:
+    for node in ast.walk(function):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                name = dotted(expr.func)
+                if name.rsplit(".", 1)[-1] == "span":
+                    return True
+                # tracer().span(...): receiver is itself a call
+                if (
+                    isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "span"
+                ):
+                    return True
+    return False
+
+
+class ObsSpanRule(Rule):
+    rule_id = "OBS-SPAN"
+    description = (
+        "functions in the instrumented-hot-path registry must open a "
+        "tracer span (contract.HOT_PATHS)"
+    )
+    severity = "warning"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        expected = contract.HOT_PATHS.get(ctx.module)
+        if not expected:
+            return
+        functions = _collect_functions(ctx.tree)
+        for qualname in expected:
+            node = functions.get(qualname)
+            if node is None:
+                yield self.finding(
+                    ctx,
+                    ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                    f"hot-path registry names {ctx.module}.{qualname} but no "
+                    "such function exists; update contract.HOT_PATHS "
+                    "alongside the rename",
+                )
+            elif not _opens_span(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{qualname} is a registered hot path but opens no "
+                    "obs.span(); its timings back the performance docs — "
+                    "restore the span or amend contract.HOT_PATHS",
+                )

@@ -1,0 +1,89 @@
+"""PICKLE-SAFE: callables crossing the process pool must pickle.
+
+``parallel_map`` ships its function to worker processes by pickling;
+lambdas and functions defined inside another function don't pickle, so
+such a call *silently* falls back to the serial path — correct answers,
+none of the speedup, no error to tell you why.  The rule flags a
+lambda or a locally-defined function passed as the callable argument to
+any name in :data:`repro.devtools.contract.PARALLEL_MAP_NAMES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools import contract
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["PickleSafeRule"]
+
+
+def _callable_argument(node: ast.Call) -> ast.expr | None:
+    """The argument holding the mapped callable (first positional or fn=)."""
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "fn":
+            return keyword.value
+    return None
+
+
+class _Scope(ast.NodeVisitor):
+    """Walks function bodies tracking locally-defined function names."""
+
+    def __init__(self, rule: PickleSafeRule, ctx: LintContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.local_defs: list[set[str]] = []  # one frame per enclosing function
+        self.findings: list[Finding] = []
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if self.local_defs:
+            self.local_defs[-1].add(node.name)
+        self.local_defs.append(set())
+        self.generic_visit(node)
+        self.local_defs.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted(node.func)
+        if name.rsplit(".", 1)[-1] in contract.PARALLEL_MAP_NAMES:
+            argument = _callable_argument(node)
+            if isinstance(argument, ast.Lambda):
+                self.findings.append(
+                    self.rule.finding(
+                        self.ctx,
+                        argument,
+                        "lambda passed to parallel_map cannot pickle into the "
+                        "pool (runs serially); use a module-level function",
+                    )
+                )
+            elif isinstance(argument, ast.Name) and any(
+                argument.id in frame for frame in self.local_defs
+            ):
+                self.findings.append(
+                    self.rule.finding(
+                        self.ctx,
+                        argument,
+                        f"locally-defined function {argument.id!r} passed to "
+                        "parallel_map cannot pickle into the pool (runs "
+                        "serially); hoist it to module level",
+                    )
+                )
+        self.generic_visit(node)
+
+
+class PickleSafeRule(Rule):
+    rule_id = "PICKLE-SAFE"
+    description = (
+        "no lambdas or locally-defined functions as the parallel_map "
+        "callable; workers need picklable module-level functions"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        scope = _Scope(self, ctx)
+        scope.visit(ctx.tree)
+        yield from scope.findings

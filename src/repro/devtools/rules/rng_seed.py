@@ -1,0 +1,98 @@
+"""RNG-SEED: every random stream is derived from an explicit seed.
+
+Determinism is the repo's load-bearing invariant — parallel runs must
+be bit-identical to serial ones, and a campaign must replay from its
+seed.  That dies the moment anyone constructs an OS-entropy generator:
+``np.random.default_rng()`` with no argument, ``random.Random()`` with
+no argument, any call into the *global* ``random`` module stream, or
+``np.random.seed``/global ``np.random.*`` draws (shared mutable state
+that parallel workers would race on even when seeded).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools import contract
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["RngSeedRule"]
+
+#: Module-level functions of ``random`` that draw from the hidden
+#: global stream; seeding cannot make them safe to share.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``np.random.<fn>`` draws on numpy's legacy global RandomState.
+_GLOBAL_NUMPY_FNS = frozenset(
+    {
+        "choice", "normal", "permutation", "rand", "randint", "randn",
+        "random", "random_sample", "seed", "shuffle", "uniform",
+    }
+)
+
+#: Constructors that are fine *with* an explicit seed argument.
+_SEEDABLE = frozenset(
+    {
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "random.Random",
+    }
+)
+
+
+class RngSeedRule(Rule):
+    rule_id = "RNG-SEED"
+    description = (
+        "random streams must be constructed from an explicit seed "
+        "(no default_rng()/Random() without arguments, no global "
+        "random/np.random state)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module in contract.RNG_ALLOWLIST:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if not name:
+                continue
+            if name in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() without a seed draws OS entropy; pass an "
+                        "explicit seed (derive child streams with "
+                        "repro.runtime.parallel.spawn_seeds)",
+                    )
+                continue
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] == "random" and parts[1] in _GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() uses the global random stream; construct "
+                    "random.Random(seed) (or a numpy Generator) instead",
+                )
+            elif (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] in _GLOBAL_NUMPY_FNS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() touches numpy's global RandomState; use "
+                    "np.random.default_rng(seed)",
+                )

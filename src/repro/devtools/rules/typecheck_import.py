@@ -1,0 +1,97 @@
+"""TYPECHECK-IMPORT: export modules keep upper layers behind TYPE_CHECKING.
+
+``repro.export`` is imported by :mod:`repro.simulation` (and the CLI),
+while its formatters annotate against types from :mod:`repro.analysis`.
+PR 3 fixed the resulting circular-import crash (``import repro.cli``
+died while ``analysis`` was mid-import) by moving those imports under
+``if TYPE_CHECKING:``.  This rule pins the fix: inside any
+``repro.export.*`` module, an eager module-level runtime import of the
+packages that transitively import ``export`` back
+(:data:`repro.devtools.contract.EXPORT_TYPE_ONLY_PREFIXES`) is a
+finding.  Function-local (lazy) imports are exempt — deferral past
+module init is exactly how a cycle is legitimately broken.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools import contract
+from repro.devtools.base import Finding, LintContext, Rule
+
+__all__ = ["TypecheckImportRule"]
+
+
+def _forbidden(target: str) -> bool:
+    return any(
+        target == prefix or target.startswith(prefix + ".")
+        for prefix in contract.EXPORT_TYPE_ONLY_PREFIXES
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: TypecheckImportRule, ctx: LintContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.type_checking = False
+        self.depth = 0
+        self.findings: list[Finding] = []
+
+    def visit_If(self, node: ast.If) -> None:
+        if "TYPE_CHECKING" in ast.dump(node.test):
+            previous = self.type_checking
+            self.type_checking = True
+            for child in node.body:
+                self.visit(child)
+            self.type_checking = previous
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _check(self, target: str, node: ast.stmt) -> None:
+        if self.type_checking or self.depth > 0:
+            return
+        if _forbidden(target):
+            self.findings.append(
+                self.rule.finding(
+                    self.ctx,
+                    node,
+                    f"runtime import of {target} from an export module closes "
+                    "the export/analysis cycle; move it under `if "
+                    "TYPE_CHECKING:` (annotation-only) or into the using "
+                    "function",
+                )
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(alias.name, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and not node.level:
+            self._check(node.module, node)
+
+
+class TypecheckImportRule(Rule):
+    rule_id = "TYPECHECK-IMPORT"
+    description = (
+        "repro.export modules import analysis/simulation/cli only under "
+        "TYPE_CHECKING (pins the PR 3 circular-import fix)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro.export."):
+            return
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

@@ -38,6 +38,27 @@ class TestRoundTrip:
     def test_document_is_plain_json(self, toy_model):
         json.dumps(model_to_dict(toy_model))  # must not raise
 
+    def test_non_finite_field_saves_as_strict_json(self, tmp_path):
+        # Regression: save_model used to call raw json.dumps, which writes
+        # an `Infinity` token no spec-compliant parser accepts.  It now
+        # routes through jsonsafe, which sanitizes non-finite floats.
+        model = model_from_dict(
+            {
+                "name": "non-finite",
+                "data_types": [{"id": "d", "volume_hint": float("inf")}],
+            }
+        )
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+
+        def reject(token):
+            raise AssertionError(f"non-strict JSON token {token!r} in output")
+
+        document = json.loads(text, parse_constant=reject)
+        assert document["data_types"][0]["volume_hint"] is None
+
 
 class TestMalformed:
     def test_unsupported_version(self, toy_model):

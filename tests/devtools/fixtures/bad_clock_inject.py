@@ -1,0 +1,11 @@
+"""Golden bad fixture: CLOCK-INJECT violations, one per line below."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.perf_counter()
+    wall = time.time()
+    when = datetime.now()
+    return started, wall, when

@@ -1,0 +1,15 @@
+"""Golden bad fixture: EXC-SILENT violations on the except lines."""
+
+
+def swallow(task):
+    try:
+        task()
+    except Exception:
+        pass
+
+
+def swallow_bare(task):
+    try:
+        task()
+    except:  # noqa: E722 (stdlib-style noqa is not ours and suppresses nothing)
+        return None

@@ -1,0 +1,9 @@
+"""Golden bad fixture: JSON-STRICT violations, one per line below."""
+
+import json
+
+
+def write(payload, fh):
+    text = json.dumps(payload)
+    json.dump(payload, fh)
+    return text

@@ -1,0 +1,19 @@
+"""Golden bad fixture: MUT-DEFAULT violations at each default site."""
+
+from collections import defaultdict
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def index(pairs, table=defaultdict(list)):
+    for key, value in pairs:
+        table[key].append(value)
+    return table
+
+
+def label(tags, *, seen=set()):
+    seen.update(tags)
+    return seen

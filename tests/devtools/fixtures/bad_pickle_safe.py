@@ -1,0 +1,12 @@
+"""Golden bad fixture: PICKLE-SAFE violations (unpicklable callables)."""
+
+from repro.runtime.parallel import parallel_map
+
+
+def run(items):
+    doubled = parallel_map(lambda x: 2 * x, items)
+
+    def local(x):
+        return x + 1
+
+    return parallel_map(local, items), doubled

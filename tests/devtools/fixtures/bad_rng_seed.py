@@ -1,0 +1,13 @@
+"""Golden bad fixture: RNG-SEED violations, one per line below."""
+
+import random
+
+import numpy as np
+
+
+def fresh_entropy():
+    rng = np.random.default_rng()
+    value = random.random()
+    other = random.Random()
+    np.random.seed(7)
+    return rng, value, other

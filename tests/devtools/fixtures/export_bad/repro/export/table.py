@@ -1,0 +1,7 @@
+"""Golden bad fixture: TYPECHECK-IMPORT violation (eager upper-layer import)."""
+
+from repro.analysis.contribution import contribution_report
+
+
+def render(report):
+    return contribution_report, report

@@ -1,0 +1,14 @@
+"""Golden good fixture: upper layers behind TYPE_CHECKING or lazy."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.contribution import ContributionReport
+
+
+def render(report: ContributionReport) -> str:
+    from repro.analysis.contribution import contribution_report
+
+    return str((contribution_report, report))

@@ -1,0 +1,8 @@
+"""Golden good fixture: time comes from an injected Clock."""
+
+import time
+
+
+def stamp(clock):
+    time.sleep(0.0)  # sleeping is a delay, not a measurement
+    return clock.now()

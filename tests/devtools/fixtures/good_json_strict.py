@@ -1,0 +1,9 @@
+"""Golden good fixture: readers are fine; writers go through jsonsafe."""
+
+import json
+
+from repro.export.jsonsafe import dumps
+
+
+def roundtrip(payload):
+    return json.loads(dumps(payload))

@@ -1,0 +1,11 @@
+"""Golden good fixture: module-level functions pickle into the pool."""
+
+from repro.runtime.parallel import parallel_map
+
+
+def double(x):
+    return 2 * x
+
+
+def run(items):
+    return parallel_map(double, items)

@@ -1,0 +1,11 @@
+"""Golden good fixture: every stream is built from an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)
+    other = random.Random(seed)
+    return rng.standard_normal() + other.random()

@@ -1,0 +1,5 @@
+"""Golden bad fixture: registered hot path without an obs span."""
+
+
+def parallel_map(fn, items):
+    return [fn(item) for item in items]

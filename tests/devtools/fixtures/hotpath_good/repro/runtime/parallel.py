@@ -1,0 +1,8 @@
+"""Golden good fixture: registered hot path opening its span."""
+
+from repro import obs
+
+
+def parallel_map(fn, items):
+    with obs.span("parallel.map"):
+        return [fn(item) for item in items]

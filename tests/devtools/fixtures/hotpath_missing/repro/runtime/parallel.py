@@ -1,0 +1,5 @@
+"""Golden bad fixture: the registry names a function that is gone."""
+
+
+def renamed_parallel_map(fn, items):
+    return [fn(item) for item in items]

@@ -1,0 +1,68 @@
+"""The declared layering contract must match the code, exactly.
+
+``contract.ALLOWED_PACKAGE_DEPS`` is a record, not an upper bound: a
+dependency that exists but is undeclared fails here, and so does a
+declared dependency nothing uses anymore.  The assertion message lists
+every mismatch so the fix (amend the contract, or remove the import)
+is obvious from the test output alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools import contract
+from repro.devtools.imports import build_graph, find_cycles, package_dependencies
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_declared_layering_matches_observed_imports():
+    observed = package_dependencies(build_graph(SRC))
+    declared = {pkg: set(deps) for pkg, deps in contract.ALLOWED_PACKAGE_DEPS.items()}
+    problems = []
+    for pkg in sorted(set(observed) | set(declared)):
+        extra = sorted(observed.get(pkg, set()) - declared.get(pkg, set()))
+        stale = sorted(declared.get(pkg, set()) - observed.get(pkg, set()))
+        for dep in extra:
+            problems.append(
+                f"undeclared: {pkg} -> {dep} "
+                "(declare it in contract.ALLOWED_PACKAGE_DEPS or remove the import)"
+            )
+        for dep in stale:
+            problems.append(
+                f"stale: {pkg} -> {dep} is declared but no longer imported "
+                "(drop it from contract.ALLOWED_PACKAGE_DEPS)"
+            )
+    assert not problems, "layering contract drift:\n" + "\n".join(problems)
+
+
+def test_eager_import_graph_of_src_is_acyclic():
+    assert find_cycles(build_graph(SRC)) == []
+
+
+def test_hot_path_registry_modules_exist_on_disk():
+    for module in contract.HOT_PATHS:
+        relative = Path(*module.split(".")[1:])
+        assert (SRC / relative.with_suffix(".py")).exists() or (
+            SRC / relative / "__init__.py"
+        ).exists(), f"contract.HOT_PATHS names missing module {module}"
+
+
+def test_clock_and_json_allowlists_point_at_real_modules():
+    for module in list(contract.CLOCK_ALLOWLIST) + list(contract.JSON_ALLOWLIST):
+        relative = Path(*module.split(".")[1:])
+        assert (SRC / relative.with_suffix(".py")).exists(), (
+            f"allowlist names missing module {module}"
+        )
+
+
+def test_leaf_modules_are_real_and_leafy():
+    graph = build_graph(SRC)
+    for leaf in contract.LEAF_MODULES:
+        assert leaf in graph.modules, f"LEAF_MODULES names missing module {leaf}"
+        for edge in graph.edges_from(leaf):
+            assert edge.target in contract.LEAF_MODULES, (
+                f"leaf {leaf} imports non-leaf {edge.target}; "
+                "a leaf must not pull in layered packages"
+            )

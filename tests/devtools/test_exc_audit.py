@@ -1,0 +1,54 @@
+"""Audit pin: every broad handler in the fault-tolerant paths accounts.
+
+The runtime (``repro.runtime.parallel``) and the solver fallback chain
+(``repro.solver.fallback``) are the only places in the tree allowed to
+catch ``Exception`` broadly — and each such handler must re-raise,
+record a structured ``TaskFailure``, or bump an obs counter.  These
+tests keep that audit from regressing silently: the first proves the
+files still *have* broad handlers (so the second cannot pass
+vacuously), the second runs EXC-SILENT over them for real.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.devtools.lint import lint_file
+from repro.devtools.rules.exc_silent import ExcSilentRule, _is_broad
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+AUDITED = (
+    SRC / "runtime" / "parallel.py",
+    SRC / "solver" / "fallback.py",
+)
+
+
+def _broad_handlers(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text())
+    return sorted(
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and _is_broad(node)
+    )
+
+
+def test_audited_files_still_contain_broad_handlers():
+    counts = {path.name: len(_broad_handlers(path)) for path in AUDITED}
+    assert counts["parallel.py"] >= 4
+    assert counts["fallback.py"] >= 1
+
+
+def test_every_broad_handler_accounts_for_its_failure():
+    for path in AUDITED:
+        findings = lint_file(path, [ExcSilentRule()])
+        assert findings == [], (
+            f"{path}: broad handler(s) swallow failures silently: "
+            + "; ".join(f"line {f.line}" for f in findings)
+        )
+
+
+def test_whole_tree_has_no_exc_silent_findings():
+    from repro.devtools.lint import lint_paths
+
+    assert [f for f in lint_paths([SRC], ["EXC-SILENT"])] == []

@@ -1,0 +1,130 @@
+"""Import-graph analysis on synthetic packages: cycles, layering, lazy edges."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.imports import (
+    build_graph,
+    cycle_findings,
+    find_cycles,
+    layering_findings,
+    package_dependencies,
+)
+from repro.devtools.lint import lint_paths
+
+#: A three-module eager cycle: pkg.a -> pkg.a.one -> pkg.b.two -> pkg.a.
+CYCLE_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/a/__init__.py": "from pkg.a.one import f\n",
+    "pkg/a/one.py": "from pkg.b.two import g\n\n\ndef f():\n    return g()\n",
+    "pkg/b/__init__.py": "",
+    "pkg/b/two.py": "from pkg.a import f\n\n\ndef g():\n    return f\n",
+}
+
+
+def _write(tmp_path: Path, files: dict[str, str]) -> Path:
+    for rel, content in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return tmp_path / "pkg"
+
+
+def test_eager_cycle_is_detected(tmp_path):
+    graph = build_graph(_write(tmp_path, CYCLE_FILES))
+    assert find_cycles(graph) == [["pkg.a", "pkg.a.one", "pkg.b.two"]]
+
+
+def test_cycle_finding_renders_the_full_path(tmp_path):
+    root = _write(tmp_path, CYCLE_FILES)
+    findings = cycle_findings(build_graph(root))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "IMPORT-CYCLE"
+    assert "pkg.a -> pkg.a.one -> pkg.b.two -> pkg.a" in finding.message
+    # Anchored at the cycle's first module's offending import line.
+    assert finding.path == str(root / "a" / "__init__.py")
+    assert finding.line == 1
+
+
+def test_type_checking_import_breaks_the_cycle(tmp_path):
+    files = dict(CYCLE_FILES)
+    files["pkg/b/two.py"] = (
+        "from typing import TYPE_CHECKING\n"
+        "\n"
+        "if TYPE_CHECKING:\n"
+        "    from pkg.a import f\n"
+        "\n"
+        "\n"
+        "def g():\n"
+        "    return None\n"
+    )
+    graph = build_graph(_write(tmp_path, files))
+    assert find_cycles(graph) == []
+
+
+def test_lazy_function_local_import_breaks_the_cycle(tmp_path):
+    files = dict(CYCLE_FILES)
+    files["pkg/b/two.py"] = "def g():\n    from pkg.a import f\n    return f\n"
+    graph = build_graph(_write(tmp_path, files))
+    assert find_cycles(graph) == []
+
+
+def test_importing_a_submodule_initializes_its_package(tmp_path):
+    # pkg.x imports pkg.y.inner; pkg.y's __init__ imports pkg.x back.
+    # Neither imports the other *directly*, but init order still cycles.
+    files = {
+        "pkg/__init__.py": "",
+        "pkg/x.py": "import pkg.y.inner\n",
+        "pkg/y/__init__.py": "import pkg.x\n",
+        "pkg/y/inner.py": "",
+    }
+    graph = build_graph(_write(tmp_path, files))
+    assert find_cycles(graph) == [["pkg.x", "pkg.y"]]
+
+
+def test_package_dependencies_aggregation(tmp_path):
+    graph = build_graph(_write(tmp_path, CYCLE_FILES))
+    deps = package_dependencies(graph, leaf_modules=frozenset())
+    assert deps == {"pkg": set(), "a": {"b"}, "b": {"a"}}
+
+
+def test_layering_violation_is_flagged(tmp_path):
+    graph = build_graph(_write(tmp_path, CYCLE_FILES))
+    allowed = {"pkg": frozenset(), "a": frozenset({"b"}), "b": frozenset()}
+    findings = layering_findings(graph, allowed=allowed, leaf_modules=frozenset())
+    assert [f.rule for f in findings] == ["LAYER-CONTRACT"]
+    assert "layer 'b' may not depend on 'a'" in findings[0].message
+
+
+def test_leaf_modules_are_exempt_from_layering(tmp_path):
+    graph = build_graph(_write(tmp_path, CYCLE_FILES))
+    allowed = {"pkg": frozenset(), "a": frozenset({"b"}), "b": frozenset()}
+    findings = layering_findings(
+        graph, allowed=allowed, leaf_modules=frozenset({"pkg.a"})
+    )
+    assert findings == []
+
+
+def test_undeclared_package_is_flagged(tmp_path):
+    graph = build_graph(_write(tmp_path, CYCLE_FILES))
+    allowed = {"pkg": frozenset(), "a": frozenset({"b"})}  # "b" missing
+    findings = layering_findings(graph, allowed=allowed, leaf_modules=frozenset())
+    assert any("not declared in the layering contract" in f.message for f in findings)
+
+
+def test_lint_paths_runs_graph_rules_and_finds_the_cycle(tmp_path):
+    _write(tmp_path, CYCLE_FILES)
+    # Passing the *parent* directory: package-root discovery must find pkg.
+    findings = lint_paths([tmp_path], ["IMPORT-CYCLE"])
+    assert [f.rule for f in findings] == ["IMPORT-CYCLE"]
+
+
+def test_import_cycle_respects_noqa_on_the_anchor_line(tmp_path):
+    files = dict(CYCLE_FILES)
+    files["pkg/a/__init__.py"] = (
+        "from pkg.a.one import f  # repro: noqa[IMPORT-CYCLE] split tracked elsewhere\n"
+    )
+    root = _write(tmp_path, files)
+    assert lint_paths([root], ["IMPORT-CYCLE"]) == []

@@ -1,0 +1,105 @@
+"""Entry points: ``repro lint``, ``python -m repro.devtools``, exit codes."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro import cli
+from repro.devtools.lint import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_repo_source_tree_lints_clean(capsys):
+    # The meta-test: the merged tree passes its own linter.
+    assert cli.main(["lint", str(SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "clean: no findings" in out
+
+
+def test_bad_fixture_exits_one_with_rule_ids(capsys):
+    assert cli.main(["lint", str(FIXTURES / "bad_rng_seed.py")]) == 1
+    out = capsys.readouterr().out
+    assert "RNG-SEED" in out
+    assert "4 finding(s)" in out
+
+
+def test_unknown_rule_id_exits_two(capsys):
+    assert cli.main(["lint", str(SRC), "--rule", "NO-SUCH-RULE"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(capsys):
+    assert lint_main([str(FIXTURES / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_non_python_argument_exits_two(tmp_path, capsys):
+    notes = tmp_path / "notes.txt"
+    notes.write_text("not python\n")
+    assert lint_main([str(notes)]) == 2
+    assert "not a Python file or directory" in capsys.readouterr().err
+
+
+def test_json_format_and_output_artifact(tmp_path, capsys):
+    artifact = tmp_path / "findings.json"
+    code = lint_main(
+        [str(FIXTURES / "bad_json_strict.py"), "--format", "json", "--output", str(artifact)]
+    )
+    assert code == 1
+    stdout_payload = json.loads(capsys.readouterr().out)
+    file_payload = json.loads(artifact.read_text())
+    assert stdout_payload == file_payload
+    assert file_payload["count"] == 2
+    assert file_payload["files_linted"] == 1
+    assert {f["rule"] for f in file_payload["findings"]} == {"JSON-STRICT"}
+    assert all(
+        set(f) == {"rule", "path", "line", "col", "message", "severity"}
+        for f in file_payload["findings"]
+    )
+
+
+def test_rule_filter_restricts_what_runs(capsys):
+    # The RNG fixture has no clock findings, so filtering to
+    # CLOCK-INJECT must come back clean even though RNG-SEED would fire.
+    assert lint_main([str(FIXTURES / "bad_rng_seed.py"), "--rule", "CLOCK-INJECT"]) == 0
+    capsys.readouterr()
+
+
+def test_rule_ids_on_the_command_line_are_case_insensitive(capsys):
+    assert lint_main([str(FIXTURES / "bad_rng_seed.py"), "--rule", "rng-seed"]) == 1
+    capsys.readouterr()
+
+
+def test_syntax_error_is_a_parse_error_finding(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    assert lint_main([str(broken)]) == 1
+    assert "PARSE-ERROR" in capsys.readouterr().out
+
+
+def test_text_report_lines_are_clickable_locations(capsys):
+    lint_main([str(FIXTURES / "bad_json_strict.py")])
+    first = capsys.readouterr().out.splitlines()[0]
+    path, line, col, rest = first.split(":", 3)
+    assert path.endswith("bad_json_strict.py")
+    assert int(line) == 7 and int(col) >= 1
+    assert "JSON-STRICT" in rest
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC.parent) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools", str(FIXTURES / "bad_mut_default.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 1
+    assert "MUT-DEFAULT" in proc.stdout

@@ -1,0 +1,132 @@
+"""Semantics of ``# repro: noqa[RULE-ID]`` suppression comments."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.base import parse_suppressions
+from repro.devtools.lint import lint_file
+
+
+def _lint_source(tmp_path, source):
+    path = tmp_path / "sample.py"
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path)
+
+
+def test_targeted_noqa_suppresses_only_that_rule(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+
+
+        def write(payload):
+            return json.dumps(payload)  # repro: noqa[JSON-STRICT] test payload is finite
+        """,
+    )
+    assert findings == []
+
+
+def test_noqa_for_a_different_rule_does_not_suppress(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+
+
+        def write(payload):
+            return json.dumps(payload)  # repro: noqa[RNG-SEED] wrong rule
+        """,
+    )
+    assert [f.rule for f in findings] == ["JSON-STRICT"]
+
+
+def test_bare_noqa_suppresses_every_rule_on_the_line(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+        import time
+
+
+        def write(payload):
+            return json.dumps(payload), time.time()  # repro: noqa
+        """,
+    )
+    assert findings == []
+
+
+def test_noqa_only_covers_its_own_line(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+
+
+        def write(payload):
+            a = json.dumps(payload)  # repro: noqa[JSON-STRICT] this line only
+            b = json.dumps(payload)
+            return a, b
+        """,
+    )
+    assert [(f.rule, f.line) for f in findings] == [("JSON-STRICT", 6)]
+
+
+def test_noqa_inside_a_string_literal_is_not_a_suppression(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+
+
+        def write(payload):
+            return json.dumps(payload), "# repro: noqa[JSON-STRICT]"
+        """,
+    )
+    assert [f.rule for f in findings] == ["JSON-STRICT"]
+
+
+def test_rule_ids_in_noqa_are_case_insensitive(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+
+
+        def write(payload):
+            return json.dumps(payload)  # repro: noqa[json-strict] lower case
+        """,
+    )
+    assert findings == []
+
+
+def test_multiple_rule_ids_in_one_noqa(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+        import time
+
+
+        def write(payload):
+            return json.dumps(payload), time.time()  # repro: noqa[JSON-STRICT, CLOCK-INJECT] both
+        """,
+    )
+    assert findings == []
+
+
+def test_parse_suppressions_maps_lines_to_rule_sets():
+    source = (
+        "x = 1  # repro: noqa[RNG-SEED] reason\n"
+        "y = 2  # repro: noqa\n"
+        "z = 3  # unrelated comment\n"
+    )
+    suppressions = parse_suppressions(source)
+    assert suppressions == {1: {"RNG-SEED"}, 2: {"*"}}
+
+
+def test_suppression_survives_syntax_error_tolerantly():
+    # Unterminated source: the tokenizer gives up, the parser reports
+    # PARSE-ERROR elsewhere; parse_suppressions must not raise.
+    assert parse_suppressions("def broken(:\n") == {}
