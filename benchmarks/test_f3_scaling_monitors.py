@@ -142,3 +142,113 @@ def test_f3_scaling_monitors(benchmark, results_dir):
 
     # Benchmark the largest instance (model construction excluded).
     benchmark.pedantic(solve_instance, args=(largest,), rounds=1, iterations=1)
+
+
+# --- Pool ablation: per-call maps vs. one persistent zero-copy pool ---
+
+POOL_MAPS = 6
+POOL_TASKS_PER_MAP = 8
+POOL_WORKERS = 2
+
+
+def _percall_utility(task):
+    """Baseline worker entry point: the whole model rides in the task."""
+    from repro.runtime.engine import engine_for
+
+    model, deployed = task
+    return engine_for(model).utility(deployed)
+
+
+def _pooled_utility(task):
+    """Zero-copy worker entry point: the task carries only a handle."""
+    from repro.runtime.pool import attach_engine
+
+    handle, deployed = task
+    return attach_engine(handle).utility(deployed)
+
+
+def _sample_deployments(model, count):
+    from repro.runtime.parallel import spawn_generators
+
+    ids = sorted(model.monitors)
+    picks = []
+    for rng in spawn_generators(7, count):
+        keep = rng.random(len(ids)) < rng.uniform(0.2, 0.8)
+        picks.append(frozenset(m for m, k in zip(ids, keep) if k))
+    return picks
+
+
+def test_f3_pool_ablation(results_dir):
+    """Persistent zero-copy pool vs. per-call maps on the largest model.
+
+    A study is ``POOL_MAPS`` successive parallel maps over the 400-monitor
+    model.  The per-call baseline spins up a fresh executor per map and
+    ships the full pickled model inside every task; the persistent path
+    publishes the evaluation engine to shared memory once and sends
+    zero-copy handles through one long-lived pool.  Utilities must be
+    identical and the persistent path at least 2x faster end to end.
+    """
+    from repro.runtime.parallel import parallel_map
+    from repro.runtime.pool import PersistentPool, publish_engine
+
+    model = make_model(MONITOR_COUNTS[-1])
+    picks = _sample_deployments(model, POOL_MAPS * POOL_TASKS_PER_MAP)
+    maps = [
+        picks[i * POOL_TASKS_PER_MAP : (i + 1) * POOL_TASKS_PER_MAP]
+        for i in range(POOL_MAPS)
+    ]
+
+    started = time.perf_counter()
+    baseline = [
+        parallel_map(
+            _percall_utility,
+            [(model, deployed) for deployed in batch],
+            workers=POOL_WORKERS,
+        )
+        for batch in maps
+    ]
+    baseline_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with PersistentPool(workers=POOL_WORKERS) as pool:
+        handle = publish_engine(model, pool)
+        pooled = [
+            parallel_map(
+                _pooled_utility,
+                [(handle, deployed) for deployed in batch],
+                pool=pool,
+            )
+            for batch in maps
+        ]
+    pooled_seconds = time.perf_counter() - started
+
+    assert pooled == baseline
+    speedup = baseline_seconds / pooled_seconds
+    assert speedup >= 2.0, (
+        f"persistent pool only {speedup:.1f}x faster "
+        f"({baseline_seconds:.2f}s vs {pooled_seconds:.2f}s)"
+    )
+
+    note = (
+        f"{POOL_MAPS} maps x {POOL_TASKS_PER_MAP} tasks @ "
+        f"{MONITOR_COUNTS[-1]} monitors, {POOL_WORKERS} workers: "
+        f"per-call {baseline_seconds:.3f}s, persistent zero-copy "
+        f"{pooled_seconds:.3f}s ({speedup:.1f}x, identical utilities)"
+    )
+    publish(results_dir, "f3_pool_ablation", note)
+    publish_json(
+        results_dir,
+        "f3_pool_ablation",
+        {
+            "experiment": "f3_pool_ablation",
+            "monitors": MONITOR_COUNTS[-1],
+            "attacks": ATTACKS,
+            "maps": POOL_MAPS,
+            "tasks_per_map": POOL_TASKS_PER_MAP,
+            "workers": POOL_WORKERS,
+            "per_call_seconds": baseline_seconds,
+            "persistent_seconds": pooled_seconds,
+            "speedup": speedup,
+            "identical_utilities": True,
+        },
+    )

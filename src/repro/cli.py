@@ -53,6 +53,10 @@ from repro.simulation.campaign import run_campaign
 
 __all__ = ["main", "build_parser"]
 
+#: Backends exposed on the command line.  ``enumeration`` is deliberately
+#: absent: it is a test oracle, not a practical solver.
+_CLI_BACKENDS = ["scipy", "branch-and-bound", "parallel-bb", "fallback"]
+
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
@@ -113,10 +117,19 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
         help="relative optimality gap at which an incumbent is accepted "
         "as optimal (default: prove optimality exactly)",
     )
+    parser.add_argument(
+        "--bb-workers",
+        type=_positive_worker_count,
+        default=None,
+        metavar="N",
+        help="fan branch-and-bound subtree search out across N workers "
+        "(parallel-bb); objectives, deployments and node counts are "
+        "bit-identical at any worker count",
+    )
 
 
 def _positive_worker_count(text: str) -> int:
-    """argparse type for ``--workers``: a strictly positive integer.
+    """argparse type for worker counts: a strictly positive integer.
 
     Fails fast at parse time — a zero or negative count would otherwise
     surface as an opaque ProcessPoolExecutor error mid-run.
@@ -124,10 +137,10 @@ def _positive_worker_count(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"--workers must be an integer, got {text!r}")
+        raise argparse.ArgumentTypeError(f"worker count must be an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(
-            f"--workers must be >= 1 (use 1 for serial), got {value}"
+            f"worker count must be >= 1 (use 1 for serial), got {value}"
         )
     return value
 
@@ -142,6 +155,33 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         "(default: the REPRO_WORKERS environment variable, else serial); "
         "results are identical at any worker count",
     )
+    parser.add_argument(
+        "--pool",
+        choices=("persistent", "spawn"),
+        default="spawn",
+        help="worker-pool strategy: 'persistent' keeps one warm process "
+        "pool (zero-copy shared-memory transport) alive for the whole "
+        "command; 'spawn' (default) starts a fresh pool per parallel map",
+    )
+
+
+def _pool_context(args: argparse.Namespace):
+    """Context manager installing a persistent pool when requested.
+
+    Returns a no-op context unless ``--pool persistent`` was given; the
+    persistent pool is both closed *and* uninstalled on exit, so shared
+    segments never outlive the command.
+    """
+    import contextlib
+
+    if getattr(args, "pool", "spawn") != "persistent":
+        return contextlib.nullcontext()
+    from repro.runtime.pool import PersistentPool, use_pool
+
+    stack = contextlib.ExitStack()
+    pool = stack.enter_context(PersistentPool(getattr(args, "workers", None)))
+    stack.enter_context(use_pool(pool))
+    return stack
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -299,6 +339,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         presolve=args.presolve,
         max_nodes=args.max_nodes,
         gap=args.gap,
+        bb_workers=args.bb_workers,
     )
     print(result.summary())
     report = evaluate_deployment(model, result.deployment, weights)
@@ -333,6 +374,7 @@ def _cmd_mincost(args: argparse.Namespace) -> int:
         presolve=args.presolve,
         max_nodes=args.max_nodes,
         gap=args.gap,
+        bb_workers=args.bb_workers,
     )
     print(result.summary())
     print(f"scalar cost: {result.objective:.2f}")
@@ -350,18 +392,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     weights = _parse_weights(args)
     fractions = [float(x) for x in args.fractions.split(",")]
     report = MapReport()
-    points = budget_sweep(
-        model,
-        fractions,
-        weights,
-        backend=args.backend,
-        workers=args.workers,
-        policy=_parse_policy(args),
-        report=report,
-        presolve=args.presolve,
-        max_nodes=args.max_nodes,
-        gap=args.gap,
-    )
+    with _pool_context(args):
+        points = budget_sweep(
+            model,
+            fractions,
+            weights,
+            backend=args.backend,
+            workers=args.workers,
+            policy=_parse_policy(args),
+            report=report,
+            presolve=args.presolve,
+            max_nodes=args.max_nodes,
+            gap=args.gap,
+            bb_workers=args.bb_workers,
+        )
     _print_report(report)
     rows = [
         [p.fraction, len(p.result.deployment), p.result.utility, p.scalar_cost]
@@ -428,18 +472,19 @@ def _cmd_contrib(args: argparse.Namespace) -> int:
     deployment = _read_deployment(model, args.deployment)
     weights = _parse_weights(args)
     report = MapReport()
-    print(
-        contribution_report(
-            model,
-            deployment,
-            weights,
-            shapley_samples=args.samples,
-            seed=args.seed,
-            workers=args.workers,
-            policy=_parse_policy(args),
-            report=report,
+    with _pool_context(args):
+        print(
+            contribution_report(
+                model,
+                deployment,
+                weights,
+                shapley_samples=args.samples,
+                seed=args.seed,
+                workers=args.workers,
+                policy=_parse_policy(args),
+                report=report,
+            )
         )
-    )
     _print_report(report)
     return 0
 
@@ -457,6 +502,7 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
         presolve=args.presolve,
         max_nodes=args.max_nodes,
         gap=args.gap,
+        bb_workers=args.bb_workers,
     )
     print(render_table(
         ["scalar cost", "utility", "#monitors"],
@@ -634,7 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_weight_arguments(optimize)
     _add_budget_arguments(optimize)
     optimize.add_argument("--backend", default="scipy",
-                          choices=["scipy", "branch-and-bound", "fallback"])
+                          choices=_CLI_BACKENDS)
     optimize.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                           help="solver wall-clock limit in seconds")
     _add_solver_arguments(optimize)
@@ -651,7 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     mincost.add_argument("--fully-cover", default=None,
                          metavar="ATTACK,...", help="attacks whose required steps must be covered")
     mincost.add_argument("--backend", default="scipy",
-                         choices=["scipy", "branch-and-bound", "fallback"])
+                         choices=_CLI_BACKENDS)
     mincost.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                          help="solver wall-clock limit in seconds")
     _add_solver_arguments(mincost)
@@ -664,7 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_weight_arguments(sweep)
     sweep.add_argument("--fractions", default="0.05,0.1,0.2,0.4,0.8")
     sweep.add_argument("--backend", default="scipy",
-                       choices=["scipy", "branch-and-bound", "fallback"])
+                       choices=_CLI_BACKENDS)
     _add_solver_arguments(sweep)
     sweep.add_argument("--csv", type=Path, help="write sweep CSV here")
     _add_workers_argument(sweep)
@@ -702,7 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(frontier)
     _add_weight_arguments(frontier)
     frontier.add_argument("--backend", default="scipy",
-                          choices=["scipy", "branch-and-bound", "fallback"])
+                          choices=_CLI_BACKENDS)
     frontier.add_argument("--max-points", type=int, default=1000)
     _add_solver_arguments(frontier)
     frontier.add_argument("--csv", type=Path, help="write the frontier CSV here")

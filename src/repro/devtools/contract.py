@@ -33,6 +33,7 @@ __all__ = [
     "LEAF_MODULES",
     "PARALLEL_MAP_NAMES",
     "RNG_ALLOWLIST",
+    "SHM_ALLOWLIST",
     "package_of",
 ]
 
@@ -104,7 +105,9 @@ EXPORT_TYPE_ONLY_PREFIXES: tuple[str, ...] = (
 CLOCK_ALLOWLIST: dict[str, frozenset[str]] = {
     "repro.obs.clock": frozenset({"*"}),
     "repro.runtime.parallel": frozenset({"time.monotonic"}),
+    "repro.runtime.pool": frozenset({"time.monotonic"}),
     "repro.solver.branch_and_bound": frozenset({"time.monotonic"}),
+    "repro.solver.parallel_bb": frozenset({"time.monotonic"}),
 }
 
 #: Modules allowed to call ``json.dumps``/``json.dump`` directly: the
@@ -119,6 +122,14 @@ RNG_ALLOWLIST: frozenset[str] = frozenset()
 #: callable argument crosses a pickle boundary.
 PARALLEL_MAP_NAMES: frozenset[str] = frozenset({"parallel_map"})
 
+#: Modules allowed to construct ``multiprocessing.shared_memory``
+#: segments directly (SHM-SAFE).  Keeping construction inside
+#: :mod:`repro.runtime.pool` is what pins every segment's lifetime to a
+#: :class:`~repro.runtime.pool.PersistentPool` — a handle that crosses a
+#: ``parallel_map`` boundary unpinned can outlive its segment (stale
+#: attach) or survive the run (a leak in ``/dev/shm``).
+SHM_ALLOWLIST: frozenset[str] = frozenset({"repro.runtime.pool"})
+
 #: The instrumented-hot-path registry: module -> qualnames that must
 #: open a tracer span (OBS-SPAN).  These are the paths whose timings
 #: back the performance claims in docs/performance.md; deleting the
@@ -131,6 +142,7 @@ HOT_PATHS: dict[str, tuple[str, ...]] = {
     "repro.runtime.parallel": ("parallel_map",),
     "repro.solver.scipy_backend": ("solve_scipy_milp",),
     "repro.solver.branch_and_bound": ("solve_branch_and_bound",),
+    "repro.solver.parallel_bb": ("solve_parallel_branch_and_bound",),
     "repro.solver.presolve": ("presolve",),
     "repro.solver.fallback": ("solve_with_fallback",),
     "repro.solver.session": ("SolveSession.solve",),

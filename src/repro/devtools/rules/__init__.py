@@ -19,6 +19,7 @@ from repro.devtools.rules.mut_default import MutDefaultRule
 from repro.devtools.rules.obs_span import ObsSpanRule
 from repro.devtools.rules.pickle_safe import PickleSafeRule
 from repro.devtools.rules.rng_seed import RngSeedRule
+from repro.devtools.rules.shm_safe import ShmSafeRule
 from repro.devtools.rules.typecheck_import import TypecheckImportRule
 
 __all__ = ["ALL_RULES", "rule_index"]
@@ -30,6 +31,7 @@ ALL_RULES: tuple[Rule, ...] = (
     JsonStrictRule(),
     ExcSilentRule(),
     PickleSafeRule(),
+    ShmSafeRule(),
     TypecheckImportRule(),
     MutDefaultRule(),
     ObsSpanRule(),

@@ -1,0 +1,62 @@
+"""SHM-SAFE: shared-memory segments are constructed only by the pool.
+
+A ``multiprocessing.shared_memory.SharedMemory`` segment is a named
+OS object with manual lifetime: whoever creates one owns an unlink
+obligation, and a handle that crosses a ``parallel_map`` boundary
+without that lifetime pinned to a :class:`~repro.runtime.pool.
+PersistentPool` fails in one of two silent ways — the segment is
+unlinked while workers still hold the handle (stale attach, a
+``PoolError`` at best), or never unlinked at all (a leak in
+``/dev/shm`` that survives the run).  :mod:`repro.runtime.pool` is the
+one module that owns this discipline: ``publish_arrays`` creates,
+``PersistentPool.share`` pins, ``close`` unlinks, and the tracker
+double-unlink pitfall is handled in exactly one place.  Everyone else
+publishes through the pool and attaches through its handles.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools import contract
+from repro.devtools.base import Finding, LintContext, Rule, dotted
+
+__all__ = ["ShmSafeRule"]
+
+#: Spellings of the segment constructor (import style varies).
+_CONSTRUCTORS = frozenset(
+    {
+        "SharedMemory",
+        "shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.SharedMemory",
+        "ShareableList",
+        "shared_memory.ShareableList",
+        "multiprocessing.shared_memory.ShareableList",
+    }
+)
+
+
+class ShmSafeRule(Rule):
+    rule_id = "SHM-SAFE"
+    description = (
+        "no direct shared_memory segment construction outside "
+        "repro.runtime.pool; publish via PersistentPool.share so segment "
+        "lifetime stays pinned to a pool"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module in contract.SHM_ALLOWLIST:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if name in _CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() constructs an unpinned shared-memory segment; "
+                    "publish through repro.runtime.pool (PersistentPool.share / "
+                    "publish_arrays) so unlink responsibility stays with the pool",
+                )

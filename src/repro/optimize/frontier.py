@@ -51,12 +51,16 @@ def _dispatch(
     max_nodes: int | None = None,
     gap: float | None = None,
     family_key: str | None = None,
+    bb_workers: int | None = None,
 ):
     if session is not None:
+        # The session carries its own bb_workers (set at construction).
         return session.solve(
             milp, time_limit=time_limit, max_nodes=max_nodes, gap=gap, family_key=family_key
         )
-    return solve(milp, backend, time_limit=time_limit, max_nodes=max_nodes, gap=gap)
+    return solve(
+        milp, backend, time_limit=time_limit, max_nodes=max_nodes, gap=gap, bb_workers=bb_workers
+    )
 
 
 def _solve_at_cost_cap(
@@ -69,6 +73,7 @@ def _solve_at_cost_cap(
     max_nodes: int | None = None,
     gap: float | None = None,
     family: ProblemFamily | None = None,
+    bb_workers: int | None = None,
 ) -> tuple[frozenset[str], float] | None:
     """Max-utility deployment with scalar cost <= cap; None if infeasible."""
 
@@ -86,7 +91,7 @@ def _solve_at_cost_cap(
         family_key = None
     if cost_cap is not None:
         milp.add_constraint(builder.cost_expression() <= cost_cap, name="cost_cap")
-    solution = _dispatch(milp, backend, time_limit, session, max_nodes, gap, family_key)
+    solution = _dispatch(milp, backend, time_limit, session, max_nodes, gap, family_key, bb_workers)
     if solution.status is SolutionStatus.INFEASIBLE:
         return None
     selected = builder.selected_ids(solution.values)
@@ -103,6 +108,7 @@ def _cheapest_at_utility(
     max_nodes: int | None = None,
     gap: float | None = None,
     family: ProblemFamily | None = None,
+    bb_workers: int | None = None,
 ) -> frozenset[str]:
     """Cheapest deployment achieving at least ``utility_floor``.
 
@@ -130,7 +136,7 @@ def _cheapest_at_utility(
     milp.add_constraint(
         builder.utility_expression(weights) >= utility_floor, name="utility_floor"
     )
-    solution = _dispatch(milp, backend, time_limit, session, max_nodes, gap, family_key)
+    solution = _dispatch(milp, backend, time_limit, session, max_nodes, gap, family_key, bb_workers)
     if solution.status is SolutionStatus.INFEASIBLE:
         raise OptimizationError(
             f"internal inconsistency: utility floor {utility_floor} became infeasible"
@@ -149,6 +155,7 @@ def exact_frontier(
     presolve: bool = False,
     max_nodes: int | None = None,
     gap: float | None = None,
+    bb_workers: int | None = None,
 ) -> list[FrontierPoint]:
     """The complete cost–utility Pareto frontier, cheapest point first.
 
@@ -170,6 +177,11 @@ def exact_frontier(
         presolved, and because each iteration only *tightens* the cost
         cap, the previous point's proven optimum is reused as a dual
         bound by the branch-and-bound backend.
+    bb_workers:
+        Fan each branch-and-bound solve's subtree search out across
+        this many workers (see :mod:`repro.solver.parallel_bb`).
+        A throughput knob only: the frontier is bit-identical at any
+        worker count.
 
     Each returned point is Pareto-optimal; consecutive points strictly
     increase in both cost and utility.  The last point attains the
@@ -181,7 +193,14 @@ def exact_frontier(
         raise OptimizationError(f"epsilon must be > 0, got {epsilon!r}")
 
     session = (
-        SolveSession(backend, presolve=True, time_limit=time_limit, max_nodes=max_nodes, gap=gap)
+        SolveSession(
+            backend,
+            presolve=True,
+            time_limit=time_limit,
+            max_nodes=max_nodes,
+            gap=gap,
+            bb_workers=bb_workers,
+        )
         if presolve
         else None
     )
@@ -195,7 +214,16 @@ def exact_frontier(
         for index in range(max_points):
             with obs.span("frontier.point", i=index) as sp:
                 outcome = _solve_at_cost_cap(
-                    model, weights, cost_cap, backend, time_limit, session, max_nodes, gap, family
+                    model,
+                    weights,
+                    cost_cap,
+                    backend,
+                    time_limit,
+                    session,
+                    max_nodes,
+                    gap,
+                    family,
+                    bb_workers,
                 )
                 if outcome is None:
                     break  # cap below zero spend with forced cost: nothing feasible
@@ -217,6 +245,7 @@ def exact_frontier(
                     max_nodes,
                     gap,
                     family,
+                    bb_workers,
                 )
                 trimmed_cost = model.deployment_cost(trimmed).scalarize()
             points.append(

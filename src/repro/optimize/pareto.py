@@ -29,6 +29,7 @@ from repro.optimize.family import ProblemFamily
 from repro.optimize.problem import MaxUtilityProblem
 from repro.runtime.cache import cached_utility
 from repro.runtime.parallel import parallel_map, resolve_workers
+from repro.runtime.pool import PersistentPool
 from repro.runtime.resilience import MapReport, RetryPolicy
 from repro.solver import SolveSession
 
@@ -78,6 +79,7 @@ def _budget_sweep_job(
         int | None,
         float | None,
         ProblemFamily | None,
+        int | None,
     ],
 ) -> SweepPoint:
     (
@@ -91,6 +93,7 @@ def _budget_sweep_job(
         max_nodes,
         gap,
         family,
+        bb_workers,
     ) = task
     budget = Budget.fraction_of_total(model, fraction)
     problem = MaxUtilityProblem(model, budget, weights, family=family)
@@ -101,6 +104,7 @@ def _budget_sweep_job(
         session=session,
         max_nodes=max_nodes,
         gap=gap,
+        bb_workers=bb_workers,
     )
     return SweepPoint(fraction=fraction, budget=budget, result=result)
 
@@ -119,6 +123,8 @@ def budget_sweep(
     session: SolveSession | None = None,
     max_nodes: int | None = None,
     gap: float | None = None,
+    pool: PersistentPool | None = None,
+    bb_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Optimal utility at each budget fraction of the total monitor cost.
 
@@ -139,6 +145,12 @@ def budget_sweep(
     presolve each point independently, since sessions cannot cross
     process boundaries.  Passing an explicit ``session`` reuses state
     across *calls* too, but then requires a serial sweep.
+
+    ``pool`` (or an ambient :func:`~repro.runtime.pool.use_pool`) reuses
+    one persistent executor across this and every other map in a study;
+    ``bb_workers`` fans each point's branch-and-bound subtree search out
+    in turn (see :mod:`repro.solver.parallel_bb`) — the two parallelize
+    different axes and compose.
     """
     weights = weights or UtilityWeights()
     serial = resolve_workers(workers) <= 1 or len(fractions) <= 1
@@ -169,12 +181,14 @@ def budget_sweep(
                     max_nodes,
                     gap,
                     family,
+                    bb_workers,
                 )
                 for fraction in fractions
             ],
             workers=workers,
             policy=policy,
             report=report,
+            pool=pool,
         )
     return [_rebind(point, model) for point in points]
 
@@ -202,12 +216,13 @@ def heuristic_sweep(
     workers: int | None = None,
     policy: RetryPolicy | None = None,
     report: MapReport | None = None,
+    pool: PersistentPool | None = None,
 ) -> list[SweepPoint]:
     """Run any ``(model, budget, weights) -> OptimizationResult`` solver
     over the same budget fractions as :func:`budget_sweep`, for
     optimal-vs-heuristic comparisons on identical budgets.  Solvers must
     be module-level callables to actually parallelize; closures fall
-    back to a serial run.  ``policy``/``report`` behave as in
+    back to a serial run.  ``policy``/``report``/``pool`` behave as in
     :func:`budget_sweep`."""
     weights = weights or UtilityWeights()
     with obs.span("optimize.heuristic_sweep", points=len(fractions)):
@@ -217,6 +232,7 @@ def heuristic_sweep(
             workers=workers,
             policy=policy,
             report=report,
+            pool=pool,
         )
     return [_rebind(point, model) for point in points]
 

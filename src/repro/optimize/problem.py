@@ -119,13 +119,18 @@ class MaxUtilityProblem:
         session: SolveSession | None = None,
         max_nodes: int | None = None,
         gap: float | None = None,
+        bb_workers: int | None = None,
     ) -> OptimizationResult:
         """Solve to optimality and return the chosen deployment.
 
         ``presolve`` routes the ILP through the exact reduction pipeline
-        first; ``session`` (which implies its own presolve setting and
-        backend) reuses warm-start state across a family of related
-        solves — pass the same session to every point of a sweep.
+        first; ``session`` (which implies its own presolve setting,
+        backend, and ``bb_workers``) reuses warm-start state across a
+        family of related solves — pass the same session to every point
+        of a sweep.  ``bb_workers`` fans branch-and-bound subtree
+        exploration across workers (see
+        :mod:`repro.solver.parallel_bb`); the selected deployment is
+        bit-identical at any count.
 
         Raises
         ------
@@ -158,6 +163,7 @@ class MaxUtilityProblem:
                     max_nodes=max_nodes,
                     gap=gap,
                     presolve=presolve,
+                    bb_workers=bb_workers,
                 )
         obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:
@@ -190,6 +196,7 @@ class MaxUtilityProblem:
         presolve: bool = False,
         max_nodes: int | None = None,
         gap: float | None = None,
+        bb_workers: int | None = None,
     ) -> OptimizationResult:
         """Solve through the backend fallback chain, greedy as last resort.
 
@@ -227,6 +234,7 @@ class MaxUtilityProblem:
                     max_nodes=max_nodes,
                     gap=gap,
                     presolve=presolve,
+                    bb_workers=bb_workers,
                 )
             except SolverError:
                 if not greedy_last_resort or self.max_monitors is not None:
@@ -408,11 +416,12 @@ class MinCostProblem:
         session: SolveSession | None = None,
         max_nodes: int | None = None,
         gap: float | None = None,
+        bb_workers: int | None = None,
     ) -> OptimizationResult:
         """Solve to optimality and return the cheapest compliant deployment.
 
-        ``presolve``/``session``/``max_nodes``/``gap`` behave as on
-        :meth:`MaxUtilityProblem.solve`.
+        ``presolve``/``session``/``max_nodes``/``gap``/``bb_workers``
+        behave as on :meth:`MaxUtilityProblem.solve`.
 
         Raises
         ------
@@ -436,6 +445,7 @@ class MinCostProblem:
                     max_nodes=max_nodes,
                     gap=gap,
                     presolve=presolve,
+                    bb_workers=bb_workers,
                 )
         obs.histogram("optimize.solve_seconds").observe(sp.duration)
         if solution.status is SolutionStatus.INFEASIBLE:

@@ -34,6 +34,7 @@ from repro.metrics.utility import UtilityWeights
 from repro.optimize.deployment import Deployment, OptimizationResult
 from repro.optimize.formulation import FormulationBuilder
 from repro.runtime.parallel import parallel_map, resolve_workers
+from repro.runtime.pool import PersistentPool
 from repro.runtime.resilience import MapReport, RetryPolicy
 from repro.solver import SolveSession, solve
 from repro.solver.expressions import LinearExpression
@@ -203,6 +204,7 @@ def per_scenario_optima(
     policy: RetryPolicy | None = None,
     report: MapReport | None = None,
     presolve: bool = False,
+    pool: PersistentPool | None = None,
 ) -> dict[str, OptimizationResult]:
     """Optimal deployment for each scenario solved in isolation.
 
@@ -221,7 +223,9 @@ def per_scenario_optima(
     so on a serial run this upgrades to a shared
     :class:`~repro.solver.session.SolveSession` whose previous optimum
     seeds the next scenario's incumbent (sessions cannot cross process
-    boundaries; parallel runs presolve independently).
+    boundaries; parallel runs presolve independently).  ``pool`` (or an
+    ambient :func:`~repro.runtime.pool.use_pool`) reuses one persistent
+    executor instead of spinning a pool up per call.
     """
     weights = weights or UtilityWeights()
     names = [s.name for s in scenarios]
@@ -245,6 +249,7 @@ def per_scenario_optima(
         workers=workers,
         policy=policy,
         report=report,
+        pool=pool,
     )
     if report.skipped:
         dropped = set(report.skipped)

@@ -13,6 +13,9 @@ Three layers every hot path in the repository leans on:
 * :mod:`repro.runtime.parallel` — an order-preserving process-pool map
   with deterministic seed spawning, per-task timeouts and retries
   (:mod:`repro.runtime.resilience`), and a graceful serial fallback;
+* :mod:`repro.runtime.pool` — persistent worker pools with zero-copy
+  shared-memory publication (build the engine's arrays once, map many
+  handle-based tasks against them) and explicit lifecycle;
 * :mod:`repro.runtime.faults` — the deterministic fault-injection
   harness the ``tests/faults`` suite drives the recovery paths with.
 
@@ -35,6 +38,20 @@ from repro.runtime.parallel import (
     spawn_generators,
     spawn_seeds,
 )
+from repro.runtime.pool import (
+    EngineHandle,
+    PersistentPool,
+    PoolError,
+    SharedArrays,
+    SharedArraysHandle,
+    active_pool,
+    attach_arrays,
+    attach_engine,
+    detach_all,
+    publish_arrays,
+    publish_engine,
+    use_pool,
+)
 from repro.runtime.resilience import (
     MapReport,
     RetryPolicy,
@@ -45,19 +62,31 @@ from repro.runtime.resilience import (
 __all__ = [
     "DeploymentCache",
     "DeploymentCursor",
+    "EngineHandle",
     "EvaluationEngine",
     "MapReport",
+    "PersistentPool",
+    "PoolError",
     "RetryPolicy",
+    "SharedArrays",
+    "SharedArraysHandle",
     "TaskFailure",
     "TaskFailureError",
     "WORKERS_ENV",
+    "active_pool",
+    "attach_arrays",
+    "attach_engine",
     "cache_for",
     "cached_breakdown",
     "cached_utility",
+    "detach_all",
     "engine_for",
     "evaluation_key",
     "parallel_map",
+    "publish_arrays",
+    "publish_engine",
     "resolve_workers",
     "spawn_generators",
     "spawn_seeds",
+    "use_pool",
 ]

@@ -40,6 +40,7 @@ from typing import TypeVar
 import numpy as np
 
 from repro import obs
+from repro.runtime.pool import PersistentPool, active_pool
 from repro.runtime.resilience import MapReport, RetryPolicy, TaskFailure, TaskFailureError
 
 __all__ = [
@@ -119,6 +120,28 @@ class _ObservedJob:
         with obs.capture(clock=obs.tracer().clock) as cap:
             result = self.fn(item)
         return result, cap.tracer.export_spans(), cap.registry.snapshot()
+
+
+class _QueueTimedJob:
+    """A submission stamped with its enqueue time.
+
+    Workers return ``(queue_wait, result)`` where the wait is measured
+    on the worker against the submission stamp — valid cross-process on
+    Linux because ``time.monotonic`` reads the system-wide
+    ``CLOCK_MONOTONIC``.  Only the pooled scheduler wraps with this, so
+    the ``pool.queue_wait_seconds`` histogram reflects real queueing on
+    a shared executor, not per-call pools that never queue.
+    """
+
+    __slots__ = ("fn", "submitted")
+
+    def __init__(self, fn: Callable, submitted: float) -> None:
+        self.fn = fn
+        self.submitted = submitted
+
+    def __call__(self, item: object) -> tuple[float, object]:
+        wait = max(0.0, time.monotonic() - self.submitted)
+        return wait, self.fn(item)
 
 
 def _is_transport_error(exc: BaseException) -> bool:
@@ -234,6 +257,7 @@ def _run_pool(
     count: int,
     policy: RetryPolicy,
     report: MapReport,
+    pool: PersistentPool | None = None,
 ) -> list:
     """Windowed pool scheduler with per-task deadlines and retries.
 
@@ -244,6 +268,16 @@ def _run_pool(
     worker keeps running; the slot is effectively narrowed until it
     finishes) and the task is retried or failed like any other fault.
     Raises :class:`_PoolAbandoned` when the pool plumbing breaks.
+
+    With a :class:`~repro.runtime.pool.PersistentPool`, the pool's
+    executor is borrowed instead of created (and *not* shut down at the
+    end), submissions are stamped for the queue-wait histogram, and a
+    transport error triggers :meth:`~repro.runtime.pool.PersistentPool.
+    respawn` with every in-flight task re-enqueued — the map survives a
+    killed worker on a fresh executor, falling back to the serial
+    degrade only once the respawn budget is spent.  Re-enqueued jobs
+    are pure (the :func:`parallel_map` contract), so recovery cannot
+    change results.
     """
     total = len(materialized)
     results: list = [None] * total
@@ -278,16 +312,39 @@ def _run_pool(
             raise TaskFailureError(failure) from exc
         raise exc
 
-    try:
-        executor = ProcessPoolExecutor(max_workers=min(count, total))
-    except Exception as exc:
-        raise _PoolAbandoned(f"pool creation failed: {type(exc).__name__}: {exc}") from exc
+    def requeue_in_flight(extra: tuple[int, int]) -> None:
+        """Push every in-flight task back, descending so pop() ascends."""
+        in_flight = [(i, a) for (i, a, _) in pending.values()]
+        in_flight.append(extra)
+        for future in pending:
+            # Swallow the eventual (broken-pool) outcome of futures we
+            # are walking away from, as the abandon path does.
+            future.add_done_callback(lambda f: None if f.cancelled() else f.exception())
+        pending.clear()
+        outstanding.extend(sorted(in_flight, key=lambda entry: -entry[0]))
+
+    if pool is None:
+        try:
+            executor = ProcessPoolExecutor(max_workers=min(count, total))
+        except Exception as exc:
+            raise _PoolAbandoned(f"pool creation failed: {type(exc).__name__}: {exc}") from exc
+    else:
+        count = min(count, pool.workers)
+        try:
+            executor = pool.executor()
+        except Exception as exc:
+            raise _PoolAbandoned(
+                f"persistent pool unavailable: {type(exc).__name__}: {exc}"
+            ) from exc
     try:
         while outstanding or pending:
             while outstanding and len(pending) < count:
                 index, attempt = outstanding.pop()
+                payload = (
+                    job if pool is None else _QueueTimedJob(job, time.monotonic())
+                )
                 try:
-                    future = executor.submit(job, materialized[index])
+                    future = executor.submit(payload, materialized[index])
                 except Exception as exc:
                     raise _PoolAbandoned(
                         f"submission failed: {type(exc).__name__}: {exc}"
@@ -304,13 +361,27 @@ def _run_pool(
             completed, _ = wait(set(pending), timeout=wait_for, return_when=FIRST_COMPLETED)
 
             for future in completed:
-                index, attempt, _ = pending.pop(future)
+                entry = pending.pop(future, None)
+                if entry is None:
+                    continue  # re-enqueued wholesale after a respawn
+                index, attempt, _ = entry
                 try:
-                    results[index] = future.result()
+                    value = future.result()
                 except Exception as exc:
                     if _is_transport_error(exc):
+                        if pool is not None and pool.respawn(
+                            f"{type(exc).__name__}: {exc}"
+                        ):
+                            requeue_in_flight((index, attempt))
+                            executor = pool.executor()
+                            break  # siblings in `completed` were re-enqueued
                         raise _PoolAbandoned(f"{type(exc).__name__}: {exc}") from exc
                     handle_task_fault(index, attempt, exc)
+                else:
+                    if pool is not None:
+                        queue_wait, value = value
+                        obs.histogram("pool.queue_wait_seconds").observe(queue_wait)
+                    results[index] = value
 
             now = time.monotonic()
             for future, (index, attempt, deadline) in list(pending.items()):
@@ -335,21 +406,27 @@ def _run_pool(
                     ),
                 )
     finally:
-        # No cancel_futures here: the windowed scheduler keeps at most one
-        # queued-but-unstarted item, so cancellation buys nothing — and
-        # shutdown(cancel_futures=True) can deadlock interpreter exit when
-        # a submission fails to pickle (the executor manager rebinds its
-        # pending-work dict while the queue feeder still pops failures
-        # from the old one, leaving a phantom item the manager waits on
-        # forever).
-        workers = dict(getattr(executor, "_processes", None) or {})
-        executor.shutdown(wait=False)
-        if any(not future.done() for future in abandoned):
-            # A hung task may never return; don't let its worker block
-            # interpreter shutdown. The pool is already abandoned, so
-            # tearing down its processes is safe.
-            for process in workers.values():
-                process.kill()
+        if pool is None:
+            # No cancel_futures here: the windowed scheduler keeps at most one
+            # queued-but-unstarted item, so cancellation buys nothing — and
+            # shutdown(cancel_futures=True) can deadlock interpreter exit when
+            # a submission fails to pickle (the executor manager rebinds its
+            # pending-work dict while the queue feeder still pops failures
+            # from the old one, leaving a phantom item the manager waits on
+            # forever).
+            workers = dict(getattr(executor, "_processes", None) or {})
+            executor.shutdown(wait=False)
+            if any(not future.done() for future in abandoned):
+                # A hung task may never return; don't let its worker block
+                # interpreter shutdown. The pool is already abandoned, so
+                # tearing down its processes is safe.
+                for process in workers.values():
+                    process.kill()
+        elif any(not future.done() for future in abandoned):
+            # A persistent pool outlives the map, but a hung worker would
+            # narrow every later map; replace the executor (killing its
+            # processes) rather than shutting the pool down.
+            pool.respawn("abandoned timed-out task")
 
     for index in degrade_serially:
         results[index] = _run_one_serial(
@@ -366,6 +443,7 @@ def parallel_map(
     chunksize: int = 1,
     policy: RetryPolicy | None = None,
     report: MapReport | None = None,
+    pool: PersistentPool | None = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, in-process or across a process pool.
 
@@ -390,10 +468,22 @@ def parallel_map(
     :class:`_ObservedJob`; its spans land on per-task rows of the
     parent trace and its metrics merge into the parent registry, both
     in input order.
+
+    ``pool`` (or the ambient pool installed with
+    :func:`~repro.runtime.pool.use_pool`) reuses one persistent
+    executor across maps instead of spinning a fresh pool per call;
+    see :mod:`repro.runtime.pool`.  With a pool and no explicit
+    ``workers``, the pool's own worker count applies.
     """
     del chunksize  # individually scheduled; see docstring
     materialized: Sequence[_T] = list(items)
-    count = resolve_workers(workers)
+    pool = pool if pool is not None else active_pool()
+    if pool is not None and pool.closed:
+        pool = None
+    if workers is None and pool is not None:
+        count = pool.workers
+    else:
+        count = resolve_workers(workers)
     policy = policy if policy is not None else _DEFAULT_POLICY
     report = report if report is not None else MapReport()
     observed = obs.tracer().keep
@@ -405,7 +495,7 @@ def parallel_map(
             raw = _run_serial(job, materialized, policy, report)
         else:
             try:
-                raw = _run_pool(job, materialized, count, policy, report)
+                raw = _run_pool(job, materialized, count, policy, report, pool)
             except _PoolAbandoned as abandoned:
                 # Pool machinery failed (creation, pickling transport, a
                 # dead worker): the jobs themselves are deterministic,

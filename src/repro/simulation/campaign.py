@@ -33,6 +33,7 @@ from repro.core.model import SystemModel
 from repro.errors import SimulationError
 from repro.optimize.deployment import Deployment
 from repro.runtime.parallel import parallel_map
+from repro.runtime.pool import PersistentPool
 from repro.runtime.resilience import MapReport, RetryPolicy
 from repro.simulation.detector import (
     DEFAULT_DETECTION_THRESHOLD,
@@ -303,6 +304,7 @@ def run_campaigns(
     workers: int | None = None,
     policy: RetryPolicy | None = None,
     report: MapReport | None = None,
+    pool: PersistentPool | None = None,
     **kwargs: object,
 ) -> list[CampaignResult]:
     """Run the same campaign under each seed, optionally in parallel.
@@ -316,6 +318,12 @@ def run_campaigns(
     :class:`~repro.runtime.resilience.RetryPolicy`); under
     ``on_failure="skip"`` the skipped seeds' results are absent and
     their positions listed in ``report.skipped``.
+
+    Multi-campaign studies (deployment comparisons, failure-rate
+    sweeps) should hold one :class:`~repro.runtime.pool.PersistentPool`
+    across their calls — ``pool=`` here, or ambiently via
+    :func:`~repro.runtime.pool.use_pool` — so pool startup is paid once
+    per study instead of once per call.
     """
     if not seeds:
         raise SimulationError("run_campaigns needs at least one seed")
@@ -327,4 +335,5 @@ def run_campaigns(
         workers=workers,
         policy=policy,
         report=report,
+        pool=pool,
     )

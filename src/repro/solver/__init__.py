@@ -6,7 +6,10 @@ solver.  This package provides one that is self-contained:
 * an algebraic modeling layer (:mod:`repro.solver.expressions`,
   :mod:`repro.solver.model`) in the style of PuLP;
 * a pure-Python **branch-and-bound** solver over scipy LP relaxations
-  (:mod:`repro.solver.branch_and_bound`);
+  (:mod:`repro.solver.branch_and_bound`), plus a deterministic
+  **parallel** variant (:mod:`repro.solver.parallel_bb`) that explores
+  frontier subtrees across worker processes with bit-identical results
+  at any worker count;
 * a **HiGHS** backend via :func:`scipy.optimize.milp`
   (:mod:`repro.solver.scipy_backend`), the default for large instances;
 * an exponential **enumeration oracle** used by the test suite
@@ -39,6 +42,7 @@ from repro.solver.model import (
     StandardForm,
 )
 from repro.solver.lpwriter import model_to_lp_string
+from repro.solver.parallel_bb import solve_parallel_branch_and_bound
 from repro.solver.presolve import (
     PresolveResult,
     PresolveStats,
@@ -72,6 +76,7 @@ __all__ = [
     "solve",
     "solve_branch_and_bound",
     "solve_by_enumeration",
+    "solve_parallel_branch_and_bound",
     "solve_presolved",
     "solve_scipy_milp",
     "model_to_lp_string",
@@ -79,7 +84,7 @@ __all__ = [
 ]
 
 #: Registered backend names accepted by :func:`solve`.
-BACKENDS = ("scipy", "branch-and-bound", "enumeration", "fallback")
+BACKENDS = ("scipy", "branch-and-bound", "parallel-bb", "enumeration", "fallback")
 
 
 def solve(
@@ -90,6 +95,7 @@ def solve(
     max_nodes: int | None = None,
     gap: float | None = None,
     presolve: bool = False,
+    bb_workers: int | None = None,
 ) -> Solution:
     """Solve ``model`` with the named backend.
 
@@ -118,26 +124,47 @@ def solve(
         Run the exact reduction pipeline (:mod:`repro.solver.presolve`)
         first and solve the reduced instance; the solution is lifted
         back to the original variable space.
+    bb_workers:
+        Worker count for the parallel branch-and-bound.  Routes the
+        ``"parallel-bb"`` backend's fan-out, and upgrades
+        ``"branch-and-bound"`` (including its turn in the fallback
+        chain) to the parallel solver when greater than 1.  Results are
+        bit-identical at any value — this is a throughput knob, never a
+        semantics knob.
     """
     if presolve:
         from repro.solver.presolve import solve_presolved as _solve_presolved
 
         return _solve_presolved(
-            model, backend, time_limit=time_limit, max_nodes=max_nodes, gap=gap
+            model,
+            backend,
+            time_limit=time_limit,
+            max_nodes=max_nodes,
+            gap=gap,
+            bb_workers=bb_workers,
         )
     if backend == "scipy":
         return solve_scipy_milp(model, time_limit=time_limit, max_nodes=max_nodes, gap=gap)
-    if backend == "branch-and-bound":
+    if backend in ("branch-and-bound", "parallel-bb"):
         kwargs: dict[str, float] = {}
         if max_nodes is not None:
             kwargs["max_nodes"] = max_nodes
         if gap is not None:
             kwargs["gap"] = gap
+        if backend == "parallel-bb" or (bb_workers is not None and bb_workers > 1):
+            return solve_parallel_branch_and_bound(
+                model, time_limit=time_limit, workers=bb_workers, **kwargs
+            )
         return solve_branch_and_bound(model, time_limit=time_limit, **kwargs)
     if backend == "enumeration":
         return solve_by_enumeration(model)
     if backend == "fallback":
         return solve_with_fallback(
-            model, DEFAULT_CHAIN, time_limit=time_limit, max_nodes=max_nodes, gap=gap
+            model,
+            DEFAULT_CHAIN,
+            time_limit=time_limit,
+            max_nodes=max_nodes,
+            gap=gap,
+            bb_workers=bb_workers,
         ).solution
     raise SolverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

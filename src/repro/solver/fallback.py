@@ -97,12 +97,17 @@ def solve_with_fallback(
     max_nodes: int | None = None,
     gap: float | None = None,
     presolve: bool = False,
+    bb_workers: int | None = None,
 ) -> FallbackOutcome:
     """Solve ``model`` with the first backend in ``backends`` that answers.
 
     ``max_nodes`` and ``gap`` forward to every backend in the chain that
     understands them, so a presolved-but-still-hard instance degrades by
     gap (status ``FEASIBLE``) instead of erroring out of the chain.
+    ``bb_workers`` forwards likewise, so the branch-and-bound understudy
+    (or an explicit ``"parallel-bb"`` link) fans its subtree exploration
+    out — answers stay bit-identical to the serial understudy's on
+    unique-optimum instances either way.
     With ``presolve=True`` the reduction pipeline runs **once**, before
     the chain — every backend then sees the same reduced instance, and
     the answering solution is lifted back to the original space.
@@ -159,6 +164,7 @@ def solve_with_fallback(
                         time_limit=time_limit,
                         max_nodes=max_nodes,
                         gap=gap,
+                        bb_workers=bb_workers,
                     )
             except UnboundedError:
                 raise

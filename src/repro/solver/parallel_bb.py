@@ -1,0 +1,509 @@
+"""Deterministic parallel branch & bound via frontier decomposition.
+
+Parallel tree search is where silent nondeterminism creeps into exact
+solvers: with a shared incumbent, *when* a worker learns a bound
+changes *which* nodes it prunes, so two runs of the same instance can
+report different (equally optimal) deployments, different node counts,
+or — with tolerance interplay — different objectives.  This solver
+buys parallelism without giving up the determinism contract:
+
+1. **Split (serial).**  Run the exact serial best-first loop of
+   :mod:`repro.solver.branch_and_bound` until the heap holds at least
+   ``subtrees`` open nodes (a constant — never a function of the
+   worker count) or the instance is solved outright.
+2. **Explore (parallel).**  Each frontier node becomes one task: an
+   independent branch-and-bound run over its ``(lower, upper)`` box,
+   seeded with the phase-1 incumbent and nothing else.  Workers never
+   exchange incumbents mid-flight — each subtree's result is a pure
+   function of its task, so scheduling cannot influence it.  Tasks are
+   dispatched in a **seeded order** (deterministic shuffle of the
+   frontier) and fan out over
+   :func:`~repro.runtime.parallel.parallel_map`, inheriting its retry,
+   respawn, and serial-degrade machinery; with a
+   :class:`~repro.runtime.pool.PersistentPool`, the compiled
+   :class:`~repro.solver.model.StandardForm` is published once to
+   shared memory and tasks carry a zero-copy handle instead of the
+   matrices.
+3. **Merge (commutative).**  The final incumbent is the minimum under
+   the total order ``(objective, tiebreak index)`` over subtree
+   results plus the phase-1 incumbent; node counts are summed.  Both
+   reductions are order-independent, so *any* completion order — any
+   worker count, any retry schedule, a worker killed and respawned
+   mid-subtree — produces bit-identical results.
+
+The contract, precisely: for a fixed instance and fixed ``subtrees``/
+``seed``/``gap``/``max_nodes`` (and no ``time_limit``), objectives,
+deployments, *and node accounting* are bit-identical at every worker
+count.  Objectives and deployments also coincide with the serial
+solver's on instances with a unique optimum (ties may break
+differently — the decomposed search visits optima in a different
+order, and both solvers keep the first they prove).  Node counts are
+**not** comparable to the serial solver's: exhausting a frontier
+subtree explores nodes the serial global best-first order would have
+pruned.  The differential stress suite in ``tests/solver`` pins all of
+this on 50 seeded instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import time
+from collections.abc import Mapping, MutableMapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.errors import UnboundedError
+from repro.runtime import faults
+from repro.runtime.parallel import parallel_map, spawn_seeds
+from repro.runtime.pool import (
+    PersistentPool,
+    SharedArraysHandle,
+    active_pool,
+    attach_arrays,
+)
+from repro.solver.branch_and_bound import (
+    DEFAULT_GAP,
+    _most_fractional,
+    _relax,
+    _seed_incumbent,
+    _snapped_if_feasible,
+)
+from repro.solver.lp import LpResult
+from repro.solver.model import MilpModel, Solution, SolutionStatus, StandardForm
+
+__all__ = ["DEFAULT_SUBTREES", "solve_parallel_branch_and_bound"]
+
+#: How many frontier subtrees phase 1 splits into.  A constant, and
+#: deliberately *not* derived from the worker count: the decomposition
+#: (and with it every result) must be invariant to how many workers
+#: later explore it.
+DEFAULT_SUBTREES = 8
+
+#: Backend name stamped on solutions.
+_BACKEND = "parallel-bb"
+
+
+@dataclass(frozen=True)
+class _FormHandle:
+    """Zero-copy ticket for a published :class:`StandardForm`."""
+
+    arrays: SharedArraysHandle
+    objective_constant: float
+    maximize: bool
+
+
+def _publish_form(form: StandardForm, pool: PersistentPool) -> _FormHandle:
+    """Publish the compiled matrices once into ``pool``'s shared memory."""
+    handle = pool.share(
+        {
+            "c": form.c,
+            "A_ub": form.A_ub,
+            "b_ub": form.b_ub,
+            "A_eq": form.A_eq,
+            "b_eq": form.b_eq,
+            "lower": form.lower,
+            "upper": form.upper,
+            "integrality": form.integrality,
+        }
+    )
+    return _FormHandle(
+        arrays=handle,
+        objective_constant=form.objective_constant,
+        maximize=form.maximize,
+    )
+
+
+#: Per-process reconstructed forms, keyed by segment: many subtree
+#: tasks, one attach.
+_FORM_CACHE: dict[str, StandardForm] = {}
+
+
+def _attach_form(handle: _FormHandle) -> StandardForm:
+    cached = _FORM_CACHE.get(handle.arrays.segment)
+    if cached is not None:
+        return cached
+    arrays = attach_arrays(handle.arrays)
+    form = StandardForm(
+        c=arrays["c"],
+        A_ub=arrays["A_ub"],
+        b_ub=arrays["b_ub"],
+        A_eq=arrays["A_eq"],
+        b_eq=arrays["b_eq"],
+        lower=arrays["lower"],
+        upper=arrays["upper"],
+        integrality=arrays["integrality"],
+        objective_constant=handle.objective_constant,
+        maximize=handle.maximize,
+    )
+    _FORM_CACHE[handle.arrays.segment] = form
+    return form
+
+
+@dataclass(frozen=True)
+class _SubtreeTask:
+    """One frontier subtree, self-contained for a worker process.
+
+    ``form`` is either the :class:`StandardForm` itself (serial or
+    pool-less dispatch; pickled per task) or a :class:`_FormHandle`
+    (zero-copy).  ``subtree`` is the deterministic tiebreak index: the
+    node's rank in the ``(bound, heap counter)``-sorted frontier,
+    independent of the seeded dispatch order.
+    """
+
+    subtree: int
+    form: StandardForm | _FormHandle
+    bound: float
+    lower: np.ndarray
+    upper: np.ndarray
+    incumbent_obj: float
+    incumbent_x: np.ndarray | None
+    bound_floor: float
+    gap: float
+    node_budget: int
+    time_remaining: float | None
+    plan: faults.FaultPlan | None
+
+
+@dataclass(frozen=True)
+class _SubtreeResult:
+    """What one subtree exploration proved."""
+
+    subtree: int
+    objective: float  # minimization convention; +inf when no incumbent
+    x: np.ndarray | None
+    nodes: int
+    exhausted: bool  # False when a node/time limit truncated the search
+
+
+def _explore(
+    form: StandardForm,
+    integral_indices: np.ndarray,
+    heap: list[tuple[float, int, np.ndarray, np.ndarray]],
+    counter: "itertools.count[int]",
+    incumbent_obj: float,
+    incumbent_x: np.ndarray | None,
+    *,
+    gap: float,
+    bound_floor: float,
+    node_budget: int,
+    deadline: float | None,
+    lp_cache: MutableMapping[tuple[bytes, bytes], LpResult] | None,
+    frontier_target: int | None,
+    nodes: int = 0,
+) -> tuple[float, np.ndarray | None, int, str]:
+    """The serial best-first loop, reusable for splitting and subtrees.
+
+    Mutates ``heap`` in place and returns ``(incumbent objective,
+    incumbent point, nodes explored, why the loop stopped)`` with the
+    stop reason one of ``"exhausted"`` (heap empty), ``"gap"`` (bound
+    met the incumbent), ``"limit"`` (node budget or deadline), or
+    ``"frontier"`` (the heap reached ``frontier_target`` open nodes).
+    Node processing is line-for-line the serial solver's — same
+    pruning margins, same branching rule, same snapped-incumbent
+    acceptance — so a decomposed search proves the same optima.
+    """
+    while heap:
+        if frontier_target is not None and len(heap) >= frontier_target:
+            return incumbent_obj, incumbent_x, nodes, "frontier"
+        bound, _, lower, upper = heapq.heappop(heap)
+        if incumbent_x is not None:
+            effective_bound = max(bound, bound_floor)
+            relative_gap = (incumbent_obj - effective_bound) / max(1.0, abs(incumbent_obj))
+            if relative_gap <= gap:
+                if effective_bound > bound:
+                    obs.counter("solver.bound_floor.closures").inc()
+                return incumbent_obj, incumbent_x, nodes, "gap"
+
+        nodes += 1
+        if nodes > node_budget or (deadline is not None and time.monotonic() > deadline):
+            return incumbent_obj, incumbent_x, nodes, "limit"
+
+        relaxation = _relax(form, lower, upper, lp_cache)
+        if not relaxation.is_optimal:
+            continue  # infeasible subtree
+        if relaxation.objective >= incumbent_obj - 1e-12:
+            continue  # cannot improve
+
+        assert relaxation.x is not None
+        branch_var = _most_fractional(relaxation.x, integral_indices)
+        if branch_var is None:
+            snapped = _snapped_if_feasible(form, relaxation.x, integral_indices)
+            if snapped is not None:
+                objective = float(form.c @ snapped)
+                if objective < incumbent_obj:
+                    incumbent_obj = objective
+                    incumbent_x = snapped
+                continue
+            values = np.clip(
+                relaxation.x[integral_indices],
+                lower[integral_indices],
+                upper[integral_indices],
+            )
+            fractions = np.abs(values - np.round(values))
+            worst = int(np.argmax(fractions))
+            if fractions[worst] == 0.0:
+                continue
+            branch_var = int(integral_indices[worst])
+
+        value = relaxation.x[branch_var]
+        floor_val = np.floor(value)
+        down_upper = upper.copy()
+        down_upper[branch_var] = floor_val
+        if lower[branch_var] <= floor_val:
+            heapq.heappush(heap, (relaxation.objective, next(counter), lower.copy(), down_upper))
+        up_lower = lower.copy()
+        up_lower[branch_var] = floor_val + 1.0
+        if up_lower[branch_var] <= upper[branch_var]:
+            heapq.heappush(heap, (relaxation.objective, next(counter), up_lower, upper.copy()))
+
+    return incumbent_obj, incumbent_x, nodes, "exhausted"
+
+
+def _run_subtree(task: _SubtreeTask) -> _SubtreeResult:
+    """Explore one frontier subtree to completion (worker entry point).
+
+    Pure: the result depends only on the task, never on which process
+    runs it or when — the keystone of the determinism contract.  The
+    fault plan (when the ambient harness is active) rides inside the
+    task, so injected worker deaths fire by attempt number exactly as
+    in :mod:`repro.runtime.faults`.
+    """
+    if task.plan is not None:
+        task.plan.fire(f"solver.parallel_bb.subtree[{task.subtree}]")
+    form = task.form if isinstance(task.form, StandardForm) else _attach_form(task.form)
+    integral_indices = np.flatnonzero(form.integrality)
+    deadline = None if task.time_remaining is None else time.monotonic() + task.time_remaining
+    counter = itertools.count()
+    # Seed the heap with the node exactly as it sat in the phase-1
+    # frontier — same bound, so the first gap check matches what the
+    # serial loop would have computed on popping it.
+    heap: list[tuple[float, int, np.ndarray, np.ndarray]] = []
+    heapq.heappush(heap, (task.bound, next(counter), task.lower.copy(), task.upper.copy()))
+    with obs.span("solver.parallel_bb.subtree", subtree=task.subtree) as sp:
+        objective, x, nodes, stopped = _explore(
+            form,
+            integral_indices,
+            heap,
+            counter,
+            task.incumbent_obj,
+            task.incumbent_x,
+            gap=task.gap,
+            bound_floor=task.bound_floor,
+            node_budget=task.node_budget,
+            deadline=deadline,
+            lp_cache=None,
+            frontier_target=None,
+        )
+        sp.set(nodes=nodes, stopped=stopped)
+    return _SubtreeResult(task.subtree, objective, x, nodes, stopped in ("exhausted", "gap"))
+
+
+def solve_parallel_branch_and_bound(
+    model: MilpModel,
+    *,
+    workers: int | None = None,
+    pool: PersistentPool | None = None,
+    subtrees: int = DEFAULT_SUBTREES,
+    seed: int = 0,
+    time_limit: float | None = None,
+    max_nodes: int = 1_000_000,
+    gap: float = DEFAULT_GAP,
+    warm_start: Mapping[str, float] | None = None,
+    known_bound: float | None = None,
+    lp_cache: MutableMapping[tuple[bytes, bytes], LpResult] | None = None,
+) -> Solution:
+    """Solve ``model`` exactly by frontier-decomposed branch and bound.
+
+    Accepts the serial solver's controls plus:
+
+    workers:
+        Fan-out width for subtree exploration (resolved like
+        :func:`~repro.runtime.parallel.resolve_workers`).  A pure
+        throughput knob: results are bit-identical at any value.
+    pool:
+        Optional :class:`~repro.runtime.pool.PersistentPool`; when
+        given, the compiled matrices are published once to shared
+        memory and subtree tasks carry zero-copy handles.
+    subtrees:
+        Phase-1 frontier size (the decomposition grain).  Part of the
+        instance key for determinism purposes: changing it legitimately
+        changes node accounting, never optima.
+    seed:
+        Seeds the dispatch-order shuffle.  Results are bit-identical
+        across seeds too (the merge is commutative); the seed exists so
+        dispatch order is an explicit, replayable choice rather than an
+        accident of heap layout.
+    warm_start, known_bound, lp_cache:
+        Exactly as in the serial solver; the cache serves phase 1 only
+        (worker processes cannot share a parent-side dict).
+
+    ``max_nodes`` bounds phase 1 and each subtree individually (a
+    shared countdown would make accounting depend on completion order);
+    a truncated subtree degrades the status to ``FEASIBLE`` just as a
+    truncated serial search does.
+    """
+    with obs.span(
+        "solver.parallel_bb", model=model.name, subtrees=subtrees, workers=workers or 0
+    ) as sp:
+        solution = _solve(
+            model,
+            workers,
+            pool,
+            max(1, int(subtrees)),
+            seed,
+            time_limit,
+            max_nodes,
+            gap,
+            warm_start,
+            known_bound,
+            lp_cache,
+        )
+        sp.set(nodes=solution.nodes_explored)
+    obs.counter("solver.solves").inc()
+    obs.counter("solver.nodes").inc(solution.nodes_explored)
+    obs.histogram("solver.solve_seconds").observe(sp.duration)
+    return solution
+
+
+def _solve(
+    model: MilpModel,
+    workers: int | None,
+    pool: PersistentPool | None,
+    subtrees: int,
+    seed: int,
+    time_limit: float | None,
+    max_nodes: int,
+    gap: float,
+    warm_start: Mapping[str, float] | None,
+    known_bound: float | None,
+    lp_cache: MutableMapping[tuple[bytes, bytes], LpResult] | None,
+) -> Solution:
+    form = model.compile()
+    names = [v.name for v in model.variables]
+    integral_indices = np.flatnonzero(form.integrality)
+    deadline = None if time_limit is None else time.monotonic() + time_limit
+    pool = pool if pool is not None else active_pool()
+    if pool is not None and pool.closed:
+        pool = None
+    if multiprocessing.parent_process() is not None:
+        # Already inside a worker (e.g. a parallel budget sweep carrying
+        # bb_workers): forking a second pool from a forked worker can
+        # deadlock on locks copied mid-acquisition.  Subtrees run
+        # in-process instead — results are bit-identical at any worker
+        # count, so this is pure scheduling, never semantics.
+        workers, pool = 1, None
+        obs.counter("solver.parallel.nested_serial").inc()
+
+    def make_solution(
+        status: SolutionStatus, objective_min: float, x: np.ndarray | None, nodes: int
+    ) -> Solution:
+        values: dict[str, float] = {}
+        if x is not None:
+            rounded = x.copy()
+            rounded[integral_indices] = np.round(rounded[integral_indices])
+            values = {name: float(v) for name, v in zip(names, rounded)}
+        objective = form.objective_in_model_sense(objective_min) if x is not None else float("nan")
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            backend=_BACKEND,
+            nodes_explored=nodes,
+        )
+
+    root = _relax(form, form.lower, form.upper, lp_cache)
+    if root.status == "infeasible":
+        return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, _BACKEND, 1)
+    if root.status == "unbounded":
+        raise UnboundedError(f"model {model.name!r} has an unbounded LP relaxation")
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = float("inf")
+    if warm_start is not None:
+        incumbent_x, incumbent_obj = _seed_incumbent(model, form, names, warm_start)
+    bound_floor = (
+        form.minimized_from_model_sense(known_bound) if known_bound is not None else float("-inf")
+    )
+
+    # Phase 1: serial split to a worker-count-independent frontier.
+    counter = itertools.count()
+    heap: list[tuple[float, int, np.ndarray, np.ndarray]] = []
+    heapq.heappush(heap, (root.objective, next(counter), form.lower.copy(), form.upper.copy()))
+    incumbent_obj, incumbent_x, split_nodes, stopped = _explore(
+        form,
+        integral_indices,
+        heap,
+        counter,
+        incumbent_obj,
+        incumbent_x,
+        gap=gap,
+        bound_floor=bound_floor,
+        node_budget=max_nodes,
+        deadline=deadline,
+        lp_cache=lp_cache,
+        frontier_target=subtrees,
+    )
+    obs.counter("solver.parallel.splits").inc(split_nodes)
+    if stopped in ("exhausted", "gap"):
+        if incumbent_x is not None:
+            return make_solution(SolutionStatus.OPTIMAL, incumbent_obj, incumbent_x, split_nodes)
+        return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, _BACKEND, split_nodes)
+    if stopped == "limit":
+        if incumbent_x is not None:
+            return make_solution(SolutionStatus.FEASIBLE, incumbent_obj, incumbent_x, split_nodes)
+        return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, _BACKEND, split_nodes)
+
+    # Phase 2: one task per frontier node.  The tiebreak index is the
+    # node's rank in (bound, heap counter) order — deterministic and
+    # independent of the seeded dispatch shuffle below.
+    frontier = sorted(heap, key=lambda node: (node[0], node[1]))
+    form_ref: StandardForm | _FormHandle = form
+    if pool is not None:
+        form_ref = _publish_form(form, pool)
+    plan = faults.active_plan()
+    tasks = [
+        _SubtreeTask(
+            subtree=rank,
+            form=form_ref,
+            bound=bound,
+            lower=lower,
+            upper=upper,
+            incumbent_obj=incumbent_obj,
+            incumbent_x=incumbent_x,
+            bound_floor=bound_floor,
+            gap=gap,
+            node_budget=max_nodes,
+            time_remaining=(
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            ),
+            plan=plan,
+        )
+        for rank, (bound, _, lower, upper) in enumerate(frontier)
+    ]
+    order = np.random.default_rng(spawn_seeds(seed, 1)[0]).permutation(len(tasks))
+    dispatched = [tasks[int(i)] for i in order]
+    obs.counter("solver.parallel.subtrees").inc(len(tasks))
+    results: list[_SubtreeResult] = parallel_map(
+        _run_subtree, dispatched, workers=workers, pool=pool
+    )
+
+    # Phase 3: commutative merge keyed on (objective, tiebreak index);
+    # the phase-1 incumbent enters at index -1 so exact ties prefer it.
+    best = (incumbent_obj, -1, incumbent_x)
+    total_nodes = split_nodes
+    exhausted = True
+    for result in results:
+        total_nodes += result.nodes
+        exhausted = exhausted and result.exhausted
+        if result.x is not None and (result.objective, result.subtree) < (best[0], best[1]):
+            best = (result.objective, result.subtree, result.x)
+
+    best_obj, _, best_x = best
+    if best_x is None:
+        return Solution(SolutionStatus.INFEASIBLE, float("nan"), {}, _BACKEND, total_nodes)
+    status = SolutionStatus.OPTIMAL if exhausted else SolutionStatus.FEASIBLE
+    return make_solution(status, best_obj, best_x, total_nodes)

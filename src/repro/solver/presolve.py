@@ -621,6 +621,7 @@ def solve_presolved(
     time_limit: float | None = None,
     max_nodes: int | None = None,
     gap: float | None = None,
+    bb_workers: int | None = None,
 ) -> Solution:
     """One-shot presolve + solve + lift (no cross-solve warm state).
 
@@ -641,6 +642,11 @@ def solve_presolved(
         )
     assert pre.reduced is not None
     solution = solve(
-        pre.reduced, backend, time_limit=time_limit, max_nodes=max_nodes, gap=gap
+        pre.reduced,
+        backend,
+        time_limit=time_limit,
+        max_nodes=max_nodes,
+        gap=gap,
+        bb_workers=bb_workers,
     )
     return pre.lift_solution(solution)

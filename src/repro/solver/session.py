@@ -38,6 +38,7 @@ import numpy as np
 
 from repro import obs
 from repro.solver.branch_and_bound import solve_branch_and_bound
+from repro.solver.parallel_bb import solve_parallel_branch_and_bound
 from repro.solver.model import (
     MilpModel,
     Solution,
@@ -50,6 +51,9 @@ __all__ = ["SolveSession", "structure_signature"]
 
 #: LP caches kept per family (one per distinct reduced instance).
 MAX_CACHED_INSTANCES = 8
+
+#: Backends that consume warm starts, dual bounds, and LP caches.
+_BB_BACKENDS = ("branch-and-bound", "parallel-bb")
 
 
 def structure_signature(model: MilpModel) -> str:
@@ -148,6 +152,12 @@ class SolveSession:
     time_limit, max_nodes, gap:
         Default solve controls forwarded to the backend; ``solve`` may
         override them per call.
+    bb_workers:
+        Worker count for parallel branch-and-bound subtree exploration.
+        Routes the ``"parallel-bb"`` backend's fan-out and upgrades
+        ``"branch-and-bound"`` to it when greater than 1; either way
+        the session's warm starts, dual bounds, and phase-1 LP cache
+        apply unchanged, and answers are bit-identical at any count.
     """
 
     def __init__(
@@ -158,12 +168,14 @@ class SolveSession:
         time_limit: float | None = None,
         max_nodes: int | None = None,
         gap: float | None = None,
+        bb_workers: int | None = None,
     ):
         self.backend = backend
         self.presolve_enabled = presolve
         self.time_limit = time_limit
         self.max_nodes = max_nodes
         self.gap = gap
+        self.bb_workers = bb_workers
         self._families: dict[str, _FamilyState] = {}
         # LP-relaxation caches, one per distinct reduced instance (LRU).
         self._lp_caches: OrderedDict[str, dict] = OrderedDict()
@@ -209,7 +221,7 @@ class SolveSession:
             # The compiled form is only consumed by branch-and-bound's
             # tightening check (_reusable_bound); other backends skip
             # the bookkeeping compile entirely and record form=None.
-            form = model.compile() if self.backend == "branch-and-bound" else None
+            form = model.compile() if self.backend in _BB_BACKENDS else None
 
             if self.presolve_enabled and family.presolve_futile:
                 # The family's last presolve reduced nothing.  Skipping
@@ -246,7 +258,7 @@ class SolveSession:
                 target, lift = model, None
 
             warm = known = None
-            if self.backend == "branch-and-bound":
+            if self.backend in _BB_BACKENDS:
                 # Only branch-and-bound consumes seeds and dual bounds;
                 # computing (and counting) them for other backends would
                 # make the session stats lie.
@@ -301,13 +313,26 @@ class SolveSession:
         max_nodes: int | None,
         gap: float | None,
     ) -> Solution:
-        if self.backend == "branch-and-bound":
+        if self.backend in _BB_BACKENDS:
             kwargs: dict[str, object] = {}
             if max_nodes is not None:
                 kwargs["max_nodes"] = max_nodes
             if gap is not None:
                 kwargs["gap"] = gap
             lp_cache = self._lp_cache_for(_instance_digest(target.compile()))
+            parallel = self.backend == "parallel-bb" or (
+                self.bb_workers is not None and self.bb_workers > 1
+            )
+            if parallel:
+                return solve_parallel_branch_and_bound(
+                    target,
+                    workers=self.bb_workers,
+                    time_limit=time_limit,
+                    warm_start=warm,
+                    known_bound=known,
+                    lp_cache=lp_cache,
+                    **kwargs,
+                )
             return solve_branch_and_bound(
                 target,
                 time_limit=time_limit,

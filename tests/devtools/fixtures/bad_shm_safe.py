@@ -1,0 +1,9 @@
+"""Golden bad fixture: SHM-SAFE violations (unpinned segment creation)."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return shared_memory.ShareableList([1, 2, 3]), segment

@@ -1,0 +1,9 @@
+"""Golden good fixture: the pool module itself may construct segments."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment

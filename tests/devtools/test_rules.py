@@ -40,6 +40,10 @@ BAD = {
         ("PICKLE-SAFE", 7),
         ("PICKLE-SAFE", 12),
     ],
+    "bad_shm_safe.py": [
+        ("SHM-SAFE", 7),
+        ("SHM-SAFE", 9),
+    ],
     "bad_mut_default.py": [
         ("MUT-DEFAULT", 6),
         ("MUT-DEFAULT", 11),
@@ -63,6 +67,7 @@ GOOD = [
     "good_exc_silent.py",
     "good_pickle_safe.py",
     "good_mut_default.py",
+    "shm_good/repro/runtime/pool.py",
     "export_good/repro/export/table.py",
     "hotpath_good/repro/runtime/parallel.py",
 ]
