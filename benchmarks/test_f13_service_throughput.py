@@ -1,0 +1,101 @@
+"""F13 — Solve-service throughput under seeded mixed-tenant load.
+
+Drives :mod:`repro.service` with the load generator's sweep-heavy
+traffic mix on an F3-scale synthetic model (100 monitors), after a
+warmup phase so families, sessions, and result caches are in their
+steady state.  The headline claims pinned here:
+
+* sustained throughput of at least 1000 delivered solve answers per
+  minute on warm families (a sweep of N fractions delivers N);
+* a warm hit rate of at least 50% on the sweep-heavy mix — the
+  digest-keyed caches, not raw solver speed, carry repeat traffic;
+* p50/p99 end-to-end job latency recorded to the committed JSON
+  artifact so regressions show up in review, not in production.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.casestudy import synthetic_model
+from repro.service import ServiceConfig
+from repro.service.loadgen import generate_load
+
+from conftest import publish, publish_json
+
+MONITORS = 100
+ATTACKS = 50
+MODEL_SEED = 7
+TRAFFIC_SEED = 13
+JOBS = 100
+WARMUP = 25
+TENANTS = 4
+WORKERS = 4
+
+MIN_SOLVES_PER_MINUTE = 1000.0
+MIN_HIT_RATE = 0.5
+
+
+def test_f13_service_throughput(results_dir):
+    model = synthetic_model(monitors=MONITORS, attacks=ATTACKS, seed=MODEL_SEED)
+    report = generate_load(
+        model,
+        jobs=JOBS,
+        tenants=TENANTS,
+        seed=TRAFFIC_SEED,
+        warmup=WARMUP,
+        config=ServiceConfig(workers=WORKERS),
+    )
+
+    assert report.failed == 0
+    assert report.completed == JOBS
+    assert report.solves_per_minute >= MIN_SOLVES_PER_MINUTE, (
+        f"only {report.solves_per_minute:.0f} solves/min "
+        f"(target {MIN_SOLVES_PER_MINUTE:.0f})"
+    )
+    assert report.hit_rate >= MIN_HIT_RATE, (
+        f"warm hit rate {report.hit_rate:.2f} below {MIN_HIT_RATE:.2f}"
+    )
+
+    table = render_table(
+        ["jobs", "solve units", "wall s", "solves/min", "p50 s", "p99 s", "hit rate"],
+        [
+            [
+                report.jobs,
+                report.solve_units,
+                report.wall_seconds,
+                report.solves_per_minute,
+                report.p50_seconds,
+                report.p99_seconds,
+                report.hit_rate,
+            ]
+        ],
+        title=(
+            f"F13 — service throughput ({MONITORS} monitors, {TENANTS} tenants, "
+            f"{WORKERS} workers, warmup {WARMUP})"
+        ),
+    )
+    answered = (
+        f"answered: {report.executed_jobs} executed, {report.cached} result-cache, "
+        f"{report.deduped} dedup-joined; {report.rejections} rejections"
+    )
+    publish(results_dir, "f13_service_throughput", table + "\n\n" + answered)
+    publish_json(
+        results_dir,
+        "f13_service_throughput",
+        {
+            "experiment": "f13_service_throughput",
+            "model": {"monitors": MONITORS, "attacks": ATTACKS, "seed": MODEL_SEED},
+            "traffic": {
+                "jobs": JOBS,
+                "warmup": WARMUP,
+                "tenants": TENANTS,
+                "seed": TRAFFIC_SEED,
+            },
+            "workers": WORKERS,
+            "targets": {
+                "min_solves_per_minute": MIN_SOLVES_PER_MINUTE,
+                "min_hit_rate": MIN_HIT_RATE,
+            },
+            "report": report.to_dict(),
+        },
+    )

@@ -653,6 +653,79 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args.paths, args.rule, args.format, args.output)
 
 
+def _service_config(args: argparse.Namespace) -> "object":
+    # Lazy: the asyncio service stack is only needed by serve/loadgen.
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_retries=args.max_retries,
+        presolve=args.presolve,
+        cache_max_bytes=args.cache_bytes,
+        cache_idle_ttl=args.cache_ttl,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SolveService
+    from repro.service.protocol import serve_stdio, serve_unix_socket
+
+    config = _service_config(args)
+
+    async def _run() -> None:
+        async with SolveService(config) as service:
+            if args.socket is not None:
+                server = await serve_unix_socket(service, str(args.socket))
+                print(f"serving on {args.socket}", file=sys.stderr)
+                async with server:
+                    await server.serve_forever()
+            else:
+                await serve_stdio(service, sys.stdin, sys.stdout)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service import generate_load
+
+    model = _load_model(args)
+    report = generate_load(
+        model,
+        jobs=args.jobs,
+        tenants=args.tenants,
+        seed=args.seed,
+        config=_service_config(args),
+        warmup=args.warmup,
+    )
+    rows = [
+        ("jobs", f"{report.jobs}"),
+        ("completed / failed", f"{report.completed} / {report.failed}"),
+        ("rejections (typed)", f"{report.rejections}"),
+        ("cache / dedup answered", f"{report.cached} / {report.deduped}"),
+        ("executed jobs", f"{report.executed_jobs}"),
+        ("solve units delivered", f"{report.solve_units}"),
+        ("wall seconds", f"{report.wall_seconds:.2f}"),
+        ("jobs per minute", f"{report.jobs_per_minute:.0f}"),
+        ("solves per minute", f"{report.solves_per_minute:.0f}"),
+        ("latency p50 / p99 (s)", f"{report.p50_seconds:.4f} / {report.p99_seconds:.4f}"),
+        ("warm hit rate", f"{report.hit_rate:.1%}"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"{label:<{width}}  {value}")
+    if args.json is not None:
+        args.json.write_text(strict_dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {args.json}", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -803,6 +876,56 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--output", type=Path, default=None, metavar="OUT.json",
                       help="additionally write the JSON report here (CI artifact)")
     lint.set_defaults(handler=_cmd_lint)
+
+    def _add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workers", type=int, default=2,
+                         help="concurrent worker slots (default: 2)")
+        sub.add_argument("--queue-limit", type=int, default=64,
+                         help="service-wide pending-job bound (default: 64)")
+        sub.add_argument("--max-retries", type=int, default=1,
+                         help="retries for transient job faults (default: 1)")
+        sub.add_argument("--presolve", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="route solves through the exact presolve pipeline "
+                         "(opt-in: may break ties among equally-optimal "
+                         "deployments differently than a cold solve)")
+        sub.add_argument("--cache-bytes", type=int, default=64 << 20,
+                         metavar="N",
+                         help="session/family cache budget in estimated bytes "
+                         "(default: 64 MiB)")
+        sub.add_argument("--cache-ttl", type=float, default=None, metavar="SECONDS",
+                         help="evict cache entries idle longer than this "
+                         "(default: no TTL)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant solve service over line-delimited JSON "
+        "(stdin/stdout, or a Unix socket)",
+    )
+    _add_service_arguments(serve)
+    serve.add_argument("--socket", type=Path, default=None, metavar="PATH",
+                       help="listen on a Unix socket instead of stdin/stdout")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a fresh solve service with seeded mixed-tenant traffic "
+        "and report throughput/latency/hit-rate",
+    )
+    _add_model_arguments(loadgen)
+    _add_service_arguments(loadgen)
+    loadgen.add_argument("--jobs", type=int, default=200,
+                         help="measured jobs to submit (default: 200)")
+    loadgen.add_argument("--tenants", type=int, default=4,
+                         help="distinct tenants in the mix (default: 4)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="traffic seed (default: 0)")
+    loadgen.add_argument("--warmup", type=int, default=0,
+                         help="unmeasured warm-up jobs first (default: 0)")
+    loadgen.add_argument("--json", type=Path, default=None, metavar="OUT.json",
+                         help="write the full report JSON here")
+    _add_trace_argument(loadgen)
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     return parser
 

@@ -12,10 +12,11 @@ Layering (each package may import the ones it points at, plus the
 shared leaves ``errors`` and ``repro.export.jsonsafe``)::
 
     core -> metrics -> solver/optimize -> simulation/analysis -> cli
-                 \\        runtime  _/
+                 \\        runtime  _/            service    _/
     obs      — importable from anywhere; imports nothing back
     export   — formatting leaves; analysis types only under TYPE_CHECKING
     runtime  — substrate under solver/optimize/simulation/analysis
+    service  — async job-queue front over solver/optimize/runtime
     casestudy, devtools — side packages feeding the CLI
 
 ``obs``/``runtime``/``export`` are the "leaves with rules": anyone may
@@ -68,6 +69,7 @@ ALLOWED_PACKAGE_DEPS: dict[str, frozenset[str]] = {
             "obs",
             "optimize",
             "runtime",
+            "service",
             "simulation",
         }
     ),
@@ -81,6 +83,7 @@ ALLOWED_PACKAGE_DEPS: dict[str, frozenset[str]] = {
     "simulation": frozenset({"core", "obs", "optimize", "runtime"}),
     "analysis": frozenset({"core", "metrics", "optimize", "runtime", "simulation"}),
     "export": frozenset({"core", "optimize"}),
+    "service": frozenset({"core", "metrics", "obs", "optimize", "runtime", "solver"}),
     "casestudy": frozenset({"core"}),
     "devtools": frozenset(),
 }
@@ -156,6 +159,7 @@ HOT_PATHS: dict[str, tuple[str, ...]] = {
     "repro.optimize.robust": ("RobustMaxUtilityProblem.solve",),
     "repro.optimize.rebalance": ("RebalanceProblem.solve",),
     "repro.simulation.campaign": ("run_campaign",),
+    "repro.service.service": ("SolveService._run_job",),
 }
 
 

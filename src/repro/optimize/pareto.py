@@ -125,6 +125,7 @@ def budget_sweep(
     gap: float | None = None,
     pool: PersistentPool | None = None,
     bb_workers: int | None = None,
+    family: ProblemFamily | None = None,
 ) -> list[SweepPoint]:
     """Optimal utility at each budget fraction of the total monitor cost.
 
@@ -151,6 +152,13 @@ def budget_sweep(
     ``bb_workers`` fans each point's branch-and-bound subtree search out
     in turn (see :mod:`repro.solver.parallel_bb`) — the two parallelize
     different axes and compose.
+
+    ``family`` shares one formulation core across *calls* too (the
+    solve service passes its cached per-tenant
+    :class:`~repro.optimize.family.ProblemFamily` so repeated sweeps
+    over one model skip the core rebuild entirely).  It requires a
+    serial sweep for the same reason a session does, and must have been
+    built over this exact ``model`` instance and ``weights``.
     """
     weights = weights or UtilityWeights()
     serial = resolve_workers(workers) <= 1 or len(fractions) <= 1
@@ -159,13 +167,19 @@ def budget_sweep(
             "a SolveSession cannot cross process boundaries; "
             "use workers=1 (or pass no session) for parallel sweeps"
         )
+    if family is not None and not serial:
+        raise OptimizationError(
+            "a ProblemFamily cannot cross process boundaries; "
+            "use workers=1 (or pass no family) for parallel sweeps"
+        )
     if session is None and presolve and serial:
         session = SolveSession(
             backend, presolve=True, time_limit=time_limit, max_nodes=max_nodes, gap=gap
         )
     # A session implies a serial sweep, so the points can also share one
     # formulation core: only the budget rows are rebuilt per point.
-    family = ProblemFamily(model, weights) if session is not None else None
+    if family is None and session is not None:
+        family = ProblemFamily(model, weights)
     with obs.span("optimize.budget_sweep", points=len(fractions), backend=backend):
         points = parallel_map(
             _budget_sweep_job,

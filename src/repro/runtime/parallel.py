@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -96,6 +97,18 @@ def spawn_generators(seed: int, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
 
 
+#: Serializes in-process captured executions and their graft-back.
+#: ``obs.capture`` swaps the *process-global* ambient instruments, so
+#: two threads interleaving enter/exit (the solve service maps from
+#: ``asyncio.to_thread`` workers) would violate the LIFO restore and
+#: leave the ambient registry pointing at a dead per-task capture.
+#: The lock enforces strict nesting; increments other threads make
+#: while a capture is ambient land in that capture's registry and are
+#: folded back into the parent with its snapshot, so totals survive.
+#: Reentrant because observed jobs may themselves run nested maps.
+_OBSERVED_LOCK = threading.RLock()
+
+
 class _ObservedJob:
     """One job run under its own capture, shipping observability home.
 
@@ -108,7 +121,9 @@ class _ObservedJob:
     wrapped ``fn`` does.  The capture inherits the ambient clock of the
     *executing* process: in-process parity runs keep an injected test
     clock; pool workers read their own system clock (the parent rebases
-    those foreign timestamps on attach).
+    those foreign timestamps on attach).  In-process runs serialize on
+    :data:`_OBSERVED_LOCK`; in a pool worker the lock is fresh per
+    process and never contended.
     """
 
     __slots__ = ("fn",)
@@ -117,8 +132,9 @@ class _ObservedJob:
         self.fn = fn
 
     def __call__(self, item: _T) -> tuple[_R, list[dict], dict]:
-        with obs.capture(clock=obs.tracer().clock) as cap:
-            result = self.fn(item)
+        with _OBSERVED_LOCK:
+            with obs.capture(clock=obs.tracer().clock) as cap:
+                result = self.fn(item)
         return result, cap.tracer.export_spans(), cap.registry.snapshot()
 
 
@@ -511,15 +527,18 @@ def parallel_map(
         if not observed:
             return [r for r in raw if r is not _SKIPPED]
         # Graft each task's observability while the parallel.map span
-        # is still open, so task rows nest under it in the trace.
-        tracer = obs.tracer()
-        registry = obs.registry()
+        # is still open, so task rows nest under it in the trace.  The
+        # lock keeps the ambient read coherent with concurrent
+        # in-process captures on other threads.
         results: list[_R] = []
-        for index, entry in enumerate(raw):
-            if entry is _SKIPPED:
-                continue
-            result, spans, snapshot = entry
-            tracer.attach(spans, tid=f"task-{index}")
-            registry.merge(snapshot)
-            results.append(result)
+        with _OBSERVED_LOCK:
+            tracer = obs.tracer()
+            registry = obs.registry()
+            for index, entry in enumerate(raw):
+                if entry is _SKIPPED:
+                    continue
+                result, spans, snapshot = entry
+                tracer.attach(spans, tid=f"task-{index}")
+                registry.merge(snapshot)
+                results.append(result)
     return results

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import time
 from collections.abc import Iterator, Mapping
 from concurrent.futures import ProcessPoolExecutor
@@ -387,6 +388,13 @@ class PersistentPool:
     the context manager, which also unlinks every segment published
     through :meth:`share` — crash or not, exiting the ``with`` block
     leaves zero segments behind.
+
+    Lifecycle transitions (create/reap/respawn/close/share) are guarded
+    by a reentrant lock, so one pool can back many service worker
+    threads: concurrent first-use races create exactly one executor,
+    and a close never interleaves with a respawn.  The lock covers
+    lifecycle only — submitting work to the returned executor is
+    already thread-safe by ``concurrent.futures`` contract.
     """
 
     def __init__(
@@ -404,6 +412,8 @@ class PersistentPool:
         self._respawns = 0
         self._last_used: float | None = None
         self._closed = False
+        #: Reentrant: executor() runs reap_if_idle() under the same lock.
+        self._lifecycle = threading.RLock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -424,27 +434,29 @@ class PersistentPool:
 
     def executor(self) -> ProcessPoolExecutor:
         """The live executor, creating (or re-creating) it on demand."""
-        if self._closed:
-            raise PoolError("the pool is closed")
-        self.reap_if_idle()
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-            obs.counter("pool.created").inc()
-        self._last_used = time.monotonic()
-        return self._executor
+        with self._lifecycle:
+            if self._closed:
+                raise PoolError("the pool is closed")
+            self.reap_if_idle()
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                obs.counter("pool.created").inc()
+            self._last_used = time.monotonic()
+            return self._executor
 
     def reap_if_idle(self) -> bool:
         """Shut the executor down if it has sat idle past the timeout."""
-        if (
-            self._executor is not None
-            and self.idle_timeout is not None
-            and self._last_used is not None
-            and time.monotonic() - self._last_used > self.idle_timeout
-        ):
-            self._teardown(kill=False)
-            obs.counter("pool.reaps").inc()
-            return True
-        return False
+        with self._lifecycle:
+            if (
+                self._executor is not None
+                and self.idle_timeout is not None
+                and self._last_used is not None
+                and time.monotonic() - self._last_used > self.idle_timeout
+            ):
+                self._teardown(kill=False)
+                obs.counter("pool.reaps").inc()
+                return True
+            return False
 
     def respawn(self, reason: str) -> bool:
         """Replace a broken executor; ``False`` once the budget is spent.
@@ -455,27 +467,30 @@ class PersistentPool:
         ``max_respawns`` returns ``False`` so the caller can fall back
         to the serial degrade path instead of thrashing.
         """
-        self._teardown(kill=True)
-        if self._respawns >= self.max_respawns:
-            obs.counter("pool.respawns_exhausted").inc()
-            return False
-        self._respawns += 1
-        obs.counter("pool.respawns").inc()
-        with obs.span("pool.respawn", reason=reason):
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-            obs.counter("pool.created").inc()
-        self._last_used = time.monotonic()
-        return True
+        with self._lifecycle:
+            self._teardown(kill=True)
+            if self._respawns >= self.max_respawns:
+                obs.counter("pool.respawns_exhausted").inc()
+                return False
+            self._respawns += 1
+            obs.counter("pool.respawns").inc()
+            with obs.span("pool.respawn", reason=reason):
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                obs.counter("pool.created").inc()
+            self._last_used = time.monotonic()
+            return True
 
     def close(self) -> None:
         """Tear down the executor and unlink every owned segment."""
-        if self._closed:
-            return
-        self._closed = True
-        self._teardown(kill=False)
-        for segment in self._segments:
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            self._teardown(kill=False)
+            segments = list(self._segments)
+            self._segments.clear()
+        for segment in segments:
             segment.close()
-        self._segments.clear()
 
     def _teardown(self, *, kill: bool) -> None:
         executor = self._executor
@@ -498,11 +513,12 @@ class PersistentPool:
         crossing a ``parallel_map`` boundary must be owned by a pool
         whose lifetime spans the map.
         """
-        if self._closed:
-            raise PoolError("the pool is closed")
-        published = publish_arrays(arrays)
-        self._segments.append(published)
-        return published.handle
+        with self._lifecycle:
+            if self._closed:
+                raise PoolError("the pool is closed")
+            published = publish_arrays(arrays)
+            self._segments.append(published)
+            return published.handle
 
 
 #: Ambient pool consulted by :func:`~repro.runtime.parallel.parallel_map`

@@ -1,0 +1,79 @@
+"""Optimization-as-a-service: an async multi-tenant solve front.
+
+The paper's pitch is that monitor-deployment optimization is cheap
+enough to re-run whenever budgets, catalogs, or topologies change.
+That only pays off operationally if the solver stack is *reachable as a
+service* that many callers hit with repeated, similar problems — which
+is exactly the traffic shape the PR 4 acceleration layer
+(:class:`~repro.solver.session.SolveSession` warm starts,
+:class:`~repro.optimize.family.ProblemFamily` shared formulation cores)
+was built for.  This package exposes it that way:
+
+* :mod:`repro.service.requests` — validated, hashable job descriptions
+  (:class:`SolveRequest`) and the model/request digests requests are
+  deduplicated on;
+* :mod:`repro.service.cache` — the multi-tenant session/family cache
+  (LRU by estimated bytes, idle TTL, hit/miss/eviction counters) and
+  the per-tenant result cache behind request deduplication;
+* :mod:`repro.service.service` — :class:`SolveService` itself: an
+  asyncio job queue with a bounded worker set, per-tenant concurrency
+  limits, bounded queues with *typed* backpressure (reject with a
+  retry-after hint, never unbounded growth, never a silent drop),
+  cancellation, family batching, and deadline propagation into the
+  solver :class:`~repro.runtime.resilience.RetryPolicy`;
+* :mod:`repro.service.protocol` — the line-delimited JSON protocol
+  behind ``repro serve`` (stdin/stdout or a Unix socket);
+* :mod:`repro.service.loadgen` — the seeded load generator behind
+  ``repro loadgen`` and the F13 throughput benchmark.
+
+Determinism contract: with the default configuration every job's
+deployment, objective, utility, and status are **bit-identical** to a
+direct cold solve of the same request (``problem.solve()``,
+``budget_sweep()``, ``exact_frontier()``), whatever the admission
+order, worker count, or cache state — see ``docs/service.md`` for why
+each cache layer preserves this and which opt-ins relax it.
+"""
+
+from repro.service.cache import ResultCache, SessionCache
+from repro.service.loadgen import LoadReport, generate_load
+from repro.service.requests import (
+    JobKind,
+    RequestValidationError,
+    SolveRequest,
+    model_digest,
+    request_digest,
+)
+from repro.service.service import (
+    JobHandle,
+    JobResult,
+    JobStatus,
+    QueueFullRejection,
+    ServiceClosedRejection,
+    ServiceConfig,
+    ServiceRejection,
+    SolveService,
+    TenantBusyRejection,
+    TenantPolicy,
+)
+
+__all__ = [
+    "JobHandle",
+    "JobKind",
+    "JobResult",
+    "JobStatus",
+    "LoadReport",
+    "QueueFullRejection",
+    "RequestValidationError",
+    "ResultCache",
+    "ServiceClosedRejection",
+    "ServiceConfig",
+    "ServiceRejection",
+    "SessionCache",
+    "SolveRequest",
+    "SolveService",
+    "TenantBusyRejection",
+    "TenantPolicy",
+    "generate_load",
+    "model_digest",
+    "request_digest",
+]

@@ -1,0 +1,297 @@
+"""Seeded load generator for the solve service.
+
+Drives a :class:`~repro.service.service.SolveService` with a
+deterministic mixed-tenant workload and reports throughput, latency
+percentiles, and warm-cache hit rates.  The traffic shape models the
+paper's operational story — many callers re-solving *similar* problems
+as budgets and catalogs drift — so requests draw their parameters from
+small per-kind pools: distinct enough to exercise the solver, repeated
+enough that the digest-keyed caches do real work (the F13 benchmark
+pins a >= 50% warm hit rate on this mix).
+
+Everything is a pure function of ``seed``: the kind mix, the parameter
+draws, and the tenant assignment come from one ``random.Random(seed)``
+stream, so two runs against the same service configuration submit an
+identical request sequence.  (Completion *order* under concurrency is
+not deterministic — the determinism contract is about per-job results,
+which the differential suite pins separately.)
+
+Used three ways: the ``repro loadgen`` CLI entry, the
+``benchmarks/test_f13_service_throughput.py`` benchmark, and the
+service test-suite's traffic factory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.core.model import SystemModel
+from repro.obs.clock import SystemClock
+from repro.service.requests import SolveRequest
+from repro.service.service import (
+    JobStatus,
+    ServiceConfig,
+    ServiceRejection,
+    SolveService,
+)
+
+__all__ = ["LoadReport", "generate_load", "percentile", "traffic"]
+
+#: Parameter pools the seeded mix draws from.  Small on purpose: the
+#: workload is "repeated, similar problems", not an adversarial scan.
+_SWEEP_POOL = (
+    (0.1, 0.25, 0.5, 0.75),
+    (0.2, 0.4, 0.6, 0.8),
+    (0.15, 0.3, 0.45, 0.6, 0.75, 0.9),
+)
+_FRACTION_POOL = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9)
+_MIN_UTILITY_POOL = (0.2, 0.35, 0.5)
+
+#: Cumulative kind mix (sweep-heavy, per the service's motivating
+#: traffic shape): 45% sweeps, 40% max-utility, 10% min-cost, 5%
+#: frontier.
+_KIND_CUTS = (("sweep", 0.45), ("max-utility", 0.85), ("min-cost", 0.95), ("frontier", 1.0))
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``values`` by nearest-rank."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one load-generation run measured.
+
+    ``solve_units`` counts delivered solve answers — a sweep of N
+    fractions delivers N, a frontier delivers its point count, single
+    solves deliver 1 — whether computed fresh or answered warm;
+    ``executed_jobs`` counts the jobs that actually occupied a worker
+    (the rest were result-cache or dedup answers).  ``hit_rate`` is
+    warm answers over lookups across both cache layers, counting an
+    in-flight dedup join as a warm answer (the service avoided a solve
+    because an identical request was already known): ``(result hits +
+    dedup joins + session hits) / (result lookups + session lookups)``.
+    """
+
+    jobs: int
+    completed: int
+    failed: int
+    rejections: int
+    cached: int
+    deduped: int
+    executed_jobs: int
+    solve_units: int
+    wall_seconds: float
+    jobs_per_minute: float
+    solves_per_minute: float
+    p50_seconds: float
+    p99_seconds: float
+    hit_rate: float
+    counters: dict[str, float]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejections": self.rejections,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "executed_jobs": self.executed_jobs,
+            "solve_units": self.solve_units,
+            "wall_seconds": self.wall_seconds,
+            "jobs_per_minute": self.jobs_per_minute,
+            "solves_per_minute": self.solves_per_minute,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "hit_rate": self.hit_rate,
+            "counters": dict(self.counters),
+        }
+
+
+def traffic(
+    jobs: int,
+    *,
+    tenants: int = 4,
+    seed: int = 0,
+    model_ref: str | None = None,
+    model: SystemModel | None = None,
+    deadline: float | None = None,
+) -> list[SolveRequest]:
+    """The seeded mixed request sequence (pure function of the inputs)."""
+    rng = random.Random(seed)
+    requests: list[SolveRequest] = []
+    for index in range(jobs):
+        tenant = f"tenant-{rng.randrange(tenants)}"
+        draw = rng.random()
+        kind = next(name for name, cut in _KIND_CUTS if draw <= cut)
+        common: dict[str, Any] = {
+            "tenant": tenant,
+            "kind": kind,
+            "model": model,
+            "model_ref": model_ref,
+            "deadline": deadline,
+            "job_id": f"job-{index}",
+        }
+        if kind == "sweep":
+            common["fractions"] = rng.choice(_SWEEP_POOL)
+        elif kind == "max-utility":
+            common["budget_fraction"] = rng.choice(_FRACTION_POOL)
+        elif kind == "min-cost":
+            common["min_utility"] = rng.choice(_MIN_UTILITY_POOL)
+        else:  # frontier
+            common["max_points"] = 12
+        requests.append(SolveRequest(**common))
+    return requests
+
+
+def _solve_units(request: SolveRequest, result_value: Any) -> int:
+    if request.kind.value == "sweep":
+        return len(request.fractions)
+    if isinstance(result_value, list):
+        return max(1, len(result_value))
+    return 1
+
+
+#: Counters whose deltas the report captures.
+_REPORT_COUNTERS = (
+    "service.cache.hits",
+    "service.cache.misses",
+    "service.cache.evictions.lru",
+    "service.cache.evictions.ttl",
+    "service.results.hits",
+    "service.results.misses",
+    "service.jobs.submitted",
+    "service.jobs.completed",
+    "service.jobs.failed",
+    "service.jobs.retries",
+    "service.jobs.deduped",
+    "service.jobs.cache_answered",
+)
+
+
+def generate_load(
+    model: SystemModel,
+    *,
+    jobs: int = 200,
+    tenants: int = 4,
+    seed: int = 0,
+    config: ServiceConfig | None = None,
+    warmup: int = 0,
+) -> LoadReport:
+    """Run the seeded mixed workload against a fresh service and measure.
+
+    ``warmup`` jobs from the same distribution run (and complete) first
+    without being measured, so the report captures warm steady-state
+    behaviour — the regime the service is for.  Rejections are handled
+    the way a well-behaved client would: await an outstanding job, then
+    resubmit; every rejection is counted.
+    """
+    return asyncio.run(
+        _run_load(model, jobs=jobs, tenants=tenants, seed=seed, config=config, warmup=warmup)
+    )
+
+
+async def _run_load(
+    model: SystemModel,
+    *,
+    jobs: int,
+    tenants: int,
+    seed: int,
+    config: ServiceConfig | None,
+    warmup: int,
+) -> LoadReport:
+    clock = SystemClock()
+    baseline = {name: obs.counter(name).value for name in _REPORT_COUNTERS}
+    async with SolveService(config) as service:
+        ref = service.publish_model(model)
+        if warmup:
+            for request in traffic(
+                warmup, tenants=tenants, seed=seed + 1, model_ref=ref
+            ):
+                await self_submitting(service, request)
+            await service.drain()
+        requests = traffic(jobs, tenants=tenants, seed=seed, model_ref=ref)
+        latencies: list[float] = []
+        completed = failed = rejections = cached = deduped = executed = units = 0
+        outstanding: deque = deque()
+        started = clock.now()
+
+        async def _collect(handle: Any) -> None:
+            nonlocal completed, failed, cached, deduped, executed, units
+            result = await handle
+            latencies.append(result.queue_seconds + result.run_seconds)
+            if result.status is JobStatus.SUCCEEDED:
+                completed += 1
+                units += _solve_units(handle.request, result.value)
+                if result.cached:
+                    cached += 1
+                elif result.deduped:
+                    deduped += 1
+                else:
+                    executed += 1
+            else:
+                failed += 1
+
+        for request in requests:
+            while True:
+                try:
+                    handle = service.submit(request)
+                    break
+                except ServiceRejection as exc:
+                    rejections += 1
+                    if outstanding:
+                        await _collect(outstanding.popleft())
+                    else:
+                        await asyncio.sleep(min(max(exc.retry_after, 0.001), 0.05))
+            outstanding.append(handle)
+        while outstanding:
+            await _collect(outstanding.popleft())
+        wall = max(1e-9, clock.now() - started)
+
+    deltas = {
+        name: obs.counter(name).value - baseline[name] for name in _REPORT_COUNTERS
+    }
+    result_lookups = deltas["service.results.hits"] + deltas["service.results.misses"]
+    session_lookups = deltas["service.cache.hits"] + deltas["service.cache.misses"]
+    warm_hits = (
+        deltas["service.results.hits"]
+        + deltas["service.jobs.deduped"]
+        + deltas["service.cache.hits"]
+    )
+    lookups = result_lookups + session_lookups
+    return LoadReport(
+        jobs=jobs,
+        completed=completed,
+        failed=failed,
+        rejections=rejections,
+        cached=cached,
+        deduped=deduped,
+        executed_jobs=executed,
+        solve_units=units,
+        wall_seconds=wall,
+        jobs_per_minute=60.0 * jobs / wall,
+        solves_per_minute=60.0 * units / wall,
+        p50_seconds=percentile(latencies, 0.50),
+        p99_seconds=percentile(latencies, 0.99),
+        hit_rate=warm_hits / lookups if lookups else 0.0,
+        counters=deltas,
+    )
+
+
+async def self_submitting(service: SolveService, request: SolveRequest) -> Any:
+    """Submit with polite backpressure handling; returns the handle."""
+    while True:
+        try:
+            return service.submit(request)
+        except ServiceRejection as exc:
+            await asyncio.sleep(min(max(exc.retry_after, 0.001), 0.05))

@@ -1,0 +1,317 @@
+"""Line-delimited JSON protocol behind ``repro serve``.
+
+One request per line in, one JSON object per line out.  The protocol is
+deliberately minimal — it exists so the service is *reachable* (from a
+shell pipe, a Unix socket, a load generator) without pulling a web
+framework into a zero-dependency repository:
+
+* ``{"op": "publish", "id": "p1", "model": {...}}`` — register a model
+  document (the :mod:`repro.core.serialization` format); replies with
+  its ``model_ref`` digest.  Publish once, then submit jobs by
+  reference — the digest-keyed caches make every subsequent job warm.
+* ``{"op": "submit", "id": "s1", "request": {...}}`` — admit a job.
+  The reply is immediate: either an ``accepted`` ack (the terminal
+  ``result`` line follows whenever the job finishes — lines are
+  correlated by ``id``, not by order) or a typed rejection carrying
+  ``retry_after``.
+* ``{"op": "cancel", "id": "c1", "target": "s1"}`` — cancel the job
+  submitted under id ``s1`` if it has not started.
+* ``{"op": "stats", "id": "t1"}`` — service snapshot (queue depth,
+  cache occupancy, worker count).
+
+Malformed lines never kill the connection: they produce an
+``{"ok": false, "error": {...}}`` reply, mirroring the service's
+reject-don't-drop admission contract.  On EOF the server drains
+outstanding jobs, writes their result lines, and returns.
+
+Results serialize through :func:`value_to_payload`, which flattens
+:class:`~repro.optimize.deployment.OptimizationResult`, sweep points,
+and frontier points into sorted-monitor-id JSON documents — two
+bit-identical results serialize to byte-identical lines, which is what
+the differential protocol tests compare.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable
+
+from repro import obs
+from repro.core.serialization import model_from_dict
+from repro.errors import ReproError
+from repro.export.jsonsafe import dumps as strict_dumps
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.deployment import OptimizationResult
+from repro.optimize.frontier import FrontierPoint
+from repro.optimize.pareto import SweepPoint
+from repro.service.requests import RequestValidationError, SolveRequest
+from repro.service.service import JobResult, ServiceRejection, SolveService
+
+__all__ = [
+    "LineServer",
+    "ProtocolError",
+    "request_from_payload",
+    "result_to_payload",
+    "serve_stdio",
+    "serve_unix_socket",
+    "value_to_payload",
+]
+
+
+class ProtocolError(ReproError):
+    """A line could not be decoded or named an unknown operation."""
+
+
+#: SolveRequest fields settable straight from a submit payload.
+_REQUEST_FIELDS = (
+    "tenant",
+    "kind",
+    "model_ref",
+    "budget_limits",
+    "budget_fraction",
+    "fractions",
+    "min_utility",
+    "fully_cover",
+    "forced_monitors",
+    "max_monitors",
+    "backend",
+    "time_limit",
+    "deadline",
+    "max_nodes",
+    "gap",
+    "epsilon",
+    "max_points",
+    "job_id",
+)
+
+
+def request_from_payload(payload: dict[str, Any]) -> SolveRequest:
+    """Build a validated :class:`SolveRequest` from a submit payload.
+
+    ``model`` may be inline (a serialized model document) or named by
+    ``model_ref``; ``weights`` is a mapping of
+    :class:`~repro.metrics.utility.UtilityWeights` fields.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request payload must be an object, got {type(payload).__name__}")
+    unknown = set(payload) - set(_REQUEST_FIELDS) - {"model", "weights"}
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+    kwargs: dict[str, Any] = {
+        name: payload[name] for name in _REQUEST_FIELDS if name in payload
+    }
+    if payload.get("model") is not None:
+        kwargs["model"] = model_from_dict(payload["model"])
+    if payload.get("weights") is not None:
+        kwargs["weights"] = UtilityWeights(**payload["weights"])
+    try:
+        return SolveRequest(**kwargs).validate()
+    except TypeError as exc:
+        raise ProtocolError(f"malformed request payload: {exc}") from exc
+    except ValueError as exc:
+        raise ProtocolError(f"malformed request payload: {exc}") from exc
+
+
+def value_to_payload(value: Any) -> Any:
+    """Flatten a job's solver payload into plain JSON data."""
+    if value is None:
+        return None
+    if isinstance(value, OptimizationResult):
+        return {
+            "monitors": sorted(value.deployment.monitor_ids),
+            "objective": value.objective,
+            "utility": value.utility,
+            "method": value.method,
+            "optimal": value.optimal,
+            "stats": dict(value.stats),
+        }
+    if isinstance(value, SweepPoint):
+        return {
+            "fraction": value.fraction,
+            "budget": dict(value.budget.limits),
+            "result": value_to_payload(value.result),
+        }
+    if isinstance(value, FrontierPoint):
+        return {
+            "scalar_cost": value.scalar_cost,
+            "utility": value.utility,
+            "monitors": sorted(value.deployment.monitor_ids),
+        }
+    if isinstance(value, list):
+        return [value_to_payload(item) for item in value]
+    raise ProtocolError(f"unserializable job payload type {type(value).__name__}")
+
+
+def result_to_payload(result: JobResult) -> dict[str, Any]:
+    """Flatten a terminal :class:`JobResult` into plain JSON data."""
+    return {
+        "status": result.status.value,
+        "tenant": result.tenant,
+        "kind": result.kind.value,
+        "digest": result.digest,
+        "job_id": result.job_id,
+        "cached": result.cached,
+        "deduped": result.deduped,
+        "attempts": result.attempts,
+        "queue_seconds": result.queue_seconds,
+        "run_seconds": result.run_seconds,
+        "failure": None if result.failure is None else result.failure.to_dict(),
+        "value": value_to_payload(result.value),
+    }
+
+
+def _error_payload(exc: Exception) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, ServiceRejection):
+        payload["retry_after"] = exc.retry_after
+    if isinstance(exc, RequestValidationError):
+        payload["problems"] = list(exc.problems)
+    return payload
+
+
+class LineServer:
+    """Drive one :class:`SolveService` over a line stream.
+
+    ``readline`` returns the next raw line (``None``/empty at EOF);
+    ``writeline`` emits one reply object as a JSON line.  The server
+    owns neither the streams nor the service lifecycle — callers
+    compose it with stdio, sockets, or in-memory queues (the tests).
+    """
+
+    def __init__(self, service: SolveService):
+        self.service = service
+        self._write_lock = asyncio.Lock()
+        self._jobs: dict[str, Any] = {}
+        self._results: set[asyncio.Task[None]] = set()
+
+    async def serve(
+        self,
+        readline: Callable[[], Awaitable[str | None]],
+        writeline: Callable[[str], Awaitable[None]],
+    ) -> None:
+        """Process lines until EOF, then drain outstanding results."""
+        self._writeline = writeline
+        while True:
+            line = await readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            await self._handle_line(line)
+        if self._results:
+            await asyncio.gather(*self._results, return_exceptions=True)
+
+    async def _emit(self, payload: dict[str, Any]) -> None:
+        async with self._write_lock:
+            await self._writeline(strict_dumps(payload, sort_keys=True))
+
+    async def _handle_line(self, line: str) -> None:
+        obs.counter("service.protocol.lines").inc()
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            obs.counter("service.protocol.errors").inc()
+            await self._emit(
+                {"id": None, "ok": False, "error": _error_payload(ProtocolError(f"bad JSON: {exc}"))}
+            )
+            return
+        msg_id = message.get("id") if isinstance(message, dict) else None
+        try:
+            await self._dispatch(message, msg_id)
+        except ReproError as exc:
+            obs.counter("service.protocol.errors").inc()
+            await self._emit({"id": msg_id, "ok": False, "error": _error_payload(exc)})
+
+    async def _dispatch(self, message: Any, msg_id: Any) -> None:
+        if not isinstance(message, dict):
+            raise ProtocolError("each line must be a JSON object")
+        op = message.get("op")
+        if op == "publish":
+            document = message.get("model")
+            if not isinstance(document, dict):
+                raise ProtocolError("publish needs a 'model' document")
+            ref = self.service.publish_model(model_from_dict(document))
+            await self._emit({"id": msg_id, "ok": True, "model_ref": ref})
+        elif op == "submit":
+            request = request_from_payload(message.get("request"))
+            handle = self.service.submit(request)
+            if msg_id is not None:
+                self._jobs[str(msg_id)] = handle
+            await self._emit(
+                {"id": msg_id, "ok": True, "status": handle.status.value}
+            )
+            task = asyncio.ensure_future(self._deliver(msg_id, handle))
+            self._results.add(task)
+            task.add_done_callback(self._results.discard)
+        elif op == "cancel":
+            target = str(message.get("target"))
+            handle = self._jobs.get(target)
+            if handle is None:
+                raise ProtocolError(f"unknown submit id {target!r}")
+            cancelled = handle.cancel()
+            await self._emit({"id": msg_id, "ok": True, "cancelled": cancelled})
+        elif op == "stats":
+            await self._emit({"id": msg_id, "ok": True, "stats": self.service.stats()})
+        else:
+            raise ProtocolError(f"unknown op {op!r}")
+
+    async def _deliver(self, msg_id: Any, handle: Any) -> None:
+        result: JobResult = await handle.future
+        await self._emit(
+            {"id": msg_id, "ok": True, "result": result_to_payload(result)}
+        )
+
+
+async def serve_stdio(service: SolveService, stdin: Any, stdout: Any) -> None:
+    """Serve the line protocol over text file objects (e.g. std streams).
+
+    Reads block in a thread so the event loop — and therefore the
+    service's workers — keep running between lines.
+    """
+    server = LineServer(service)
+
+    async def readline() -> str | None:
+        return await asyncio.to_thread(stdin.readline)
+
+    async def writeline(line: str) -> None:
+        await asyncio.to_thread(_write_flush, stdout, line)
+
+    await server.serve(readline, writeline)
+
+
+def _write_flush(stream: Any, line: str) -> None:
+    stream.write(line + "\n")
+    stream.flush()
+
+
+async def serve_unix_socket(service: SolveService, path: str) -> "asyncio.AbstractServer":
+    """Serve the line protocol on a Unix domain socket at ``path``.
+
+    Each connection gets its own :class:`LineServer` over the shared
+    service; returns the listening server (caller closes it).
+    """
+
+    async def _on_connect(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        server = LineServer(service)
+
+        async def readline() -> str | None:
+            data = await reader.readline()
+            return data.decode() if data else None
+
+        async def writeline(line: str) -> None:
+            writer.write(line.encode() + b"\n")
+            await writer.drain()
+
+        try:
+            await server.serve(readline, writeline)
+        finally:
+            writer.close()
+
+    return await asyncio.start_unix_server(_on_connect, path=path)

@@ -193,6 +193,45 @@ class SolveSession:
 
     # -- public API --------------------------------------------------------
 
+    @property
+    def family_count(self) -> int:
+        """How many structure families this session has seen."""
+        return len(self._families)
+
+    def estimated_bytes(self) -> int:
+        """Rough footprint of the session's warm state, in bytes.
+
+        Exact accounting for the numpy payloads (previous compiled
+        forms, the dominant term on large models) plus flat per-entry
+        estimates for the Python-object overhead of recorded solutions
+        and LP-relaxation cache entries.  Consumed by the service's
+        LRU-by-bytes cache (:mod:`repro.service.cache`); the absolute
+        scale matters less than growing monotonically with retained
+        state, which the test suite pins.
+        """
+        total = 0
+        for family in self._families.values():
+            if family.prev_values is not None:
+                total += 80 * len(family.prev_values)
+            form = family.prev_form
+            if form is not None:
+                total += sum(
+                    array.nbytes
+                    for array in (
+                        form.c,
+                        form.A_ub,
+                        form.b_ub,
+                        form.A_eq,
+                        form.b_eq,
+                        form.lower,
+                        form.upper,
+                        form.integrality,
+                    )
+                )
+        for cache in self._lp_caches.values():
+            total += 512 * max(1, len(cache))
+        return total
+
     def solve(
         self,
         model: MilpModel,

@@ -1,11 +1,115 @@
-"""Shared fixtures: a hand-checkable toy model and the case study."""
+"""Shared fixtures and model factories for the whole test suite.
+
+Besides the hand-checkable toy model and the case study, this module
+owns the small MILP factories (`knapsack_model`, `set_cover_model`,
+`wide_knapsack_model`, `random_binary_model`) that used to be
+copy-pasted across ``tests/solver`` and ``tests/faults`` — import them
+as ``from tests.conftest import knapsack_model``.
+
+It also gates the ``nightly`` marker: nightly-marked tests are skipped
+unless ``REPRO_NIGHTLY`` is set in the environment, so the tier-1 run
+stays fast while CI's scheduled jobs get the long soak coverage.
+"""
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
 import pytest
 
 from repro.casestudy import enterprise_web_service
 from repro.core import AssetKind, ModelBuilder, MonitorScope, SystemModel
+from repro.solver import MilpModel, ObjectiveSense
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_NIGHTLY"):
+        return
+    skip_nightly = pytest.mark.skip(reason="nightly test; set REPRO_NIGHTLY=1 to run")
+    for item in items:
+        if "nightly" in item.keywords:
+            item.add_marker(skip_nightly)
+
+
+# ----------------------------------------------------------------------
+# shared MILP factories
+# ----------------------------------------------------------------------
+
+
+def knapsack_model(
+    capacity: float = 8.0,
+    values: tuple = (10, 13, 7, 8, 12),
+    weights: tuple = (3, 4, 2, 3, 4),
+    *,
+    name: str = "knapsack",
+    constraint_name: str | None = None,
+) -> MilpModel:
+    """A 0/1 knapsack; the defaults have known optimum 25 at capacity 8.
+
+    The session tests treat ``capacity`` and ``values`` as family knobs
+    (same structure, different rhs/objective), so both are parameters.
+    """
+    model = MilpModel(name, ObjectiveSense.MAXIMIZE)
+    x = [model.binary(f"x{i}") for i in range(len(values))]
+    model.add_constraint(
+        sum(w * v for w, v in zip(weights, x)) <= capacity, name=constraint_name
+    )
+    model.set_objective(sum(c * v for c, v in zip(values, x)))
+    return model
+
+
+def wide_knapsack_model(capacity: float) -> MilpModel:
+    """A 12-item knapsack family member (rich enough to decompose)."""
+    return knapsack_model(
+        capacity,
+        values=(10, 13, 7, 8, 12, 14, 6, 17, 9, 11, 5, 15),
+        weights=(3, 4, 2, 3, 4, 5, 2, 6, 3, 4, 2, 5),
+        name="family",
+        constraint_name="cap",
+    )
+
+
+def set_cover_model() -> MilpModel:
+    """Min-cost cover of 4 elements; optimum cost 5 (sets A and C)."""
+    model = MilpModel("cover", ObjectiveSense.MINIMIZE)
+    a = model.binary("A")  # covers 1, 2 — cost 2
+    b = model.binary("B")  # covers 2, 3 — cost 4
+    c = model.binary("C")  # covers 3, 4 — cost 3
+    model.add_constraint(a + 0.0 >= 1, "e1")
+    model.add_constraint(a + b >= 1, "e2")
+    model.add_constraint(b + c >= 1, "e3")
+    model.add_constraint(c + 0.0 >= 1, "e4")
+    model.set_objective(2 * a + 4 * b + 3 * c)
+    return model
+
+
+def random_binary_model(seed: int) -> MilpModel:
+    """A small seeded binary program with a (almost surely) unique optimum.
+
+    Integer constraint coefficients keep feasibility checks exact;
+    normal objective coefficients make objective ties measure-zero, so
+    value-level comparisons against the serial solver are meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 14))
+    m = int(rng.integers(3, 8))
+    sense = ObjectiveSense.MAXIMIZE if rng.random() < 0.5 else ObjectiveSense.MINIMIZE
+    model = MilpModel(f"rand-{seed}", sense)
+    xs = [model.binary(f"x{i}") for i in range(n)]
+    for c in range(m):
+        coefs = rng.integers(-4, 5, size=n)
+        expr = sum(int(k) * v for k, v in zip(coefs, xs) if k)
+        if isinstance(expr, int):
+            continue  # all-zero row
+        rhs = int(rng.integers(-3, 9))
+        if rng.random() < 0.5:
+            model.add_constraint(expr <= rhs, name=f"c{c}")
+        else:
+            model.add_constraint(expr >= rhs, name=f"c{c}")
+    obj_coefs = rng.normal(size=n)
+    model.set_objective(sum(float(k) * v for k, v in zip(obj_coefs, xs)))
+    return model
 
 
 def build_toy_builder() -> ModelBuilder:

@@ -1,0 +1,125 @@
+"""The solve service under injected faults: retry, fail typed, isolate.
+
+Faults fire through the ambient plan at each job's own site
+(``service.job.<tenant>.<job_id>``), exactly where the service pokes
+before dispatching — no monkey-patching of solver internals.  The
+contracts pinned here:
+
+* a transient fault retries on the deterministic schedule and then
+  answers bit-identically to a clean run;
+* exhausted retries fail *typed* — a structured
+  :class:`~repro.runtime.resilience.TaskFailure`, never a raw
+  exception escaping the job future;
+* one tenant's faults are invisible in another tenant's results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.runtime import faults
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.service import JobStatus, ServiceConfig, SolveRequest, SolveService
+from tests.service.conftest import canon, oracle_value
+
+pytestmark = pytest.mark.service
+
+
+def _plan(tmp_path, specs) -> FaultPlan:
+    state = tmp_path / "state"
+    state.mkdir(exist_ok=True)
+    return FaultPlan.of(state, specs)
+
+
+def _request(model, tenant="t-a", fraction=0.5, job_id="boom"):
+    return SolveRequest(
+        tenant=tenant,
+        kind="max-utility",
+        model=model,
+        budget_fraction=fraction,
+        job_id=job_id,
+    )
+
+
+def _run(requests, config):
+    async def scenario():
+        async with SolveService(config) as service:
+            handles = [service.submit(r) for r in requests]
+            return [await h for h in handles]
+
+    return asyncio.run(scenario())
+
+
+def test_transient_fault_retries_to_a_bit_identical_answer(tmp_path, toy_model):
+    request = _request(toy_model)
+    plan = _plan(tmp_path, {request.site: FaultSpec(kind="error", times=1)})
+    retries_before = obs.counter("service.jobs.retries").value
+    with faults.inject(plan):
+        (result,) = _run([request], ServiceConfig(workers=1, max_retries=1))
+    assert result.ok
+    assert result.attempts == 2
+    assert obs.counter("service.jobs.retries").value == retries_before + 1
+    assert canon(result.value) == canon(oracle_value(toy_model, request))
+
+
+def test_exhausted_retries_fail_with_a_structured_task_failure(tmp_path, toy_model):
+    request = _request(toy_model)
+    plan = _plan(tmp_path, {request.site: FaultSpec(kind="error", times=-1)})
+    with faults.inject(plan):
+        (result,) = _run([request], ServiceConfig(workers=1, max_retries=1))
+    assert result.status is JobStatus.FAILED
+    assert result.attempts == 2  # 1 + max_retries, then give up
+    failure = result.failure
+    assert failure is not None
+    assert failure.stage == "service"
+    assert failure.error_type == "InjectedFault"
+    assert request.site in failure.message
+    assert failure.to_dict()["error_type"] == "InjectedFault"
+    # Attempt accounting agrees with the plan's cross-process markers.
+    assert plan.attempts_seen(request.site) == 2
+
+
+def test_exit_fault_downgrades_to_a_retryable_error_in_process(tmp_path, toy_model):
+    # "exit" faults refuse to kill the plan's parent process, and the
+    # service executes jobs on in-process threads — so a scripted
+    # worker-kill surfaces as InjectedFault and takes the retry path.
+    request = _request(toy_model, job_id="killed")
+    plan = _plan(tmp_path, {request.site: FaultSpec(kind="exit", times=1)})
+    transient_before = obs.counter("service.jobs.transient_faults").value
+    with faults.inject(plan):
+        (result,) = _run([request], ServiceConfig(workers=1, max_retries=1))
+    assert result.ok
+    assert result.attempts == 2
+    assert obs.counter("service.jobs.transient_faults").value == transient_before + 1
+    assert canon(result.value) == canon(oracle_value(toy_model, request))
+
+
+def test_hung_job_still_answers_and_does_not_block_peers(tmp_path, toy_model):
+    hung = _request(toy_model, tenant="t-slow", job_id="stuck")
+    peer = _request(toy_model, tenant="t-fast", fraction=0.4, job_id="fast")
+    plan = _plan(tmp_path, {hung.site: FaultSpec(kind="hang", seconds=0.3, times=1)})
+    with faults.inject(plan):
+        hung_result, peer_result = _run([hung, peer], ServiceConfig(workers=2))
+    assert hung_result.ok and peer_result.ok
+    assert hung_result.run_seconds >= 0.2  # it really did hang
+    assert canon(hung_result.value) == canon(oracle_value(toy_model, hung))
+    assert canon(peer_result.value) == canon(oracle_value(toy_model, peer))
+
+
+def test_unrelated_tenants_stay_bit_identical_under_a_tenant_fault(tmp_path, toy_model):
+    doomed = _request(toy_model, tenant="t-a", job_id="doomed")
+    clean = [
+        _request(toy_model, tenant="t-b", fraction=f, job_id=f"clean-{i}")
+        for i, f in enumerate((0.2, 0.4, 0.6))
+    ]
+    plan = _plan(tmp_path, {doomed.site: FaultSpec(kind="error", times=-1)})
+    with faults.inject(plan):
+        results = _run([doomed, *clean], ServiceConfig(workers=2, max_retries=1))
+    assert results[0].status is JobStatus.FAILED
+    for request, result in zip(clean, results[1:]):
+        assert result.ok
+        assert result.attempts == 1  # never even saw a retry
+        assert canon(result.value) == canon(oracle_value(toy_model, request))

@@ -1,8 +1,11 @@
 """Unit tests for the parallel map and deterministic seed spawning."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.runtime.parallel import (
     WORKERS_ENV,
     parallel_map,
@@ -13,6 +16,11 @@ from repro.runtime.parallel import (
 
 
 def _square(x):
+    return x * x
+
+
+def _counted_square(x):
+    obs.counter("test.parallel.threaded_jobs").inc()
     return x * x
 
 
@@ -92,3 +100,23 @@ class TestParallelMap:
         assert parallel_map(_square, range(20), workers=2, chunksize=5) == [
             x * x for x in range(20)
         ]
+
+    def test_threaded_observed_maps_keep_the_ambient_registry(self):
+        # Regression: serial maps under a tracing capture wrap each job
+        # in its own obs.capture, which swaps the process-global
+        # ambient instruments.  Run from many threads at once (the
+        # solve service does), interleaved enter/exit used to violate
+        # the LIFO restore and strand the ambient registry on a dead
+        # per-task capture — every counter written afterwards vanished.
+        rounds, jobs = 8, 5
+        with obs.capture() as cap:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(parallel_map, _counted_square, list(range(jobs)), workers=1)
+                    for _ in range(rounds)
+                ]
+                results = [f.result() for f in futures]
+            assert obs.registry() is cap.registry
+        assert results == [[x * x for x in range(jobs)] for _ in range(rounds)]
+        expected = float(rounds * jobs)
+        assert cap.registry.counter("test.parallel.threaded_jobs").value == expected

@@ -1,0 +1,119 @@
+"""Service-suite helpers: direct oracles and canonical payloads.
+
+The differential tests all reduce to one comparison: the canonical
+JSON of a job's payload as computed *by the service* versus the same
+request solved *directly* (cold, serial, no service, no caches).  Both
+sides go through :func:`repro.service.protocol.value_to_payload`, which
+deliberately excludes wall-clock fields, so "bit-identical" here means
+byte-identical canonical JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.export.jsonsafe import dumps as strict_dumps
+from repro.metrics.cost import Budget
+from repro.metrics.utility import UtilityWeights
+from repro.optimize.frontier import exact_frontier
+from repro.optimize.pareto import budget_sweep
+from repro.optimize.problem import MaxUtilityProblem, MinCostProblem
+from repro.service import (
+    JobKind,
+    JobResult,
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+)
+from repro.service.loadgen import self_submitting
+from repro.service.protocol import value_to_payload
+
+
+def canon(value: Any) -> str:
+    """Canonical JSON of a job payload — the bit-identity comparator."""
+    return strict_dumps(value_to_payload(value), sort_keys=True)
+
+
+def oracle_value(model, request: SolveRequest) -> Any:
+    """What a direct, cold, serial call computes for ``request``.
+
+    Mirrors ``SolveService._dispatch`` knob for knob, minus every warm
+    object (no family, no session, no caches) — the ground truth the
+    service's determinism contract is pinned against.
+    """
+    weights = request.weights or UtilityWeights()
+    kind = request.kind
+    if kind is JobKind.MAX_UTILITY:
+        budget = (
+            Budget(request.budget_limits)
+            if request.budget_limits is not None
+            else Budget.fraction_of_total(model, request.budget_fraction or 0.0)
+        )
+        problem = MaxUtilityProblem(
+            model,
+            budget,
+            weights,
+            forced_monitors=request.forced_monitors,
+            max_monitors=request.max_monitors,
+        )
+        return problem.solve(
+            request.backend,
+            time_limit=request.time_limit,
+            max_nodes=request.max_nodes,
+            gap=request.gap,
+        )
+    if kind is JobKind.MIN_COST:
+        problem = MinCostProblem(
+            model,
+            min_utility=request.min_utility,
+            fully_cover=request.fully_cover,
+            weights=weights,
+        )
+        return problem.solve(
+            request.backend,
+            time_limit=request.time_limit,
+            max_nodes=request.max_nodes,
+            gap=request.gap,
+        )
+    if kind is JobKind.SWEEP:
+        return budget_sweep(
+            model,
+            list(request.fractions),
+            weights,
+            backend=request.backend,
+            time_limit=request.time_limit,
+            workers=1,
+            max_nodes=request.max_nodes,
+            gap=request.gap,
+        )
+    if kind is JobKind.FRONTIER:
+        return exact_frontier(
+            model,
+            weights,
+            backend=request.backend,
+            epsilon=request.epsilon,
+            max_points=request.max_points,
+            time_limit=request.time_limit,
+            max_nodes=request.max_nodes,
+            gap=request.gap,
+        )
+    raise AssertionError(f"no oracle for job kind {kind!r}")
+
+
+def run_jobs(
+    requests: list[SolveRequest], config: ServiceConfig | None = None
+) -> list[JobResult]:
+    """Submit ``requests`` (in order) against a fresh service; await all.
+
+    Submission handles backpressure the way a polite client would
+    (await and resubmit), so the returned list always has one terminal
+    result per request, aligned by index.
+    """
+
+    async def scenario() -> list[JobResult]:
+        async with SolveService(config or ServiceConfig()) as service:
+            handles = [await self_submitting(service, r) for r in requests]
+            return [await h for h in handles]
+
+    return asyncio.run(scenario())

@@ -1,0 +1,92 @@
+"""The seeded load generator: determinism, report arithmetic, soak."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.service import ServiceConfig
+from repro.service.loadgen import generate_load, percentile, traffic
+
+pytestmark = pytest.mark.service
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+
+class TestTraffic:
+    def test_same_seed_is_the_same_request_sequence(self):
+        a = traffic(40, tenants=4, seed=9, model_ref="ref")
+        b = traffic(40, tenants=4, seed=9, model_ref="ref")
+        assert a == b
+        assert a != traffic(40, tenants=4, seed=10, model_ref="ref")
+
+    def test_mix_covers_every_kind_and_tenant(self):
+        requests = traffic(60, tenants=3, seed=0, model_ref="ref")
+        assert {r.kind.value for r in requests} == {
+            "sweep",
+            "max-utility",
+            "min-cost",
+            "frontier",
+        }
+        assert {r.tenant for r in requests} == {"tenant-0", "tenant-1", "tenant-2"}
+        assert [r.job_id for r in requests[:3]] == ["job-0", "job-1", "job-2"]
+
+
+class TestGenerateLoad:
+    def test_report_arithmetic_holds(self, toy_model):
+        report = generate_load(
+            toy_model, jobs=40, tenants=3, seed=5, config=ServiceConfig(workers=2)
+        )
+        assert report.jobs == 40
+        assert report.completed + report.failed == report.jobs
+        assert report.failed == 0
+        assert report.cached + report.deduped + report.executed_jobs == report.completed
+        assert report.solve_units >= report.completed
+        assert 0.0 <= report.hit_rate <= 1.0
+        assert report.p50_seconds <= report.p99_seconds
+        assert report.counters["service.jobs.submitted"] >= report.jobs
+        payload = report.to_dict()
+        assert payload["jobs"] == 40
+        assert payload["counters"] == report.counters
+
+    def test_warmup_drives_the_hit_rate_up(self, toy_model):
+        cold = generate_load(toy_model, jobs=30, tenants=2, seed=11)
+        warm = generate_load(toy_model, jobs=30, tenants=2, seed=11, warmup=30)
+        assert warm.hit_rate >= cold.hit_rate
+
+    def test_counter_deltas_survive_an_ambient_capture(self, toy_model):
+        # Regression: the service maps from worker threads, and the
+        # per-job captures those maps open under a tracing ambient
+        # (``repro loadgen --trace``) used to clobber the ambient
+        # registry, zeroing every delta the report is built from.
+        with obs.capture():
+            report = generate_load(
+                toy_model, jobs=20, tenants=2, seed=5, config=ServiceConfig(workers=2)
+            )
+        assert report.counters["service.jobs.submitted"] >= report.jobs
+        assert report.failed == 0
+
+
+@pytest.mark.nightly
+def test_nightly_case_study_soak(web_model):
+    """Long mixed-tenant soak on the real case study (nightly only)."""
+    report = generate_load(
+        web_model,
+        jobs=120,
+        tenants=4,
+        seed=3,
+        config=ServiceConfig(workers=4),
+        warmup=20,
+    )
+    assert report.failed == 0
+    assert report.completed == report.jobs
+    assert report.hit_rate >= 0.3

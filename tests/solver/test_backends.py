@@ -7,33 +7,9 @@ from repro.errors import SolverError, UnboundedError
 from repro.solver import MilpModel, ObjectiveSense, SolutionStatus, solve
 from repro.solver.enumerate import MAX_INTEGER_VARIABLES, solve_by_enumeration
 from repro.solver.lp import solve_lp
+from tests.conftest import knapsack_model, set_cover_model
 
 BACKENDS = ["scipy", "branch-and-bound", "enumeration"]
-
-
-def knapsack_model():
-    """0/1 knapsack with known optimum 25 at capacity 8."""
-    model = MilpModel("knapsack")
-    values = [10, 13, 7, 8, 12]
-    weights = [3, 4, 2, 3, 4]
-    x = [model.binary(f"x{i}") for i in range(5)]
-    model.add_constraint(sum(w * v for w, v in zip(weights, x)) <= 8)
-    model.set_objective(sum(c * v for c, v in zip(values, x)))
-    return model
-
-
-def set_cover_model():
-    """Min-cost cover of 4 elements; optimum cost 5 (sets A and C)."""
-    model = MilpModel("cover", ObjectiveSense.MINIMIZE)
-    a = model.binary("A")  # covers 1, 2 — cost 2
-    b = model.binary("B")  # covers 2, 3 — cost 4
-    c = model.binary("C")  # covers 3, 4 — cost 3
-    model.add_constraint(a + 0.0 >= 1, "e1")
-    model.add_constraint(a + b >= 1, "e2")
-    model.add_constraint(b + c >= 1, "e3")
-    model.add_constraint(c + 0.0 >= 1, "e4")
-    model.set_objective(2 * a + 4 * b + 3 * c)
-    return model
 
 
 class TestLp:

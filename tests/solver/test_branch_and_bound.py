@@ -18,16 +18,7 @@ from repro.solver.branch_and_bound import (
     _snapped_if_feasible,
     solve_branch_and_bound,
 )
-
-
-def knapsack() -> MilpModel:
-    model = MilpModel("knapsack")
-    values = [10, 13, 7, 8, 12]
-    weights = [3, 4, 2, 3, 4]
-    x = [model.binary(f"x{i}") for i in range(5)]
-    model.add_constraint(sum(w * v for w, v in zip(weights, x)) <= 8)
-    model.set_objective(sum(c * v for c, v in zip(values, x)))
-    return model
+from tests.conftest import knapsack_model as knapsack
 
 
 class TestPureLpModels:

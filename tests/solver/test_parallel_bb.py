@@ -34,36 +34,10 @@ from repro.solver import (
 )
 from repro.solver.branch_and_bound import solve_branch_and_bound
 from repro.solver.parallel_bb import solve_parallel_branch_and_bound
+from tests.conftest import random_binary_model as random_model
+from tests.conftest import wide_knapsack_model as knapsack
 
 SEEDS = range(50)
-
-
-def random_model(seed: int) -> MilpModel:
-    """A small seeded binary program with a (almost surely) unique optimum.
-
-    Integer constraint coefficients keep feasibility checks exact;
-    normal objective coefficients make objective ties measure-zero, so
-    value-level comparisons against the serial solver are meaningful.
-    """
-    rng = np.random.default_rng(seed)
-    n = int(rng.integers(6, 14))
-    m = int(rng.integers(3, 8))
-    sense = ObjectiveSense.MAXIMIZE if rng.random() < 0.5 else ObjectiveSense.MINIMIZE
-    model = MilpModel(f"rand-{seed}", sense)
-    xs = [model.binary(f"x{i}") for i in range(n)]
-    for c in range(m):
-        coefs = rng.integers(-4, 5, size=n)
-        expr = sum(int(k) * v for k, v in zip(coefs, xs) if k)
-        if isinstance(expr, int):
-            continue  # all-zero row
-        rhs = int(rng.integers(-3, 9))
-        if rng.random() < 0.5:
-            model.add_constraint(expr <= rhs, name=f"c{c}")
-        else:
-            model.add_constraint(expr >= rhs, name=f"c{c}")
-    obj_coefs = rng.normal(size=n)
-    model.set_objective(sum(float(k) * v for k, v in zip(obj_coefs, xs)))
-    return model
 
 
 def same_objective(a: float, b: float) -> bool:
@@ -198,17 +172,6 @@ class TestFaultInjection:
         )
         with inject(plan), pytest.raises(Exception, match="subtree"):
             solve_parallel_branch_and_bound(random_model(seed), workers=1)
-
-
-def knapsack(capacity: float) -> MilpModel:
-    """A 12-item knapsack family member (rich enough to decompose)."""
-    weights = (3, 4, 2, 3, 4, 5, 2, 6, 3, 4, 2, 5)
-    values = (10, 13, 7, 8, 12, 14, 6, 17, 9, 11, 5, 15)
-    model = MilpModel("family", ObjectiveSense.MAXIMIZE)
-    x = [model.binary(f"x{i}") for i in range(len(values))]
-    model.add_constraint(sum(w * v for w, v in zip(weights, x)) <= capacity, name="cap")
-    model.set_objective(sum(c * v for c, v in zip(values, x)))
-    return model
 
 
 class TestWarmSessions:

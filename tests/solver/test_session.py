@@ -18,18 +18,12 @@ from repro.solver import (
     solve,
 )
 from repro.solver.session import _only_tightened, structure_signature
+from tests.conftest import knapsack_model
 
 
 def knapsack(capacity: float, values=(10, 13, 7, 8, 12)) -> MilpModel:
     """One member of a knapsack family: same structure, one rhs knob."""
-    weights = (3, 4, 2, 3, 4)
-    model = MilpModel("family", ObjectiveSense.MAXIMIZE)
-    x = [model.binary(f"x{i}") for i in range(len(values))]
-    model.add_constraint(
-        sum(w * v for w, v in zip(weights, x)) <= capacity, name="cap"
-    )
-    model.set_objective(sum(c * v for c, v in zip(values, x)))
-    return model
+    return knapsack_model(capacity, values, name="family", constraint_name="cap")
 
 
 class TestStructureSignature:
