@@ -42,6 +42,16 @@ class ScalingConfig:
 
     The defaults produce a model comparable to the case study; the
     scalability benches sweep ``monitors`` and ``attacks``.
+
+    ``topology`` selects the generator's structure.  ``"flat"`` (the
+    default) is the historical single-domain tree and is byte-identical
+    to what earlier versions generated.  ``"multizone"`` partitions the
+    assets into ``zones`` contiguous blocks joined by gateway links,
+    offers each zone only a subset of the monitor types, and draws a
+    per-zone base cost multiplier so costs *correlate within a zone* —
+    the structure that makes 2000+-monitor catalogs realistic (zones
+    full of near-duplicate placements are exactly what presolve's
+    dominated-monitor rule must collapse).
     """
 
     assets: int = 30
@@ -55,7 +65,21 @@ class ScalingConfig:
     min_evidence: int = 1
     max_evidence: int = 4
     network_monitor_fraction: float = 0.25
+    topology: str = "flat"
+    zones: int = 4
     seed: int = 0
+
+    @property
+    def types_per_zone(self) -> int:
+        """How many monitor types each multizone zone offers (~70%)."""
+        return max(1, (self.monitor_types * 7 + 9) // 10)
+
+    @property
+    def max_placements(self) -> int:
+        """Distinct (monitor type, asset) placements this config allows."""
+        if self.topology == "multizone":
+            return self.assets * self.types_per_zone
+        return self.monitor_types * self.assets
 
     def __post_init__(self) -> None:
         if self.assets < 2:
@@ -70,6 +94,24 @@ class ScalingConfig:
             raise ModelError("evidence bounds must satisfy 1 <= min <= max")
         if not 0.0 <= self.network_monitor_fraction <= 1.0:
             raise ModelError("network_monitor_fraction must lie in [0, 1]")
+        if self.topology not in ("flat", "multizone"):
+            raise ModelError(
+                f"unknown topology {self.topology!r}: expected 'flat' or 'multizone'"
+            )
+        if self.topology == "multizone":
+            if not 2 <= self.zones <= self.assets:
+                raise ModelError(
+                    f"multizone topology needs 2 <= zones <= assets, got "
+                    f"zones={self.zones} with assets={self.assets}"
+                )
+            if self.monitors > self.max_placements:
+                raise ModelError(
+                    f"cannot place {self.monitors} monitors under the multizone "
+                    f"topology: only {self.max_placements} zone-compatible "
+                    f"(type, asset) placements exist ({self.assets} assets x "
+                    f"{self.types_per_zone} monitor types offered per zone); "
+                    f"lower monitors or raise assets/monitor_types"
+                )
 
 
 def synthetic_model(config: ScalingConfig | None = None, **overrides) -> SystemModel:
@@ -79,21 +121,49 @@ def synthetic_model(config: ScalingConfig | None = None, **overrides) -> SystemM
     elif overrides:
         raise ModelError("pass either a ScalingConfig or keyword overrides, not both")
     rng = np.random.default_rng(config.seed)
-    builder = ModelBuilder(f"synthetic-{config.monitors}m-{config.attacks}a-s{config.seed}")
+    multizone = config.topology == "multizone"
+    suffix = f"-z{config.zones}" if multizone else ""
+    builder = ModelBuilder(
+        f"synthetic-{config.monitors}m-{config.attacks}a-s{config.seed}{suffix}"
+    )
 
     # -- assets: random tree, guaranteed connected ----------------------
     asset_kinds = [AssetKind.SERVER, AssetKind.HOST, AssetKind.DATABASE, AssetKind.NETWORK_DEVICE]
     kind_probabilities = [0.45, 0.3, 0.1, 0.15]
     asset_ids = [f"asset-{i}" for i in range(config.assets)]
+    # Multizone: contiguous asset blocks, one per zone.  zone_start[z] is
+    # the first asset index in zone z; a zone's first asset is its
+    # gateway, linked into the previous zone.
+    zone_of: list[int] = [i * config.zones // config.assets for i in range(config.assets)]
+    zone_start = [zone_of.index(z) for z in range(config.zones)] if multizone else []
     for i, asset_id in enumerate(asset_ids):
         kind = asset_kinds[int(rng.choice(len(asset_kinds), p=kind_probabilities))]
         builder.asset(asset_id, kind=kind, criticality=float(rng.uniform(0.2, 1.0)))
-        if i > 0:
+        if i == 0:
+            continue
+        if multizone:
+            start = zone_start[zone_of[i]]
+            if i == start:  # gateway: attach to a random asset in the previous zone
+                parent = int(rng.integers(zone_start[zone_of[i] - 1], start))
+            else:  # intra-zone tree edge
+                parent = int(rng.integers(start, i))
+            builder.link(asset_ids[parent], asset_id)
+        else:
             builder.link(asset_ids[int(rng.integers(i))], asset_id)
-    # A few cross links so network monitors see more than a chain.
+    # A few cross links so network monitors see more than a chain.  In
+    # the multizone topology these stay inside one zone: zones talk only
+    # through their gateways.
     extra_links = max(2, config.assets // 5)
     for _ in range(extra_links):
-        a, b = rng.choice(config.assets, size=2, replace=False)
+        if multizone:
+            z = int(rng.integers(config.zones))
+            start = zone_start[z]
+            end = zone_start[z + 1] if z + 1 < config.zones else config.assets
+            if end - start < 2:
+                continue
+            a, b = rng.choice(np.arange(start, end), size=2, replace=False)
+        else:
+            a, b = rng.choice(config.assets, size=2, replace=False)
         try:
             builder.link(asset_ids[int(a)], asset_ids[int(b)])
         except ValueError:
@@ -127,20 +197,52 @@ def synthetic_model(config: ScalingConfig | None = None, **overrides) -> SystemM
         )
 
     # -- monitors: distinct (type, asset) placements ------------------------
-    max_placements = config.monitor_types * config.assets
-    if config.monitors > max_placements:
-        raise ModelError(
-            f"cannot place {config.monitors} monitors: only {max_placements} "
-            f"distinct (type, asset) pairs exist"
-        )
-    placement_indices = rng.choice(max_placements, size=config.monitors, replace=False)
-    for index in sorted(int(i) for i in placement_indices):
-        type_index, asset_index = divmod(index, config.assets)
-        builder.monitor(
-            monitor_type_ids[type_index],
-            asset_ids[asset_index],
-            cost_multiplier=float(np.round(rng.uniform(0.8, 1.5), 2)),
-        )
+    if multizone:
+        # Each zone offers only ~70% of the monitor types and draws one
+        # base cost level; placements within a zone share that level with
+        # a small jitter, so catalogs fill with near-duplicate monitors —
+        # the structure presolve's dominated-monitor rule collapses.
+        zone_types = [
+            sorted(
+                int(t)
+                for t in rng.choice(
+                    config.monitor_types, size=config.types_per_zone, replace=False
+                )
+            )
+            for _ in range(config.zones)
+        ]
+        zone_base = [float(rng.uniform(0.7, 1.6)) for _ in range(config.zones)]
+        placements = [
+            (type_index, asset_index)
+            for asset_index in range(config.assets)
+            for type_index in zone_types[zone_of[asset_index]]
+        ]
+        # monitors <= len(placements) is guaranteed by ScalingConfig
+        # validation, which raises a clear ModelError at config time.
+        chosen = rng.choice(len(placements), size=config.monitors, replace=False)
+        for index in sorted(int(i) for i in chosen):
+            type_index, asset_index = placements[index]
+            base = zone_base[zone_of[asset_index]]
+            builder.monitor(
+                monitor_type_ids[type_index],
+                asset_ids[asset_index],
+                cost_multiplier=float(np.round(base * rng.uniform(0.95, 1.05), 2)),
+            )
+    else:
+        max_placements = config.monitor_types * config.assets
+        if config.monitors > max_placements:
+            raise ModelError(
+                f"cannot place {config.monitors} monitors: only {max_placements} "
+                f"distinct (type, asset) pairs exist"
+            )
+        placement_indices = rng.choice(max_placements, size=config.monitors, replace=False)
+        for index in sorted(int(i) for i in placement_indices):
+            type_index, asset_index = divmod(index, config.assets)
+            builder.monitor(
+                monitor_type_ids[type_index],
+                asset_ids[asset_index],
+                cost_multiplier=float(np.round(rng.uniform(0.8, 1.5), 2)),
+            )
 
     # -- events with evidence -------------------------------------------------
     event_count = config.events if config.events is not None else 2 * config.attacks

@@ -614,6 +614,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"{bounds:g} dual-bound reuse(s)"
             )
 
+    sparse_bytes = gauges.get("solver.matrix.nbytes", 0.0)
+    dense_bytes = gauges.get("solver.matrix.dense_nbytes", 0.0)
+    if sparse_bytes and dense_bytes:
+        saving = 1.0 - sparse_bytes / dense_bytes if dense_bytes else 0.0
+        print(
+            f"\nconstraint matrix: {sparse_bytes:,.0f} bytes sparse vs "
+            f"{dense_bytes:,.0f} dense equivalent ({saving:.1%} saved)"
+        )
+
     if gauges:
         print()
         print(render_table(

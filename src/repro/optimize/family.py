@@ -82,16 +82,19 @@ class ProblemFamily:
     def estimated_bytes(self) -> int:
         """Rough footprint of the cached cores, in bytes.
 
-        Exact for the dense-row memo (each cached row is one float64
-        vector per constraint — the dominant term on large models) plus
-        flat per-term estimates for the symbolic constraint store.
-        Consumed by the service's LRU-by-bytes cache
-        (:mod:`repro.service.cache`).
+        Exact for the sparse-row memo (each cached row is one
+        ``(cols, vals)`` fragment pair — nnz-proportional, not the
+        dense ``vars x 8`` the old memo charged) plus flat per-term
+        estimates for the symbolic constraint store.  Consumed by the
+        service's LRU-by-bytes cache (:mod:`repro.service.cache`).
         """
         total = 0
         for milp, _builder, _base_rows in self._cores.values():
             total += 96 * milp.num_variables
-            total += sum(row.nbytes + 96 for _c, row, _rhs, _eq in milp._row_cache)
+            total += sum(
+                cols.nbytes + vals.nbytes + 96
+                for _c, cols, vals, _rhs, _eq in milp._row_cache
+            )
             total += sum(
                 48 * len(constraint.expression.terms) + 120
                 for constraint in milp.constraints

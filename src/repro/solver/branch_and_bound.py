@@ -54,9 +54,11 @@ def _snapped_if_feasible(form: StandardForm, x: np.ndarray, integral_indices: np
     snapped = x.copy()
     snapped[integral_indices] = np.round(snapped[integral_indices])
     tol = FEASIBILITY_TOLERANCE
-    if form.A_ub.size and np.any(form.A_ub @ snapped > form.b_ub + tol):
+    # Emptiness by rhs length (CSR .size is nnz); `A @ x` works for both
+    # dense and sparse matrices and returns a dense vector either way.
+    if form.b_ub.size and np.any(form.A_ub @ snapped > form.b_ub + tol):
         return None
-    if form.A_eq.size and np.any(np.abs(form.A_eq @ snapped - form.b_eq) > tol):
+    if form.b_eq.size and np.any(np.abs(form.A_eq @ snapped - form.b_eq) > tol):
         return None
     if np.any(snapped < form.lower - tol) or np.any(snapped > form.upper + tol):
         return None
@@ -135,6 +137,7 @@ def solve_branch_and_bound(
     warm_start: Mapping[str, float] | None = None,
     known_bound: float | None = None,
     lp_cache: MutableMapping[tuple[bytes, bytes], LpResult] | None = None,
+    dense: bool = False,
 ) -> Solution:
     """Solve ``model`` to proven optimality by branch and bound.
 
@@ -142,6 +145,12 @@ def solve_branch_and_bound(
     ----------
     model:
         The MILP to solve.
+    dense:
+        Compile the constraint matrices densely instead of CSR.
+        Retained for differential testing and the F14 before/after
+        measurement; answers are bit-identical, only node bound
+        computation cost changes.  Subject to the dense cell limit
+        (:data:`~repro.solver.model.MAX_DENSE_CELLS`).
     time_limit:
         Wall-clock seconds after which the best incumbent is returned
         with status ``FEASIBLE`` (or ``INFEASIBLE`` if none was found).
@@ -166,7 +175,10 @@ def solve_branch_and_bound(
         signature (see :func:`_relax`).
     """
     with obs.span("solver.branch_and_bound", model=model.name) as sp:
-        solution = _search(model, time_limit, max_nodes, gap, sp, warm_start, known_bound, lp_cache)
+        solution = _search(
+            model, time_limit, max_nodes, gap, sp, warm_start, known_bound,
+            lp_cache, dense=dense,
+        )
     sp.set(nodes=solution.nodes_explored)
     obs.counter("solver.solves").inc()
     obs.counter("solver.nodes").inc(solution.nodes_explored)
@@ -183,8 +195,9 @@ def _search(
     warm_start: Mapping[str, float] | None = None,
     known_bound: float | None = None,
     lp_cache: MutableMapping[tuple[bytes, bytes], LpResult] | None = None,
+    dense: bool = False,
 ) -> Solution:
-    form = model.compile()
+    form = model.compile(dense=dense)
     sp.set(variables=int(form.c.size), rows=int(len(form.b_ub) + len(form.b_eq)))
     names = [v.name for v in model.variables]
     integral_indices = np.flatnonzero(form.integrality)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as _sp
 from scipy.optimize import linprog
 
 from repro.errors import SolverError
@@ -33,16 +34,20 @@ class LpResult:
 
 def solve_lp(
     c: np.ndarray,
-    A_ub: np.ndarray,
+    A_ub: np.ndarray | _sp.csr_matrix,
     b_ub: np.ndarray,
-    A_eq: np.ndarray,
+    A_eq: np.ndarray | _sp.csr_matrix,
     b_eq: np.ndarray,
     lower: np.ndarray,
     upper: np.ndarray,
 ) -> LpResult:
     """Minimize ``c @ x`` subject to the given rows and bounds.
 
-    Uses the HiGHS dual simplex through scipy.  Raises
+    Uses the HiGHS dual simplex through scipy; the constraint matrices
+    may be dense or CSR and are handed to ``linprog`` as-is (HiGHS
+    consumes sparse input natively).  Row-block emptiness is judged by
+    the rhs vectors, not ``A.size`` — for a sparse matrix ``.size`` is
+    nnz, and an all-zero row must still reach the solver.  Raises
     :class:`~repro.errors.SolverError` only for unexpected backend
     statuses; infeasible and unbounded are regular outcomes reported in
     the result.
@@ -50,9 +55,9 @@ def solve_lp(
     bounds = np.column_stack((lower, upper))
     result = linprog(
         c,
-        A_ub=A_ub if A_ub.size else None,
+        A_ub=A_ub if b_ub.size else None,
         b_ub=b_ub if b_ub.size else None,
-        A_eq=A_eq if A_eq.size else None,
+        A_eq=A_eq if b_eq.size else None,
         b_eq=b_eq if b_eq.size else None,
         bounds=bounds,
         method="highs",

@@ -1,7 +1,7 @@
 """The MILP model container and its standard-form compilation.
 
 :class:`MilpModel` owns variables and constraints, and compiles itself
-into the dense standard form consumed by every backend::
+into the standard form consumed by every backend::
 
     optimize   c @ x
     subject to A_ub @ x <= b_ub
@@ -11,16 +11,32 @@ into the dense standard form consumed by every backend::
 Maximization is normalized to minimization by negating ``c`` at compile
 time; backends always minimize and :class:`Solution` objects report the
 objective in the model's original sense.
+
+Compilation is **sparse by default**: the constraint matrices come back
+as canonical scipy CSR, assembled in ``O(nnz + rows)`` from a
+per-constraint sparse-row memo.  The deployment formulations are well
+under 1% dense at catalog scale, where the historical dense
+``np.zeros(n)``-per-row path cost ``O(rows x vars)`` time and memory
+per compile — seconds and hundreds of megabytes at 1000+ monitors.
+The dense path is retained behind ``compile(dense=True)`` for
+differential testing and small-model consumers; both paths read the
+same row memo, so their numeric content is bit-identical (the sparse
+differential suite in ``tests/solver/test_sparse_compile.py`` pins
+this).  Dense compilation refuses matrices beyond
+:data:`MAX_DENSE_CELLS` cells — at that size the dense form is a
+mistake, not a preference.
 """
 
 from __future__ import annotations
 
 import enum
 from collections.abc import Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
+import scipy.sparse as _sp
 
+from repro import obs
 from repro.errors import SolverError
 from repro.solver.expressions import (
     Constraint,
@@ -29,8 +45,30 @@ from repro.solver.expressions import (
     Variable,
     VarKind,
 )
+from repro.solver.sparse import (
+    csr_from_rows,
+    dense_equivalent_nbytes,
+    matrix_nbytes,
+    to_dense,
+)
 
-__all__ = ["ObjectiveSense", "MilpModel", "StandardForm", "SolutionStatus", "Solution"]
+__all__ = [
+    "ObjectiveSense",
+    "MilpModel",
+    "StandardForm",
+    "SolutionStatus",
+    "Solution",
+    "MAX_DENSE_CELLS",
+]
+
+#: Hard ceiling on ``rows x vars`` for ``compile(dense=True)``.  A
+#: 25M-cell float64 matrix is 200 MB before the ``np.array`` stack copy
+#: and presolve's sign-split copies multiply it; above this the dense
+#: path refuses with a pointer at the sparse default instead of
+#: thrashing the allocator.  (At catalog scale — 2000 monitors / 500
+#: attacks — the standard form is ~29.5M cells, past this limit, while
+#: its CSR payload stays under a megabyte.)
+MAX_DENSE_CELLS = 25_000_000
 
 
 class ObjectiveSense(str, enum.Enum):
@@ -42,12 +80,20 @@ class ObjectiveSense(str, enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class StandardForm:
-    """Dense numeric form of a model (minimization convention)."""
+    """Numeric form of a model (minimization convention).
+
+    ``A_ub``/``A_eq`` are canonical CSR under the default sparse
+    compile and plain ``float64`` ndarrays under ``compile(dense=True)``;
+    every other field is always dense.  Emptiness of a constraint block
+    must be tested via ``b_ub.size``/``b_eq.size`` (or the row count of
+    the shape) — for a sparse matrix ``.size`` is the *nonzero* count,
+    so a genuine all-zero row would vanish from a ``A_ub.size`` test.
+    """
 
     c: np.ndarray
-    A_ub: np.ndarray
+    A_ub: np.ndarray | _sp.csr_matrix
     b_ub: np.ndarray
-    A_eq: np.ndarray
+    A_eq: np.ndarray | _sp.csr_matrix
     b_eq: np.ndarray
     lower: np.ndarray
     upper: np.ndarray
@@ -58,6 +104,27 @@ class StandardForm:
     @property
     def num_variables(self) -> int:
         return self.c.shape[0]
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the constraint matrices are scipy CSR."""
+        return _sp.issparse(self.A_ub) or _sp.issparse(self.A_eq)
+
+    @property
+    def matrix_nbytes(self) -> int:
+        """Actual payload bytes of ``A_ub`` + ``A_eq`` as stored."""
+        return matrix_nbytes(self.A_ub) + matrix_nbytes(self.A_eq)
+
+    @property
+    def dense_matrix_nbytes(self) -> int:
+        """Bytes the constraint matrices would occupy densely."""
+        return dense_equivalent_nbytes(self.A_ub) + dense_equivalent_nbytes(self.A_eq)
+
+    def to_dense(self) -> StandardForm:
+        """This form with the constraint matrices densified (no-op if dense)."""
+        if not self.is_sparse:
+            return self
+        return replace(self, A_ub=to_dense(self.A_ub), A_eq=to_dense(self.A_eq))
 
     def objective_in_model_sense(self, minimized_value: float) -> float:
         """Convert a backend's minimized objective to the model's sense."""
@@ -107,6 +174,14 @@ class Solution:
             raise SolverError(f"solution has no variable {name!r}") from None
 
 
+def _densify_rows(rows: list[tuple[np.ndarray, np.ndarray]], n: int) -> np.ndarray:
+    """Materialize ``(cols, vals)`` row fragments as a dense matrix."""
+    matrix = np.zeros((len(rows), n))
+    for i, (cols, vals) in enumerate(rows):
+        matrix[i, cols] = vals
+    return matrix
+
+
 class MilpModel:
     """A mixed-integer linear program under construction."""
 
@@ -117,12 +192,17 @@ class MilpModel:
         self._names: set[str] = set()
         self._constraints: list[Constraint] = []
         self._objective: LinearExpression = LinearExpression()
-        # Dense-row memo aligned with _constraints: entry i is
-        # (constraint, signed row, signed rhs, is_eq) and is valid only
-        # while _constraints[i] is that same (immutable) object.  Lets
-        # a formulation family recompile after truncate/append cycles
-        # paying only for the rows that actually changed.
-        self._row_cache: list[tuple[Constraint, np.ndarray, float, bool]] = []
+        # Sparse-row memo aligned with _constraints: entry i is
+        # (constraint, cols, vals, signed rhs, is_eq) and is valid
+        # while _constraints[i] is that same (immutable) object — the
+        # fragments name columns, not a vector length, so rows stay
+        # valid even after new variables are added.  Lets a formulation
+        # family recompile after truncate/append cycles paying only for
+        # the rows that actually changed.  ``cols`` is sorted int32 and
+        # ``vals`` carries no explicit zeros (the LinearExpression
+        # constructor strips them), so compiled matrices are canonical
+        # CSR by construction.
+        self._row_cache: list[tuple[Constraint, np.ndarray, np.ndarray, float, bool]] = []
 
     # -- variable factories ------------------------------------------------
 
@@ -228,14 +308,32 @@ class MilpModel:
 
     # -- compilation -----------------------------------------------------------
 
-    def compile(self) -> StandardForm:
-        """Compile to dense standard (minimization) form.
+    def compile(self, *, dense: bool = False) -> StandardForm:
+        """Compile to standard (minimization) form — CSR by default.
 
         ``GE`` rows are negated into ``LE`` rows; a maximization
         objective is negated, with the flip recorded so solutions can be
         reported in the model's original sense.
+
+        With ``dense=True`` the constraint matrices are materialized as
+        plain ndarrays from the same row memo — numerically identical
+        cell for cell, kept for differential testing and small-model
+        callers.  The dense path refuses matrices beyond
+        :data:`MAX_DENSE_CELLS` cells with a :class:`SolverError`.
         """
+        with obs.span("solver.compile", model=self.name, dense=dense):
+            return self._compile(dense)
+
+    def _compile(self, dense: bool) -> StandardForm:
         n = len(self._variables)
+        if dense and len(self._constraints) * n > MAX_DENSE_CELLS:
+            raise SolverError(
+                f"refusing dense compile of model {self.name!r}: "
+                f"{len(self._constraints)} rows x {n} vars = "
+                f"{len(self._constraints) * n} cells exceeds the "
+                f"{MAX_DENSE_CELLS}-cell dense limit; use the default "
+                f"sparse compile"
+            )
         c = np.zeros(n)
         for var, coef in self._objective.terms.items():
             c[var.index] = coef
@@ -243,40 +341,53 @@ class MilpModel:
         if maximize:
             c = -c
 
-        ub_rows: list[np.ndarray] = []
+        ub_rows: list[tuple[np.ndarray, np.ndarray]] = []
         ub_rhs: list[float] = []
-        eq_rows: list[np.ndarray] = []
+        eq_rows: list[tuple[np.ndarray, np.ndarray]] = []
         eq_rhs: list[float] = []
         cache = self._row_cache
         del cache[len(self._constraints):]
         for i, constraint in enumerate(self._constraints):
             entry = cache[i] if i < len(cache) else None
-            if entry is not None and entry[0] is constraint and entry[1].shape[0] == n:
-                _, row, rhs, is_eq = entry
+            if entry is not None and entry[0] is constraint:
+                _, cols, vals, rhs, is_eq = entry
             else:
-                row = np.zeros(n)
-                for var, coef in constraint.expression.terms.items():
-                    row[var.index] = coef
+                terms = constraint.expression.terms
+                cols = np.empty(len(terms), dtype=np.int32)
+                vals = np.empty(len(terms), dtype=np.float64)
+                for k, (var, coef) in enumerate(terms.items()):
+                    cols[k] = var.index
+                    vals[k] = coef
+                order = np.argsort(cols, kind="stable")
+                cols = np.ascontiguousarray(cols[order])
+                vals = np.ascontiguousarray(vals[order])
                 rhs = constraint.rhs
                 if constraint.sense is ConstraintSense.GE:
-                    row, rhs = -row, -rhs
+                    vals, rhs = -vals, -rhs
                 is_eq = constraint.sense is ConstraintSense.EQ
                 if i < len(cache):
-                    cache[i] = (constraint, row, rhs, is_eq)
+                    cache[i] = (constraint, cols, vals, rhs, is_eq)
                 else:
-                    cache.append((constraint, row, rhs, is_eq))
+                    cache.append((constraint, cols, vals, rhs, is_eq))
             if is_eq:
-                eq_rows.append(row)
+                eq_rows.append((cols, vals))
                 eq_rhs.append(rhs)
             else:
-                ub_rows.append(row)
+                ub_rows.append((cols, vals))
                 ub_rhs.append(rhs)
 
-        return StandardForm(
+        if dense:
+            A_ub = _densify_rows(ub_rows, n)
+            A_eq = _densify_rows(eq_rows, n)
+        else:
+            A_ub = csr_from_rows(ub_rows, n)
+            A_eq = csr_from_rows(eq_rows, n)
+
+        form = StandardForm(
             c=c,
-            A_ub=np.array(ub_rows) if ub_rows else np.empty((0, n)),
+            A_ub=A_ub,
             b_ub=np.array(ub_rhs) if ub_rhs else np.empty(0),
-            A_eq=np.array(eq_rows) if eq_rows else np.empty((0, n)),
+            A_eq=A_eq,
             b_eq=np.array(eq_rhs) if eq_rhs else np.empty(0),
             lower=np.array([v.lower for v in self._variables]),
             upper=np.array([v.upper for v in self._variables]),
@@ -284,6 +395,9 @@ class MilpModel:
             objective_constant=self._objective.constant,
             maximize=maximize,
         )
+        obs.gauge("solver.matrix.nbytes").set(float(form.matrix_nbytes))
+        obs.gauge("solver.matrix.dense_nbytes").set(float(form.dense_matrix_nbytes))
+        return form
 
     # -- solution checking -------------------------------------------------------
 

@@ -54,6 +54,7 @@ from collections.abc import Mapping, MutableMapping
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as _sp
 
 from repro import obs
 from repro.errors import UnboundedError
@@ -74,6 +75,7 @@ from repro.solver.branch_and_bound import (
 )
 from repro.solver.lp import LpResult
 from repro.solver.model import MilpModel, Solution, SolutionStatus, StandardForm
+from repro.solver.sparse import is_sparse
 
 __all__ = ["DEFAULT_SUBTREES", "solve_parallel_branch_and_bound"]
 
@@ -89,31 +91,51 @@ _BACKEND = "parallel-bb"
 
 @dataclass(frozen=True)
 class _FormHandle:
-    """Zero-copy ticket for a published :class:`StandardForm`."""
+    """Zero-copy ticket for a published :class:`StandardForm`.
+
+    ``csr_shapes`` records which constraint matrices were published as
+    CSR triples (``<name>.data/.indices/.indptr`` entries in the array
+    set) and their logical shapes; matrices absent from it were
+    published as plain dense blocks.
+    """
 
     arrays: SharedArraysHandle
     objective_constant: float
     maximize: bool
+    csr_shapes: tuple[tuple[str, tuple[int, int]], ...] = ()
 
 
 def _publish_form(form: StandardForm, pool: PersistentPool) -> _FormHandle:
-    """Publish the compiled matrices once into ``pool``'s shared memory."""
-    handle = pool.share(
-        {
-            "c": form.c,
-            "A_ub": form.A_ub,
-            "b_ub": form.b_ub,
-            "A_eq": form.A_eq,
-            "b_eq": form.b_eq,
-            "lower": form.lower,
-            "upper": form.upper,
-            "integrality": form.integrality,
-        }
-    )
+    """Publish the compiled matrices once into ``pool``'s shared memory.
+
+    A CSR matrix ships as its three flat arrays — the nnz-proportional
+    payload — never as a densified block; at catalog scale that is the
+    difference between a few megabytes and a few hundred.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "c": form.c,
+        "b_ub": form.b_ub,
+        "b_eq": form.b_eq,
+        "lower": form.lower,
+        "upper": form.upper,
+        "integrality": form.integrality,
+    }
+    csr_shapes: list[tuple[str, tuple[int, int]]] = []
+    for name, matrix in (("A_ub", form.A_ub), ("A_eq", form.A_eq)):
+        if is_sparse(matrix):
+            csr = matrix.tocsr()
+            arrays[f"{name}.data"] = csr.data
+            arrays[f"{name}.indices"] = csr.indices
+            arrays[f"{name}.indptr"] = csr.indptr
+            csr_shapes.append((name, (int(csr.shape[0]), int(csr.shape[1]))))
+        else:
+            arrays[name] = matrix
+    handle = pool.share(arrays)
     return _FormHandle(
         arrays=handle,
         objective_constant=form.objective_constant,
         maximize=form.maximize,
+        csr_shapes=tuple(csr_shapes),
     )
 
 
@@ -127,11 +149,28 @@ def _attach_form(handle: _FormHandle) -> StandardForm:
     if cached is not None:
         return cached
     arrays = attach_arrays(handle.arrays)
+    matrices: dict[str, np.ndarray | _sp.csr_matrix] = {}
+    for name, shape in handle.csr_shapes:
+        # Rebuild CSR over the read-only shared views without copying:
+        # solvers only ever read the matrices, and the uniform index
+        # dtype from compile keeps scipy from unifying (= copying).
+        csr = _sp.csr_matrix(
+            (
+                arrays[f"{name}.data"],
+                arrays[f"{name}.indices"],
+                arrays[f"{name}.indptr"],
+            ),
+            shape=shape,
+            copy=False,
+        )
+        csr.has_sorted_indices = True
+        csr.has_canonical_format = True
+        matrices[name] = csr
     form = StandardForm(
         c=arrays["c"],
-        A_ub=arrays["A_ub"],
+        A_ub=matrices.get("A_ub", arrays.get("A_ub")),
         b_ub=arrays["b_ub"],
-        A_eq=arrays["A_eq"],
+        A_eq=matrices.get("A_eq", arrays.get("A_eq")),
         b_eq=arrays["b_eq"],
         lower=arrays["lower"],
         upper=arrays["upper"],

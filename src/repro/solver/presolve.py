@@ -30,6 +30,15 @@ Solutions of the reduced model lift back through
 :meth:`PresolveResult.lift_solution` with the objective untouched — the
 reduced model's objective carries the fixed variables' contribution in
 its constant term, so backends already report the full-model objective.
+
+The reducer works on **CSR matrices internally**, whatever compile
+flavor produced the input: one arithmetic pipeline means
+sparse-compiled and dense-compiled instances presolve identically by
+construction.  The dominated-column rule has two engines over the same
+mathematical conditions — a dense vectorized one for small candidate
+sets, and a bitset-prefiltered sparse one that stays tractable at
+catalog scale (thousands of monitor columns), which is exactly where
+the dense engine used to hit :data:`DOMINANCE_WORK_LIMIT` and give up.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as _sp
 
 from repro import obs
 from repro.solver.expressions import ConstraintSense, LinearExpression, VarKind
@@ -50,6 +60,7 @@ from repro.solver.model import (
     SolutionStatus,
     StandardForm,
 )
+from repro.solver.sparse import is_sparse, pack_bitset
 
 __all__ = [
     "PresolveStatus",
@@ -65,9 +76,16 @@ FEASIBILITY_TOLERANCE = 1e-9
 #: Tolerance when snapping implied integer bounds to integers.
 INTEGRALITY_TOLERANCE = 1e-6
 
-#: Pairwise dominance checking is O(binaries^2 * rows); above this many
-#: elementary comparisons the rule is skipped (counted, never silent).
+#: Dense pairwise dominance checking is O(binaries^2 * rows); above
+#: this many elementary comparisons the rule switches to the sparse
+#: bitset engine instead of materializing candidate submatrices.
 DOMINANCE_WORK_LIMIT = 50_000_000
+
+#: The sparse engine's prefilter is O(binaries^2 * rows/64) uint64
+#: word operations; above this the rule is skipped outright (counted,
+#: never silent).  At 2000 monitors / 4000 rows the prefilter is ~3e8
+#: word ops — well inside; a 20k-column pathology is not.
+SPARSE_DOMINANCE_WORK_LIMIT = 4_000_000_000
 
 
 class PresolveStatus(str, enum.Enum):
@@ -93,6 +111,7 @@ class PresolveStats:
     redundant_rows: int = 0
     singleton_rows: int = 0
     dominance_skipped: bool = False
+    sparse_dominance_rounds: int = 0
 
     @property
     def columns_removed(self) -> int:
@@ -115,6 +134,7 @@ class PresolveStats:
             "redundant_rows": self.redundant_rows,
             "singleton_rows": self.singleton_rows,
             "dominance_skipped": int(self.dominance_skipped),
+            "sparse_dominance_rounds": self.sparse_dominance_rounds,
         }
 
 
@@ -170,8 +190,70 @@ class _Infeasible(Exception):
     """Internal signal: activity reasoning proved the model infeasible."""
 
 
+def _pair_dominates(
+    rows_j: np.ndarray,
+    vals_j: np.ndarray,
+    rows_k: np.ndarray,
+    vals_k: np.ndarray,
+    max_act: np.ndarray,
+    b: np.ndarray,
+    tol: float,
+) -> tuple[bool, bool]:
+    """Exact dominance check of column j over column k by support merge.
+
+    Walks the two sorted supports together; rows outside both supports
+    compare ``0 <= 0`` and are skipped by construction.  Returns
+    ``(dominates, columns_exactly_equal)``; the equality flag feeds the
+    caller's tie-breaking (costs are compared there).
+    """
+    i = t = 0
+    nj, nk = rows_j.size, rows_k.size
+    equal = nj == nk
+    while i < nj or t < nk:
+        if t >= nk or (i < nj and rows_j[i] < rows_k[t]):
+            r, aj, ak = int(rows_j[i]), float(vals_j[i]), 0.0
+            i += 1
+            equal = False
+        elif i >= nj or rows_k[t] < rows_j[i]:
+            r, aj, ak = int(rows_k[t]), 0.0, float(vals_k[t])
+            t += 1
+            equal = False
+        else:
+            r, aj, ak = int(rows_j[i]), float(vals_j[i]), float(vals_k[t])
+            i += 1
+            t += 1
+            if abs(aj - ak) > tol:
+                equal = False
+        if aj > ak + tol:
+            return False, False  # condition 2 fails on row r
+        if ak < 0 and max_act[r] + min(aj, 0.0) > b[r] + tol:
+            return False, False  # condition 4 fails: k's help irreplaceable
+    return True, equal
+
+
+def _as_csr(matrix: np.ndarray | _sp.spmatrix, n: int) -> _sp.csr_matrix:
+    """``matrix`` as canonical CSR, whatever compile flavor produced it."""
+    if is_sparse(matrix):
+        csr = matrix.tocsr()
+        csr.sort_indices()
+        return csr
+    dense = np.asarray(matrix, dtype=np.float64)
+    if dense.size == 0:
+        return _sp.csr_matrix((dense.shape[0], n), dtype=np.float64)
+    return _sp.csr_matrix(dense)
+
+
 class _Reducer:
-    """Mutable working state of one presolve pass (minimization form)."""
+    """Mutable working state of one presolve pass (minimization form).
+
+    The coefficient matrices are held as canonical CSR regardless of
+    how the model was compiled: every reduction then runs the exact
+    same floating-point pipeline for both compile flavors, which is
+    what makes sparse-vs-dense presolve identity hold by construction.
+    Reductions never touch coefficients — only rhs vectors, bounds,
+    and the active-row masks — so the matrices (and their cached sign
+    splits) are immutable for the reducer's whole lifetime.
+    """
 
     def __init__(self, model: MilpModel):
         self.model = model
@@ -179,9 +261,9 @@ class _Reducer:
         form = self.form
         n = form.num_variables
         self.c = form.c.copy()
-        self.A_ub = form.A_ub.copy() if form.A_ub.size else np.empty((0, n))
+        self.A_ub = _as_csr(form.A_ub, n)
         self.b_ub = form.b_ub.copy()
-        self.A_eq = form.A_eq.copy() if form.A_eq.size else np.empty((0, n))
+        self.A_eq = _as_csr(form.A_eq, n)
         self.b_eq = form.b_eq.copy()
         self.lower = form.lower.copy()
         self.upper = form.upper.copy()
@@ -189,14 +271,12 @@ class _Reducer:
         self.active_ub = np.ones(len(self.b_ub), dtype=bool)
         self.active_eq = np.ones(len(self.b_eq), dtype=bool)
         # Sign splits of the coefficient matrices, shared by every
-        # activity computation.  Reductions never touch coefficients
-        # (only rhs, bounds, and active masks), so these stay valid for
-        # the reducer's whole lifetime — recomputing them per rule was
-        # the dominant presolve cost on dense instances.
-        self._pos_ub = np.where(self.A_ub > 0, self.A_ub, 0.0)
-        self._neg_ub = self.A_ub - self._pos_ub
-        self._pos_eq = np.where(self.A_eq > 0, self.A_eq, 0.0)
-        self._neg_eq = self.A_eq - self._pos_eq
+        # activity computation.  ``minimum(0)`` equals the historical
+        # ``A - maximum(A, 0)`` cell for cell, without densifying.
+        self._pos_ub = self.A_ub.maximum(0.0)
+        self._neg_ub = self.A_ub.minimum(0.0)
+        self._pos_eq = self.A_eq.maximum(0.0)
+        self._neg_eq = self.A_eq.minimum(0.0)
         self.stats = PresolveStats(
             columns_before=n,
             rows_before=len(self.b_ub) + len(self.b_eq),
@@ -222,9 +302,9 @@ class _Reducer:
     def _activity_bounds_ub(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Min/max row activity of the selected ub rows under current bounds.
 
-        Computed as full-matrix matvecs over the cached sign splits and
-        then sliced: a matvec only *reads* the matrix, which beats
-        materializing an 8-byte-per-coefficient row subset first.
+        Computed as full-matrix CSR matvecs over the cached sign splits
+        and then sliced: a matvec only *reads* the matrix and touches
+        only stored nonzeros, which beats materializing a row subset.
         """
         min_act = self._pos_ub @ self.lower + self._neg_ub @ self.upper
         max_act = self._pos_ub @ self.upper + self._neg_ub @ self.lower
@@ -294,21 +374,27 @@ class _Reducer:
         """
         changed = False
         fixed_before = int(self.fixed_mask.sum())
+        ub_indptr, ub_indices, ub_data = (
+            self.A_ub.indptr,
+            self.A_ub.indices,
+            self.A_ub.data,
+        )
         for i in np.flatnonzero(self.active_ub):
-            row = self.A_ub[i]
-            cols = np.flatnonzero(row)
+            cols = ub_indices[ub_indptr[i] : ub_indptr[i + 1]]
+            vals = ub_data[ub_indptr[i] : ub_indptr[i + 1]]
             if cols.size == 0:
                 if -FEASIBILITY_TOLERANCE > self.b_ub[i]:
                     raise _Infeasible
                 self.active_ub[i] = False
                 continue
-            pos = np.where(row > 0, row, 0.0)
-            neg = np.where(row < 0, row, 0.0)
-            min_act = float(pos @ self.lower + neg @ self.upper)
-            unfixed = [j for j in cols if self.lower[j] != self.upper[j]]
+            pos = np.maximum(vals, 0.0)
+            neg = np.minimum(vals, 0.0)
+            min_act = float(pos @ self.lower[cols] + neg @ self.upper[cols])
+            unfixed = [t for t in range(cols.size) if self.lower[cols[t]] != self.upper[cols[t]]]
             if len(unfixed) == 1:
-                j = unfixed[0]
-                a = row[j]
+                t = unfixed[0]
+                j = int(cols[t])
+                a = float(vals[t])
                 min_others = min_act - (a * self.lower[j] if a > 0 else a * self.upper[j])
                 bound = (self.b_ub[i] - min_others) / a
                 if a > 0:
@@ -319,24 +405,31 @@ class _Reducer:
                 self.stats.singleton_rows += 1
                 changed = True
                 continue
-            for j in unfixed:
+            for t in unfixed:
+                j = int(cols[t])
                 if not self.integral[j]:
                     continue
-                a = row[j]
+                a = float(vals[t])
                 min_others = min_act - (a * self.lower[j] if a > 0 else a * self.upper[j])
                 bound = (self.b_ub[i] - min_others) / a
                 if a > 0:
                     changed |= self._tighten(j, new_upper=bound)
                 else:
                     changed |= self._tighten(j, new_lower=bound)
+        eq_indptr, eq_indices, eq_data = (
+            self.A_eq.indptr,
+            self.A_eq.indices,
+            self.A_eq.data,
+        )
         for i in np.flatnonzero(self.active_eq):
-            row = self.A_eq[i]
-            cols = np.flatnonzero(row)
-            unfixed = [j for j in cols if self.lower[j] != self.upper[j]]
+            cols = eq_indices[eq_indptr[i] : eq_indptr[i + 1]]
+            vals = eq_data[eq_indptr[i] : eq_indptr[i + 1]]
+            unfixed = [t for t in range(cols.size) if self.lower[cols[t]] != self.upper[cols[t]]]
             if len(unfixed) == 1:
-                j = unfixed[0]
-                a = row[j]
-                others = float(row @ self.lower) - a * self.lower[j]
+                t = unfixed[0]
+                j = int(cols[t])
+                a = float(vals[t])
+                others = float(vals @ self.lower[cols]) - a * self.lower[j]
                 value = (self.b_eq[i] - others) / a
                 if self.integral[j] and abs(value - round(value)) > INTEGRALITY_TOLERANCE:
                     raise _Infeasible
@@ -365,11 +458,20 @@ class _Reducer:
             return False
         unfixed = ~self.fixed_mask
         fixed_values = np.where(self.fixed_mask, self.lower, 0.0)
-        eff_b = self.b_ub[idx] - self.A_ub[idx][:, self.fixed_mask] @ fixed_values[self.fixed_mask]
-        groups: dict[bytes, int] = {}
+        # fixed_values is zero on unfixed columns, so the full matvec
+        # equals the historical fixed-column-sliced product.
+        eff_b = self.b_ub[idx] - self.A_ub[idx] @ fixed_values
+        indptr, indices, data = self.A_ub.indptr, self.A_ub.indices, self.A_ub.data
+        groups: dict[tuple[bytes, bytes], int] = {}
         changed = False
         for pos, i in enumerate(idx):
-            key = self.A_ub[i, unfixed].tobytes()
+            cols = indices[indptr[i] : indptr[i + 1]]
+            vals = data[indptr[i] : indptr[i + 1]]
+            sel = unfixed[cols]
+            # (sorted columns, values) restricted to unfixed variables
+            # identifies the dense restriction exactly — stored rows
+            # carry no explicit zeros.
+            key = (cols[sel].tobytes(), vals[sel].tobytes())
             keep = groups.get(key)
             if keep is None:
                 groups[key] = pos
@@ -410,6 +512,18 @@ class _Reducer:
         Exact ties are broken by column order so mutual domination
         removes exactly one of the pair.  Equality constraints opt a
         column out of both roles — the swap argument needs slack.
+
+        Two engines implement these conditions.  Small candidate sets
+        take the dense vectorized engine (materializing the candidate
+        submatrix); when that would exceed :data:`DOMINANCE_WORK_LIMIT`
+        elementary comparisons — the regime where the rule previously
+        just gave up — the sparse engine takes over: uint64 row-support
+        bitsets prefilter (dominance forces ``pos(j) ⊆ pos(k)`` and
+        ``neg(k) ⊆ neg(j)``), and only prefilter survivors pay an exact
+        two-pointer merge over their supports.  This is the reduction
+        that actually collapses thousands-of-monitor catalogs: a
+        monitor whose evidence is covered by a no-more-expensive rival
+        is proven droppable before the solver ever branches.
         """
         unfixed = ~self.fixed_mask
         binary = (
@@ -419,19 +533,32 @@ class _Reducer:
             & unfixed
         )
         if self.active_eq.any():
-            in_eq = np.any(self.A_eq[self.active_eq] != 0.0, axis=0)
-            binary &= ~in_eq
+            eq_sub = self.A_eq[np.flatnonzero(self.active_eq)]
+            binary[np.unique(eq_sub.indices)] = False
         cand = np.flatnonzero(binary)
         if cand.size < 2:
             return False
         rows = np.flatnonzero(self.active_ub)
-        if cand.size * cand.size * max(rows.size, 1) > DOMINANCE_WORK_LIMIT:
+        if cand.size * cand.size * max(rows.size, 1) <= DOMINANCE_WORK_LIMIT:
+            return self._dominated_dense(cand, rows)
+        words = max(1, -(-max(rows.size, 1) // 64))
+        if cand.size * cand.size * words > SPARSE_DOMINANCE_WORK_LIMIT:
             if not self.stats.dominance_skipped:
                 self.stats.dominance_skipped = True
                 obs.counter("presolve.dominance_skipped").inc()
             return False
+        self.stats.sparse_dominance_rounds += 1
+        obs.counter("presolve.dominance_sparse_rounds").inc()
+        return self._dominated_sparse(cand, rows)
+
+    def _dominated_dense(self, cand: np.ndarray, rows: np.ndarray) -> bool:
+        """Vectorized dominance over a materialized candidate submatrix."""
         tol = 1e-12
-        M = self.A_ub[np.ix_(rows, cand)] if rows.size else np.empty((0, cand.size))
+        M = (
+            np.asarray(self.A_ub[rows][:, cand].todense())
+            if rows.size
+            else np.empty((0, cand.size))
+        )
         _, max_act = self._activity_bounds_ub(rows) if rows.size else (None, np.empty(0))
         b = self.b_ub[rows]
         c = self.c[cand]
@@ -455,6 +582,70 @@ class _Reducer:
             # Break exact ties by column order: only the later column drops.
             dominated &= ~equal | (np.arange(cand.size) > jj)
             for kk in np.flatnonzero(dominated):
+                self.upper[cand[kk]] = 0.0
+                alive[kk] = False
+                self.stats.dominated_columns += 1
+                changed = True
+        return changed
+
+    def _dominated_sparse(self, cand: np.ndarray, rows: np.ndarray) -> bool:
+        """Bitset-prefiltered dominance for catalog-scale candidate sets.
+
+        Implements the same four conditions as the dense engine, in the
+        same ``jj``-ascending order with the same alive-mask semantics,
+        so both engines fix the identical set of columns.  Condition 2
+        over *all* rows is equivalent to the two-pointer merge over the
+        union of supports (rows outside both supports compare 0 <= 0),
+        and condition 4's exclusion term collapses to
+        ``max_act[r] + min(A[r,j], 0) <= b[r]`` on rows where k helps,
+        because ``A[r,k] < 0`` zeroes k's max-contribution term.
+        """
+        tol = 1e-12
+        sub = self.A_ub[rows][:, cand].tocsc() if rows.size else _sp.csc_matrix((0, cand.size))
+        sub.sort_indices()
+        _, max_act = self._activity_bounds_ub(rows) if rows.size else (None, np.empty(0))
+        b = self.b_ub[rows]
+        c = self.c[cand]
+        col_rows: list[np.ndarray] = []
+        col_vals: list[np.ndarray] = []
+        for kk in range(cand.size):
+            s, e = sub.indptr[kk], sub.indptr[kk + 1]
+            col_rows.append(sub.indices[s:e])
+            col_vals.append(sub.data[s:e])
+        neg_bits = pack_bitset(
+            [r[v < 0] for r, v in zip(col_rows, col_vals)], max(rows.size, 1)
+        )
+        pos_bits = pack_bitset(
+            [r[v > 0] for r, v in zip(col_rows, col_vals)], max(rows.size, 1)
+        )
+        alive = np.ones(cand.size, dtype=bool)
+        changed = False
+        for jj in range(cand.size):
+            if not alive[jj]:
+                continue
+            # Prefilter: neg(k) ⊆ neg(j), pos(j) ⊆ pos(k), cost compatible.
+            maybe = (
+                ~np.any(neg_bits & ~neg_bits[jj], axis=1)
+                & ~np.any(pos_bits[jj] & ~pos_bits, axis=1)
+                & (c[jj] <= c + tol)
+                & (c >= -tol)
+                & alive
+            )
+            maybe[jj] = False
+            for kk in np.flatnonzero(maybe):
+                dominates, cols_equal = _pair_dominates(
+                    col_rows[jj],
+                    col_vals[jj],
+                    col_rows[kk],
+                    col_vals[kk],
+                    max_act,
+                    b,
+                    tol,
+                )
+                if not dominates:
+                    continue
+                if cols_equal and abs(c[kk] - c[jj]) <= tol and kk < jj:
+                    continue  # exact tie: only the later column drops
                 self.upper[cand[kk]] = 0.0
                 alive[kk] = False
                 self.stats.dominated_columns += 1
@@ -534,25 +725,41 @@ class _Reducer:
         reduced.set_objective(LinearExpression(terms, constant))
 
         ub_names, eq_names = self._row_names()
+        ub_indptr, ub_indices, ub_data = (
+            self.A_ub.indptr,
+            self.A_ub.indices,
+            self.A_ub.data,
+        )
         for i in np.flatnonzero(self.active_ub):
-            row = self.A_ub[i]
-            cols = [j for j in np.flatnonzero(row) if not fixed_mask[j]]
-            rhs = float(self.b_ub[i] - row @ fixed_values)
-            if not cols:
+            cols = ub_indices[ub_indptr[i] : ub_indptr[i + 1]]
+            vals = ub_data[ub_indptr[i] : ub_indptr[i + 1]]
+            keep = [t for t in range(cols.size) if not fixed_mask[cols[t]]]
+            rhs = float(self.b_ub[i] - vals @ fixed_values[cols])
+            if not keep:
                 if rhs < -FEASIBILITY_TOLERANCE:  # pragma: no cover - caught earlier
                     raise _Infeasible
                 continue
-            expr = LinearExpression.sum_of((variables[j], float(row[j])) for j in cols)
+            expr = LinearExpression.sum_of(
+                (variables[int(cols[t])], float(vals[t])) for t in keep
+            )
             reduced.add_constraint(expr <= rhs, name=ub_names[i] if i < len(ub_names) else "")
+        eq_indptr, eq_indices, eq_data = (
+            self.A_eq.indptr,
+            self.A_eq.indices,
+            self.A_eq.data,
+        )
         for i in np.flatnonzero(self.active_eq):
-            row = self.A_eq[i]
-            cols = [j for j in np.flatnonzero(row) if not fixed_mask[j]]
-            rhs = float(self.b_eq[i] - row @ fixed_values)
-            if not cols:
+            cols = eq_indices[eq_indptr[i] : eq_indptr[i + 1]]
+            vals = eq_data[eq_indptr[i] : eq_indptr[i + 1]]
+            keep = [t for t in range(cols.size) if not fixed_mask[cols[t]]]
+            rhs = float(self.b_eq[i] - vals @ fixed_values[cols])
+            if not keep:
                 if abs(rhs) > FEASIBILITY_TOLERANCE:  # pragma: no cover - caught earlier
                     raise _Infeasible
                 continue
-            expr = LinearExpression.sum_of((variables[j], float(row[j])) for j in cols)
+            expr = LinearExpression.sum_of(
+                (variables[int(cols[t])], float(vals[t])) for t in keep
+            )
             reduced.add_constraint(expr == rhs, name=eq_names[i] if i < len(eq_names) else "")
 
         return PresolveResult(

@@ -46,6 +46,7 @@ from repro.solver.model import (
     StandardForm,
 )
 from repro.solver.presolve import PresolveStatus, presolve
+from repro.solver.sparse import digest_update, matrices_equal, matrix_nbytes
 
 __all__ = ["SolveSession", "structure_signature"]
 
@@ -84,11 +85,16 @@ def structure_signature(model: MilpModel) -> str:
 
 
 def _instance_digest(form: StandardForm) -> str:
-    """Digest of one concrete instance (structure *and* numbers)."""
+    """Digest of one concrete instance (structure *and* numbers).
+
+    Delegates matrix hashing to :func:`~repro.solver.sparse.digest_update`,
+    which deliberately hashes a CSR matrix differently from an
+    equal-valued dense one — LP caches keyed by this digest must never
+    be shared across compile flavors.
+    """
     h = hashlib.blake2b(digest_size=16)
     for array in (form.c, form.A_ub, form.b_ub, form.A_eq, form.b_eq, form.lower, form.upper):
-        h.update(str(array.shape).encode())
-        h.update(np.ascontiguousarray(array).tobytes())
+        digest_update(h, array)
     h.update(b"1" if form.maximize else b"0")
     return h.hexdigest()
 
@@ -108,13 +114,9 @@ def _only_tightened(previous: StandardForm, current: StandardForm) -> bool:
         return False
     if previous.objective_constant != current.objective_constant:
         return False
-    if previous.A_ub.shape != current.A_ub.shape or not np.array_equal(
-        previous.A_ub, current.A_ub
-    ):
+    if not matrices_equal(previous.A_ub, current.A_ub):
         return False
-    if previous.A_eq.shape != current.A_eq.shape or not np.array_equal(
-        previous.A_eq, current.A_eq
-    ):
+    if not matrices_equal(previous.A_eq, current.A_eq):
         return False
     if not np.array_equal(previous.b_eq, current.b_eq):
         return False
@@ -215,8 +217,10 @@ class SolveSession:
                 total += 80 * len(family.prev_values)
             form = family.prev_form
             if form is not None:
+                # matrix_nbytes counts a CSR matrix's data/indices/indptr
+                # payload, not the dense rows x vars its shape implies.
                 total += sum(
-                    array.nbytes
+                    matrix_nbytes(array)
                     for array in (
                         form.c,
                         form.A_ub,

@@ -88,3 +88,69 @@ class TestStructure:
     def test_invalid_configs_rejected(self, bad_kwargs):
         with pytest.raises(ModelError):
             synthetic_model(**bad_kwargs)
+
+
+class TestMultizoneTopology:
+    def multizone(self, **overrides):
+        kwargs = dict(
+            assets=24,
+            monitor_types=10,
+            monitors=80,
+            attacks=12,
+            seed=7,
+            topology="multizone",
+            zones=4,
+        )
+        kwargs.update(overrides)
+        return synthetic_model(**kwargs)
+
+    def test_deterministic_and_seed_sensitive(self):
+        assert model_to_dict(self.multizone()) == model_to_dict(self.multizone())
+        assert model_to_dict(self.multizone()) != model_to_dict(self.multizone(seed=8))
+
+    def test_flat_default_is_unchanged_by_the_topology_knob(self):
+        # topology="flat" is the default; spelling it out must be a no-op
+        # (the multizone branch never perturbs the historical generator).
+        implicit = synthetic_model(monitors=20, attacks=10, seed=42)
+        explicit = synthetic_model(monitors=20, attacks=10, seed=42, topology="flat")
+        assert model_to_dict(implicit) == model_to_dict(explicit)
+
+    def test_zone_graph_stays_connected(self):
+        model = self.multizone()
+        assert len(model.topology.connected_components()) == 1
+
+    def test_each_zone_offers_a_strict_type_subset(self):
+        config = ScalingConfig(
+            assets=24, monitor_types=10, monitors=80, attacks=12,
+            seed=7, topology="multizone", zones=4,
+        )
+        model = synthetic_model(config)
+        zone_of = [i * config.zones // config.assets for i in range(config.assets)]
+        types_by_zone: dict[int, set[str]] = {}
+        for monitor in model.monitors.values():
+            asset_index = int(monitor.asset_id.split("-")[1])
+            types_by_zone.setdefault(zone_of[asset_index], set()).add(
+                monitor.monitor_type_id
+            )
+        assert config.types_per_zone < config.monitor_types
+        for placed_types in types_by_zone.values():
+            assert len(placed_types) <= config.types_per_zone
+
+    def test_monitor_count_exact_and_placements_distinct(self):
+        model = self.multizone(monitors=100)
+        assert model.stats()["monitors"] == 100
+        placements = {
+            (m.monitor_type_id, m.asset_id) for m in model.monitors.values()
+        }
+        assert len(placements) == 100
+
+    def test_overfull_catalog_rejected_with_placement_arithmetic(self):
+        # 24 assets x 7 zone-offered types = 168 placements; asking for
+        # more must fail at config time with the arithmetic spelled out.
+        with pytest.raises(ModelError, match="168 zone-compatible"):
+            self.multizone(monitors=169)
+
+    @pytest.mark.parametrize("zones", [1, 25])
+    def test_degenerate_zone_counts_rejected(self, zones):
+        with pytest.raises(ModelError, match="2 <= zones <= assets"):
+            self.multizone(zones=zones)

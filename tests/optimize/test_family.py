@@ -17,13 +17,16 @@ from repro.optimize.family import ProblemFamily
 from repro.optimize.frontier import exact_frontier
 from repro.optimize.pareto import budget_sweep
 from repro.optimize.problem import MaxUtilityProblem
+from repro.solver.sparse import matrices_equal
 
 FRACTIONS = [0.25, 0.5, 0.75, 1.0]
 
 
 def assert_forms_identical(left, right):
-    for field in ("c", "A_ub", "b_ub", "A_eq", "b_eq", "lower", "upper", "integrality"):
+    for field in ("c", "b_ub", "b_eq", "lower", "upper", "integrality"):
         assert np.array_equal(getattr(left, field), getattr(right, field)), field
+    for field in ("A_ub", "A_eq"):
+        assert matrices_equal(getattr(left, field), getattr(right, field)), field
     assert left.objective_constant == right.objective_constant
     assert left.maximize == right.maximize
 

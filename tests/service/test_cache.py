@@ -131,6 +131,59 @@ class TestSessionCache:
         cache.checkout("b", toy_model, digest, None, "scipy")
         assert counter_deltas(SESSION_COUNTERS, baseline)["service.cache.hits"] == 1
 
+    def test_sparse_cores_sized_by_csr_payload_and_evict_in_lru_order(self):
+        # Regression: the byte estimate once charged each memoized row
+        # its dense ``vars x 8`` footprint.  A sparse core must be sized
+        # by its CSR payload (data/indices/indptr), or one warm
+        # catalog-scale entry busts any sane budget and the cache
+        # thrashes.  Pin both the sizing and the eviction order it buys.
+        big = synthetic_model(monitors=300, attacks=60, seed=11)
+        digest = model_digest(big)
+
+        def warm(cache, tenant):
+            entry = cache.checkout(tenant, big, digest, None, "scipy")
+            problem = MaxUtilityProblem(
+                big,
+                Budget.fraction_of_total(big, 0.4),
+                UtilityWeights(),
+                family=entry.family,
+            )
+            with entry.lock:
+                problem.solve("scipy", session=entry.session)
+            cache.note_bytes(entry)
+            return entry
+
+        probe = warm(SessionCache(), "probe")
+        dense_equiv = obs.gauge("solver.matrix.dense_nbytes").value
+        sparse_bytes = obs.gauge("solver.matrix.nbytes").value
+        assert sparse_bytes < dense_equiv / 10  # the matrix really is sparse
+        # The warm entry is charged its CSR-proportional footprint, a
+        # small fraction of what dense rows x vars accounting implied.
+        assert probe.nbytes < dense_equiv / 4
+
+        # A budget that holds two warm sparse cores — but not even ONE
+        # entry under the old dense sizing.
+        budget = int(probe.nbytes * 2.5)
+        assert budget < dense_equiv
+        cache = SessionCache(max_bytes=budget)
+        baseline = counter_values(SESSION_COUNTERS)
+        a = warm(cache, "a")
+        warm(cache, "b")
+        deltas = counter_deltas(SESSION_COUNTERS, baseline)
+        assert deltas["service.cache.evictions.lru"] == 0  # both fit
+        # Touch a so b becomes LRU; inserting c must evict b, not a.
+        assert cache.checkout("a", big, digest, None, "scipy") is a
+        c = warm(cache, "c")
+        deltas = counter_deltas(SESSION_COUNTERS, baseline)
+        assert deltas["service.cache.evictions.lru"] == 1
+        assert cache.checkout("a", big, digest, None, "scipy") is a  # survived
+        assert cache.checkout("c", big, digest, None, "scipy") is c  # survived
+        hits_before_b = counter_values(SESSION_COUNTERS)
+        cache.checkout("b", big, digest, None, "scipy")  # was the LRU victim
+        assert counter_deltas(SESSION_COUNTERS, hits_before_b)[
+            "service.cache.misses"
+        ] == 1
+
     def test_note_bytes_tracks_real_solver_state(self, toy_model):
         cache = SessionCache()
         digest = model_digest(toy_model)

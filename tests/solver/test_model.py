@@ -6,6 +6,7 @@ import pytest
 from repro.errors import SolverError
 from repro.solver.expressions import VarKind
 from repro.solver.model import MilpModel, ObjectiveSense
+from repro.solver.sparse import matrices_equal, to_dense
 
 
 class TestVariables:
@@ -71,8 +72,21 @@ class TestCompile:
         model.add_constraint(x + 2 * y >= 1)
         form = model.compile()
         assert form.A_ub.shape == (1, 2)
-        np.testing.assert_allclose(form.A_ub[0], [-1.0, -2.0])
+        assert form.is_sparse
+        np.testing.assert_allclose(to_dense(form.A_ub)[0], [-1.0, -2.0])
         assert form.b_ub[0] == -1.0
+
+    def test_compile_is_sparse_by_default_and_dense_on_request(self):
+        model = MilpModel()
+        x, y = model.binary("x"), model.binary("y")
+        model.add_constraint(x + 2 * y <= 1, name="r")
+        model.set_objective(x + y)
+        sparse_form = model.compile()
+        dense_form = model.compile(dense=True)
+        assert sparse_form.is_sparse and not dense_form.is_sparse
+        assert isinstance(dense_form.A_ub, np.ndarray)
+        np.testing.assert_array_equal(to_dense(sparse_form.A_ub), dense_form.A_ub)
+        assert sparse_form.to_dense().A_ub.tolist() == dense_form.A_ub.tolist()
 
     def test_eq_rows_separate(self):
         model = MilpModel()
@@ -148,10 +162,10 @@ class TestTruncateAndRecompile:
     def assert_identical(self, left, right):
         import numpy as np
 
-        for field in (
-            "c", "A_ub", "b_ub", "A_eq", "b_eq", "lower", "upper", "integrality",
-        ):
+        for field in ("c", "b_ub", "b_eq", "lower", "upper", "integrality"):
             assert np.array_equal(getattr(left, field), getattr(right, field)), field
+        for field in ("A_ub", "A_eq"):
+            assert matrices_equal(getattr(left, field), getattr(right, field)), field
         assert left.objective_constant == right.objective_constant
         assert left.maximize == right.maximize
 
@@ -177,8 +191,9 @@ class TestTruncateAndRecompile:
             model.truncate_constraints(-1)
 
     def test_row_memo_survives_new_variables(self):
-        # Rows memoized before a variable was added are stale (wrong
-        # width) and must be rebuilt, not reused.
+        # Sparse memo rows name columns, not a vector width, so rows
+        # memoized before a variable was added stay valid and the new
+        # compile widens the matrix around them.
         model = MilpModel("grow", ObjectiveSense.MAXIMIZE)
         x = model.binary("x")
         model.add_constraint(x <= 1, name="r")
@@ -188,4 +203,5 @@ class TestTruncateAndRecompile:
         model.add_constraint(x + y <= 1, name="r2")
         form = model.compile()
         assert form.A_ub.shape == (2, 2)
-        assert form.A_ub[0].tolist() == [1.0, 0.0]
+        assert to_dense(form.A_ub)[0].tolist() == [1.0, 0.0]
+        assert to_dense(form.A_ub)[1].tolist() == [1.0, 1.0]
