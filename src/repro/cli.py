@@ -657,6 +657,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # Lazy: the lint driver is only needed by this subcommand, and the
     # linter must stay usable even when the analyzed code would not
     # import — parsing is its only contact with the target.
+    if (args.baseline or args.write_baseline) and not args.deep:
+        raise ReproError("--baseline/--write-baseline require --deep")
+    if args.deep:
+        from repro.devtools.lint import run_deep
+
+        return run_deep(
+            args.paths,
+            format=args.format,
+            output=args.output,
+            baseline=args.baseline,
+            write_baseline=args.write_baseline,
+        )
     from repro.devtools.lint import run as run_lint
 
     return run_lint(args.paths, args.rule, args.format, args.output)
@@ -884,6 +896,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run only this rule (repeatable); default: all rules")
     lint.add_argument("--output", type=Path, default=None, metavar="OUT.json",
                       help="additionally write the JSON report here (CI artifact)")
+    lint.add_argument("--deep", action="store_true",
+                      help="whole-program dataflow analysis: nondeterminism "
+                      "taint, set-order leaks, shared-memory races, fork capture")
+    lint.add_argument("--baseline", default=None, metavar="BASELINE.json",
+                      help="deep mode: accepted-findings baseline (default: "
+                      "auto-discover deep-baseline.json; 'none' disables)")
+    lint.add_argument("--write-baseline", type=Path, default=None,
+                      metavar="BASELINE.json",
+                      help="deep mode: regenerate the baseline from this run")
     lint.set_defaults(handler=_cmd_lint)
 
     def _add_service_arguments(sub: argparse.ArgumentParser) -> None:

@@ -68,7 +68,18 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
 
 
-def parse_suppressions(source: str) -> dict[int, set[str]]:
+def _noqa_ids(comment: str) -> set[str]:
+    """Rule ids a single comment suppresses (empty set if not a noqa)."""
+    match = _NOQA.search(comment)
+    if match is None:
+        return set()
+    rules = match.group("rules")
+    if rules is None:
+        return {_ALL_RULES}
+    return {part.strip().upper() for part in rules.split(",") if part.strip()}
+
+
+def parse_suppressions(source: str, tree: Any | None = None) -> dict[int, set[str]]:
     """Map line number -> rule ids suppressed by ``# repro: noqa`` comments.
 
     Recognized forms, always inside a real comment token::
@@ -79,24 +90,64 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
 
     The trailing free text is the human-readable reason; it is required
     by convention (review style), not by the parser.
+
+    A noqa applies to its whole *logical* line, not just the physical
+    line carrying the comment: a parenthesized call continued over five
+    lines is suppressed wherever a rule anchors inside it.  Logical
+    lines are recovered from the token stream (NEWLINE ends one, NL is
+    a continuation), so a noqa inside a string literal still suppresses
+    nothing.  When the parsed ``tree`` is supplied, a noqa anywhere in a
+    decorated ``def``/``class`` header — decorator lines included —
+    also covers the ``def`` line and each decorator line, because rules
+    anchor findings on either.
     """
     suppressions: dict[int, set[str]] = {}
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return suppressions
+    pending: set[str] = set()
+    span: set[int] = set()
     for token in tokens:
-        if token.type != tokenize.COMMENT:
+        if token.type == tokenize.COMMENT:
+            ids = _noqa_ids(token.string)
+            if ids:
+                suppressions.setdefault(token.start[0], set()).update(ids)
+                pending.update(ids)
             continue
-        match = _NOQA.search(token.string)
-        if match is None:
+        if token.type == tokenize.NEWLINE:
+            # end of a logical line: the noqa covers every physical
+            # line the statement touched.
+            for line in span:
+                if pending:
+                    suppressions.setdefault(line, set()).update(pending)
+            pending.clear()
+            span.clear()
             continue
-        rules = match.group("rules")
-        if rules is None:
-            ids = {_ALL_RULES}
-        else:
-            ids = {part.strip().upper() for part in rules.split(",") if part.strip()}
-        suppressions.setdefault(token.start[0], set()).update(ids)
+        if token.type == tokenize.NL:
+            if not span:
+                # standalone comment line: applies to itself only.
+                pending.clear()
+            continue
+        if token.type in (tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER):
+            continue
+        span.update(range(token.start[0], token.end[0] + 1))
+    if tree is not None:
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) or not node.decorator_list:
+                continue
+            start = min(dec.lineno for dec in node.decorator_list)
+            header_end = node.body[0].lineno - 1 if node.body else node.lineno
+            header_end = max(header_end, node.lineno)
+            ids = set()
+            for line in range(start, header_end + 1):
+                ids |= suppressions.get(line, set())
+            if ids:
+                anchors = {node.lineno} | {dec.lineno for dec in node.decorator_list}
+                for line in anchors:
+                    suppressions.setdefault(line, set()).update(ids)
     return suppressions
 
 

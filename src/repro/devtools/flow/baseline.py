@@ -1,0 +1,136 @@
+"""The committed-baseline workflow: accepted findings, as reviewed data.
+
+A whole-program analysis switched on over a grown codebase reports
+flows the team has already looked at and accepted (a wall-clock solve
+time in a stats dict, an environment-driven worker count).  Failing CI
+on those forever would teach everyone to ignore the tool; silently
+dropping them would hide real regressions.  The baseline threads that
+needle: every accepted finding is an entry in a committed JSON file
+*with a one-line justification*, matching is by ``(rule, module,
+message)`` — never by line number, so unrelated edits don't churn the
+file — and anything not in the baseline fails the run.
+
+Stale entries (baselined findings the analysis no longer reports) are
+listed in the report but do not fail the CLI; the self-analysis test
+pins the committed baseline to exactly the current finding set, so
+staleness is cleaned up in review rather than blocking a fix.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.base import Finding, module_name_for
+from repro.errors import ReproError
+
+__all__ = [
+    "BaselineMatch",
+    "baseline_key",
+    "load_baseline",
+    "match_baseline",
+    "write_baseline",
+]
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, str]:
+    """Location-independent identity: (rule, dotted module, message).
+
+    Messages name the function qualname, not the line, so the key
+    survives reformatting and unrelated edits in the same file.
+    """
+    return (finding.rule, module_name_for(Path(finding.path)), finding.message)
+
+
+@dataclass(slots=True)
+class BaselineMatch:
+    """How a finding set fared against a baseline."""
+
+    new: list[Finding]
+    accepted: list[Finding]
+    stale: list[dict[str, str]]
+
+
+def load_baseline(path: str | Path) -> dict[tuple[str, str, str], str]:
+    """Baseline entries as key -> justification."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"unreadable baseline {path}: {exc}") from exc
+    entries = payload.get("entries", [])
+    baseline: dict[tuple[str, str, str], str] = {}
+    for entry in entries:
+        key = (entry["rule"], entry["module"], entry["message"])
+        baseline[key] = entry.get("justification", "")
+    return baseline
+
+
+def match_baseline(
+    findings: list[Finding], baseline: dict[tuple[str, str, str], str]
+) -> BaselineMatch:
+    """Partition ``findings`` into new vs. baseline-accepted, plus stale."""
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    seen: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = baseline_key(finding)
+        if key in baseline:
+            accepted.append(finding)
+            seen.add(key)
+        else:
+            new.append(finding)
+    stale = [
+        {"rule": key[0], "module": key[1], "message": key[2], "justification": baseline[key]}
+        for key in sorted(baseline)
+        if key not in seen
+    ]
+    return BaselineMatch(new=new, accepted=accepted, stale=stale)
+
+
+def write_baseline(
+    findings: list[Finding],
+    path: str | Path,
+    previous: dict[tuple[str, str, str], str] | None = None,
+) -> None:
+    """Write every current finding as a baseline entry.
+
+    Justifications from ``previous`` (the existing baseline, if any)
+    are preserved for entries that persist; new entries get a TODO
+    placeholder the review is expected to replace.
+    """
+    previous = previous or {}
+    entries = []
+    for finding in sorted(set(findings), key=Finding.sort_key):
+        rule, module, message = baseline_key(finding)
+        entries.append(
+            {
+                "rule": rule,
+                "module": module,
+                "message": message,
+                "line": finding.line,
+                "justification": previous.get(
+                    (rule, module, message), "TODO: justify or fix"
+                ),
+            }
+        )
+    # dedupe identical keys (one flow reported from two lines)
+    unique: dict[tuple[str, str, str], dict] = {}
+    for entry in entries:
+        unique.setdefault((entry["rule"], entry["module"], entry["message"]), entry)
+    payload = {
+        "version": 1,
+        "comment": (
+            "Accepted deep-analysis findings. Matching ignores line numbers; "
+            "every entry needs a one-line justification. Regenerate with "
+            "`repro lint --deep --write-baseline`."
+        ),
+        "entries": sorted(
+            unique.values(), key=lambda e: (e["rule"], e["module"], e["message"])
+        ),
+    }
+    # Lazy leaf import, same rationale as the lint driver.
+    from repro.export.jsonsafe import dumps as strict_dumps
+
+    Path(path).write_text(strict_dumps(payload, indent=2) + "\n")

@@ -41,6 +41,7 @@ __all__ = [
     "render_json",
     "render_text",
     "run",
+    "run_deep",
 ]
 
 PARSE_RULE_ID = "PARSE-ERROR"
@@ -76,7 +77,7 @@ def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Fin
         module=module_name_for(path),
         source=source,
         tree=tree,
-        suppressions=parse_suppressions(source),
+        suppressions=parse_suppressions(source, tree=tree),
     )
     return run_rules(rules, ctx)
 
@@ -248,8 +249,42 @@ def main(argv: Sequence[str] | None = None, prog: str = "repro lint") -> int:
         metavar="OUT.json",
         help="additionally write the JSON report here (CI artifact)",
     )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="run the whole-program dataflow analysis (taint, set-order "
+        "leaks, shared-memory races, fork capture) instead of the "
+        "per-file rules",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="BASELINE.json",
+        help="deep mode: baseline of accepted findings (default: "
+        "auto-discover deep-baseline.json near the package root; "
+        "pass 'none' to disable)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="deep mode: write the current findings as the new baseline "
+        "instead of failing on them",
+    )
     args = parser.parse_args(argv)
+    if (args.baseline or args.write_baseline) and not args.deep:
+        print("error: --baseline/--write-baseline require --deep", file=sys.stderr)
+        return 2
     try:
+        if args.deep:
+            return run_deep(
+                args.paths,
+                format=args.format,
+                output=args.output,
+                baseline=args.baseline,
+                write_baseline=args.write_baseline,
+            )
         return run(args.paths, args.rule, args.format, args.output)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -281,3 +316,38 @@ def run(
     if output is not None:
         output.write_text(render_json(findings, files) + "\n")
     return 1 if findings else 0
+
+
+def run_deep(
+    paths: Sequence[str | Path],
+    format: str = "text",
+    output: Path | None = None,
+    baseline: str | None = None,
+    write_baseline: Path | None = None,
+) -> int:
+    """Whole-program deep analysis behind ``repro lint --deep``.
+
+    Exit codes match the shallow driver: 0 when every finding is
+    baselined (stale baseline entries are reported but non-fatal), 1 on
+    any new finding, 2 (via :class:`~repro.errors.ReproError` in the
+    caller) on bad invocations.
+    """
+    # Lazy import: the flow engine is a heavyweight leaf of devtools and
+    # shallow lint runs shouldn't pay for building it.
+    from repro.devtools.flow.deep import (
+        analyze_deep,
+        render_deep_json,
+        render_deep_text,
+    )
+
+    for path in paths:
+        if not Path(path).exists():
+            raise ReproError(f"no such path: {path}")
+    report = analyze_deep(paths, baseline=baseline, write_baseline=write_baseline)
+    if format == "json":
+        print(render_deep_json(report))
+    else:
+        print(render_deep_text(report))
+    if output is not None:
+        output.write_text(render_deep_json(report) + "\n")
+    return 1 if report.failed else 0

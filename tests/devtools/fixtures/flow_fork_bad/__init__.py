@@ -1,0 +1,1 @@
+"""Golden-bad fixture: fork-unsafe state crossing into worker tasks."""

@@ -1,0 +1,33 @@
+"""Worker tasks that capture locks and construct nested pools."""
+
+import threading
+
+from repro.runtime.parallel import parallel_map
+from repro.runtime.pool import PersistentPool
+
+_LOCK = threading.Lock()
+
+
+def scale(item):
+    with _LOCK:
+        return item * 2
+
+
+def nested(item):
+    pool = PersistentPool(workers=2)
+    return pool
+
+
+def indirect(item):
+    return _spawn_helper(item)
+
+
+def _spawn_helper(item):
+    return PersistentPool(workers=1)
+
+
+def run(items):
+    doubled = parallel_map(scale, items)
+    spawned = parallel_map(nested, items)
+    chained = parallel_map(indirect, items)
+    return doubled, spawned, chained

@@ -1,0 +1,1 @@
+"""Golden-good fixture: worker tasks touching only their arguments."""

@@ -1,0 +1,11 @@
+"""A pure worker task dispatched by the parent."""
+
+from repro.runtime.parallel import parallel_map
+
+
+def scale(item):
+    return item * 2
+
+
+def run(items):
+    return parallel_map(scale, items)

@@ -1,0 +1,1 @@
+"""Golden-bad fixture: set-iteration order escaping into artifacts."""

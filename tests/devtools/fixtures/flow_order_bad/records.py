@@ -1,0 +1,14 @@
+"""Set order into a compared field of a result record."""
+
+from flow_order_bad.report import collect
+
+
+class OptimizationResult:
+    def __init__(self, chosen: list, solve_seconds: float) -> None:
+        self.chosen = chosen
+        self.solve_seconds = solve_seconds
+
+
+def build() -> OptimizationResult:
+    chosen = [monitor for monitor in collect()]
+    return OptimizationResult(chosen=chosen, solve_seconds=0.0)

@@ -1,0 +1,14 @@
+"""Unsorted set iteration feeding a digest and a result record."""
+
+import hashlib
+
+
+def collect() -> set:
+    return {"m1", "m2", "m3"}
+
+
+def digest() -> bytes:
+    h = hashlib.blake2b()
+    for monitor in collect():
+        h.update(monitor)
+    return h.digest()

@@ -1,0 +1,1 @@
+"""Golden-good fixture: set order canonicalized before it escapes."""

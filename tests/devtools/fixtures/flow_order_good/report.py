@@ -1,0 +1,14 @@
+"""The same digest with ``sorted()`` cutting the ORDER taint."""
+
+import hashlib
+
+
+def collect() -> set:
+    return {"m1", "m2", "m3"}
+
+
+def digest() -> bytes:
+    h = hashlib.blake2b()
+    for monitor in sorted(collect()):
+        h.update(monitor)
+    return h.digest()

@@ -1,0 +1,1 @@
+"""Golden-bad fixture: writes racing the shared-memory contract."""

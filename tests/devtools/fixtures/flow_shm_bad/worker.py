@@ -1,0 +1,19 @@
+"""Stores through attached views and mutation after publish."""
+
+from repro.runtime.pool import attach_arrays
+
+
+def scale(handle) -> None:
+    views = attach_arrays(handle)
+    views["alpha"][0] = 2.0
+
+
+def fill_view(handle) -> None:
+    views = attach_arrays(handle)
+    beta = views["beta"]
+    beta.fill(0.0)
+
+
+def publish_then_mutate(pool, alpha) -> None:
+    pool.share({"alpha": alpha})
+    alpha[0] = 0.5

@@ -1,0 +1,1 @@
+"""Golden-good fixture: read-only use of attached segments."""

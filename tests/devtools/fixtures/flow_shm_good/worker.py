@@ -1,0 +1,17 @@
+"""Reads through views, writes only to private arrays."""
+
+from repro.runtime.pool import attach_arrays
+
+
+def snapshot(handle) -> float:
+    views = attach_arrays(handle)
+    return float(views["alpha"][0])
+
+
+def publish_then_read(pool, alpha) -> float:
+    pool.share({"alpha": alpha})
+    return float(alpha[0])
+
+
+def local_write(scratch) -> None:
+    scratch[0] = 1.0

@@ -1,0 +1,1 @@
+"""Golden-bad fixture: wall-clock taint reaching sinks across calls."""

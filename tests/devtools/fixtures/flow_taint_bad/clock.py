@@ -1,0 +1,7 @@
+"""The source, three frames above the sink."""
+
+import time
+
+
+def wall_stamp() -> float:
+    return time.time()

@@ -1,0 +1,20 @@
+"""A cyclic SCC whose converged summary carries the taint out."""
+
+import hashlib
+import time
+
+
+def ping(depth: int) -> float:
+    if depth <= 0:
+        return time.time()
+    return pong(depth - 1)
+
+
+def pong(depth: int) -> float:
+    return ping(depth)
+
+
+def digest(depth: int) -> bytes:
+    h = hashlib.blake2b()
+    h.update(ping(depth))
+    return h.digest()

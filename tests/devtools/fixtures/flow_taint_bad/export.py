@@ -1,0 +1,10 @@
+"""The sink frame: tainted payload into a jsonsafe export."""
+
+from flow_taint_bad.relay import tagged
+
+from repro.export.jsonsafe import dumps
+
+
+def publish() -> str:
+    payload = tagged()
+    return dumps(payload)

@@ -1,0 +1,7 @@
+"""The middle frame: launders the source through a dict literal."""
+
+from flow_taint_bad.clock import wall_stamp
+
+
+def tagged() -> dict:
+    return {"stamp": wall_stamp()}

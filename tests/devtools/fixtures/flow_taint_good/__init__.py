@@ -1,0 +1,1 @@
+"""Golden-good fixture: the same shapes with the taint cut or exempt."""

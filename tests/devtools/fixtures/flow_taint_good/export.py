@@ -1,0 +1,10 @@
+"""Sinks fed only from injected, deterministic inputs."""
+
+from flow_taint_good.clock import fixed_stamp
+
+from repro.export.jsonsafe import dumps
+
+
+def publish(seed: int) -> str:
+    payload = {"stamp": fixed_stamp(seed)}
+    return dumps(payload)

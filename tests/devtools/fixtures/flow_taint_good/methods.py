@@ -1,0 +1,10 @@
+"""Receiver-typed method dispatch via a parameter annotation."""
+
+
+class Engine:
+    def utility(self, value: float) -> float:
+        return value * 0.5
+
+
+def drive(engine: Engine) -> float:
+    return engine.utility(2.0)

@@ -1,0 +1,12 @@
+"""A functools.partial edge the call graph must resolve."""
+
+import functools
+
+
+def scale(factor: float, value: float) -> float:
+    return factor * value
+
+
+def build() -> float:
+    doubler = functools.partial(scale, 2.0)
+    return doubler(3.0)

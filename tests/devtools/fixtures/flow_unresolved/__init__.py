@@ -1,0 +1,1 @@
+"""Fixture with deliberately unresolvable call edges."""

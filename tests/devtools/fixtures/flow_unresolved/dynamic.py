@@ -1,0 +1,14 @@
+"""Two unresolved edges, one known-safe method, one direct call."""
+
+
+def helper(payload) -> int:
+    return len(payload)
+
+
+def dispatch(hooks, payload):
+    for hook in hooks:
+        hook(payload)
+    handler = hooks[0]
+    handler.frobnicate(payload)
+    payload.items()
+    return helper(payload)

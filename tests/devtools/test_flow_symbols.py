@@ -1,0 +1,86 @@
+"""Symbol table and call graph: resolution classes and SCC order."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.flow.symbols import build_program, condensation_order
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _sites(program, caller):
+    return list(program.calls.get(caller, []))
+
+
+def test_modules_and_functions_collected():
+    program = build_program(FIXTURES / "flow_taint_bad")
+    assert set(program.modules) == {
+        "flow_taint_bad",
+        "flow_taint_bad.clock",
+        "flow_taint_bad.relay",
+        "flow_taint_bad.export",
+        "flow_taint_bad.cycle",
+    }
+    assert "flow_taint_bad.clock.wall_stamp" in program.functions
+    assert "flow_taint_bad.export.publish" in program.functions
+
+
+def test_direct_cross_module_edge_resolves():
+    program = build_program(FIXTURES / "flow_taint_bad")
+    sites = _sites(program, "flow_taint_bad.relay.tagged")
+    edges = {(s.kind, s.targets) for s in sites}
+    assert ("direct", ("flow_taint_bad.clock.wall_stamp",)) in edges
+
+
+def test_external_import_keeps_canonical_name():
+    program = build_program(FIXTURES / "flow_taint_bad")
+    sites = _sites(program, "flow_taint_bad.export.publish")
+    dumps = [s for s in sites if s.canonical == "repro.export.jsonsafe.dumps"]
+    assert len(dumps) == 1
+    assert dumps[0].kind == "external"
+    assert not dumps[0].resolved
+
+
+def test_method_dispatch_via_parameter_annotation():
+    program = build_program(FIXTURES / "flow_taint_good")
+    sites = _sites(program, "flow_taint_good.methods.drive")
+    targets = {t for s in sites for t in s.targets}
+    assert "flow_taint_good.methods.Engine.utility" in targets
+
+
+def test_constructor_call_resolves_to_init():
+    program = build_program(FIXTURES / "flow_taint_good")
+    sites = _sites(program, "flow_taint_good.records.build")
+    targets = {t for s in sites for t in s.targets}
+    assert "flow_taint_good.records.OptimizationResult.__init__" in targets
+
+
+def test_functools_partial_edge():
+    program = build_program(FIXTURES / "flow_taint_good")
+    sites = _sites(program, "flow_taint_good.partials.build")
+    partial = [s for s in sites if s.kind == "partial"]
+    assert [s.targets for s in partial] == [("flow_taint_good.partials.scale",)]
+
+
+def test_unresolved_edges_are_an_explicit_class():
+    program = build_program(FIXTURES / "flow_unresolved")
+    sites = _sites(program, "flow_unresolved.dynamic.dispatch")
+    kinds = sorted(s.kind for s in sites)
+    # hook(payload) and handler.frobnicate() cannot be resolved;
+    # payload.items() is a known-safe container method (external);
+    # helper(payload) is a direct program edge.
+    assert kinds.count("unresolved") == 2
+    assert kinds.count("direct") == 1
+    unresolved = program.unresolved_sites()
+    assert len(unresolved) == 2
+    assert {s.line for s in unresolved} == {10, 12}
+
+
+def test_scc_condensation_is_callee_first():
+    program = build_program(FIXTURES / "flow_taint_bad")
+    components = condensation_order(program)
+    cycle = next(c for c in components if "flow_taint_bad.cycle.ping" in c)
+    assert set(cycle) == {"flow_taint_bad.cycle.ping", "flow_taint_bad.cycle.pong"}
+    digest = next(c for c in components if "flow_taint_bad.cycle.digest" in c)
+    assert components.index(cycle) < components.index(digest)

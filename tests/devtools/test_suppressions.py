@@ -130,3 +130,97 @@ def test_suppression_survives_syntax_error_tolerantly():
     # Unterminated source: the tokenizer gives up, the parser reports
     # PARSE-ERROR elsewhere; parse_suppressions must not raise.
     assert parse_suppressions("def broken(:\n") == {}
+
+
+# ---------------------------------------------------------------------
+# multi-line statements: logical-line and decorated-header semantics
+# ---------------------------------------------------------------------
+
+def test_noqa_covers_every_physical_line_of_a_continuation():
+    source = textwrap.dedent(
+        """\
+        value = compute(
+            first,
+            second,
+        )  # repro: noqa[JSON-STRICT] reviewed
+        """
+    )
+    suppressions = parse_suppressions(source)
+    for line in (1, 2, 3, 4):
+        assert "JSON-STRICT" in suppressions.get(line, set()), line
+
+
+def test_noqa_on_first_line_of_a_continuation_covers_the_last():
+    source = textwrap.dedent(
+        """\
+        value = compute(  # repro: noqa[RNG-SEED] spans the call
+            first,
+            second,
+        )
+        """
+    )
+    suppressions = parse_suppressions(source)
+    for line in (1, 2, 3, 4):
+        assert "RNG-SEED" in suppressions.get(line, set()), line
+
+
+def test_multiline_call_noqa_suppresses_rule_anchored_on_first_line(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """\
+        import json
+
+
+        def write(payload):
+            return json.dumps(
+                payload,
+            )  # repro: noqa[JSON-STRICT] multi-line call
+        """,
+    )
+    assert findings == []
+
+
+def test_noqa_on_def_line_covers_decorator_lines():
+    import ast
+
+    source = textwrap.dedent(
+        """\
+        @register(
+            name="slow",
+        )
+        def handler():  # repro: noqa[EXC-SILENT] decorated header
+            pass
+        """
+    )
+    suppressions = parse_suppressions(source, tree=ast.parse(source))
+    assert "EXC-SILENT" in suppressions.get(4, set())
+    assert "EXC-SILENT" in suppressions.get(1, set())
+
+
+def test_noqa_on_decorator_line_covers_the_def_line():
+    import ast
+
+    source = textwrap.dedent(
+        """\
+        @register  # repro: noqa[EXC-SILENT] decorator carries the noqa
+        def handler():
+            pass
+        """
+    )
+    suppressions = parse_suppressions(source, tree=ast.parse(source))
+    assert "EXC-SILENT" in suppressions.get(1, set())
+    assert "EXC-SILENT" in suppressions.get(2, set())
+
+
+def test_standalone_comment_between_statements_covers_itself_only():
+    source = textwrap.dedent(
+        """\
+        x = 1
+        # repro: noqa[RNG-SEED] floating comment
+        y = 2
+        """
+    )
+    suppressions = parse_suppressions(source)
+    assert "RNG-SEED" in suppressions.get(2, set())
+    assert suppressions.get(1, set()) == set()
+    assert suppressions.get(3, set()) == set()
